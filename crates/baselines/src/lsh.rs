@@ -1,0 +1,429 @@
+//! Minhash locality-sensitive hashing (Section 3.3, [8, 13, 15]) — the
+//! *approximate* competitor the paper benchmarks PartEnum and WtEnum
+//! against.
+//!
+//! Each of `l` signatures is the concatenation of `g` independent minhashes
+//! of the set. Two sets at jaccard similarity `s` agree on one concatenated
+//! signature with probability `s^g`, so they share at least one of `l`
+//! signatures with probability `1 − (1 − s^g)^l`. Setting
+//! `l = ⌈ln(1 − recall)/ln(1 − γ^g)⌉` guarantees a pair exactly at the
+//! threshold is found with probability ≥ `recall` — the paper's
+//! "LSH(0.95)" / "LSH(0.99)" configurations. `g` trades signature count
+//! against filtering effectiveness; the optimizer picks it by estimated F2,
+//! like PartEnum's Table 1 procedure.
+
+use ssj_core::hash::{Mix64, SigBuilder};
+use ssj_core::partenum::estimate_cost;
+use ssj_core::set::{ElementId, SetCollection, WeightMap};
+use ssj_core::signature::{Signature, SignatureScheme};
+use std::sync::Arc;
+
+/// The `(g, l)` parameters of minhash LSH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshParams {
+    /// Minhashes concatenated per signature (the "band width").
+    pub g: usize,
+    /// Number of signatures (the number of "bands").
+    pub l: usize,
+}
+
+impl LshParams {
+    /// The `l` needed for a pair at similarity exactly `gamma` to be found
+    /// with probability ≥ `recall`, given `g`.
+    pub fn l_for_recall(g: usize, gamma: f64, recall: f64) -> usize {
+        assert!(g >= 1 && gamma > 0.0 && gamma < 1.0 && recall > 0.0 && recall < 1.0);
+        let p = gamma.powi(g as i32);
+        ((1.0 - recall).ln() / (1.0 - p).ln()).ceil().max(1.0) as usize
+    }
+
+    /// Candidate settings for a target `(gamma, recall)`: one per band width
+    /// `g`, with signature count capped at `max_sigs`.
+    pub fn candidates(gamma: f64, recall: f64, max_sigs: usize) -> Vec<Self> {
+        (1..=16)
+            .map(|g| Self {
+                g,
+                l: Self::l_for_recall(g, gamma, recall),
+            })
+            .filter(|p| p.l <= max_sigs)
+            .collect()
+    }
+
+    /// Probability that a pair at similarity `sim` becomes a candidate.
+    pub fn recall_at(&self, sim: f64) -> f64 {
+        1.0 - (1.0 - sim.powi(self.g as i32)).powi(self.l as i32)
+    }
+}
+
+/// Minhash LSH for jaccard SSJoins. **Approximate**: may miss output pairs
+/// (with probability ≤ `1 − recall` at the threshold).
+///
+/// ```
+/// use ssj_baselines::{LshJaccard, LshParams};
+/// use ssj_core::prelude::*;
+///
+/// let params = LshParams { g: 3, l: LshParams::l_for_recall(3, 0.9, 0.95) };
+/// assert!(params.recall_at(0.9) >= 0.95);
+/// let scheme = LshJaccard::new(params, 42);
+/// assert!(scheme.is_approximate()); // the join result will say so too
+/// ```
+#[derive(Debug, Clone)]
+pub struct LshJaccard {
+    params: LshParams,
+    /// `l × g` independent hash functions, row-major.
+    hashers: Vec<Mix64>,
+}
+
+impl LshJaccard {
+    /// Creates an instance with explicit parameters.
+    pub fn new(params: LshParams, seed: u64) -> Self {
+        let base = Mix64::new(seed);
+        let hashers = (0..params.l * params.g)
+            .map(|i| base.derive(i as u64))
+            .collect();
+        Self { params, hashers }
+    }
+
+    /// Creates an instance meeting `recall` at threshold `gamma`, choosing
+    /// `g` by minimizing estimated intermediate-result size on a sample of
+    /// `collection` (mirroring the paper's "optimal settings of parameters
+    /// g and l for the given accuracy").
+    pub fn optimized(
+        gamma: f64,
+        recall: f64,
+        collection: &SetCollection,
+        sample_cap: usize,
+        seed: u64,
+    ) -> Self {
+        let step = (collection.len() / sample_cap.max(1)).max(1);
+        let sample: Vec<&[ElementId]> = (0..collection.len())
+            .step_by(step)
+            .map(|i| collection.set(i as u32))
+            .collect();
+        let scale = if sample.is_empty() {
+            1.0
+        } else {
+            collection.len() as f64 / sample.len() as f64
+        };
+        let mut best: Option<(f64, LshParams)> = None;
+        for params in LshParams::candidates(gamma, recall, 512) {
+            let scheme = Self::new(params, seed);
+            let cost = estimate_cost(&scheme, &sample, scale);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, params));
+            }
+        }
+        let params = best.map(|(_, p)| p).unwrap_or(LshParams { g: 3, l: 32 });
+        Self::new(params, seed)
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    #[inline]
+    fn minhash(&self, row: usize, set: &[ElementId]) -> u64 {
+        set.iter()
+            .map(|&e| self.hashers[row].hash_u32(e))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl SignatureScheme for LshJaccard {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        out.reserve(self.params.l);
+        for j in 0..self.params.l {
+            let mut sig = SigBuilder::new(j as u64);
+            for q in 0..self.params.g {
+                sig.push(self.minhash(j * self.params.g + q, set));
+            }
+            out.push(sig.finish());
+        }
+    }
+
+    fn is_approximate(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "LSH"
+    }
+}
+
+/// Minhash LSH for **weighted** jaccard, via the Section 7 reduction: each
+/// element is replicated `round(w(e)/quantum)` times as `(e, copy)` pairs and
+/// the unweighted construction runs over the replicas. Integral weights with
+/// `quantum = 1` reproduce weighted jaccard exactly (in distribution);
+/// otherwise standard rounding applies.
+#[derive(Debug, Clone)]
+pub struct LshWeightedJaccard {
+    params: LshParams,
+    hashers: Vec<Mix64>,
+    weights: Arc<WeightMap>,
+    quantum: f64,
+}
+
+impl LshWeightedJaccard {
+    /// Creates an instance. `quantum` is the weight granularity (smaller =
+    /// more faithful, more replicas per element).
+    pub fn new(params: LshParams, weights: Arc<WeightMap>, quantum: f64, seed: u64) -> Self {
+        assert!(quantum > 0.0, "quantum must be positive");
+        let base = Mix64::new(seed ^ WEIGHTED_MARKER);
+        let hashers = (0..params.l * params.g)
+            .map(|i| base.derive(i as u64))
+            .collect();
+        Self {
+            params,
+            hashers,
+            weights,
+            quantum,
+        }
+    }
+
+    /// Creates an instance meeting `recall` at threshold `gamma`, choosing
+    /// `g` by minimizing estimated intermediate-result size on a sample —
+    /// the weighted counterpart of [`LshJaccard::optimized`].
+    pub fn optimized(
+        gamma: f64,
+        recall: f64,
+        collection: &SetCollection,
+        weights: Arc<WeightMap>,
+        quantum: f64,
+        sample_cap: usize,
+        seed: u64,
+    ) -> Self {
+        let step = (collection.len() / sample_cap.max(1)).max(1);
+        let sample: Vec<&[ElementId]> = (0..collection.len())
+            .step_by(step)
+            .map(|i| collection.set(i as u32))
+            .collect();
+        let scale = if sample.is_empty() {
+            1.0
+        } else {
+            collection.len() as f64 / sample.len() as f64
+        };
+        let mut best: Option<(f64, LshParams)> = None;
+        for params in LshParams::candidates(gamma, recall, 256) {
+            let scheme = Self::new(params, Arc::clone(&weights), quantum, seed);
+            let cost = estimate_cost(&scheme, &sample, scale);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, params));
+            }
+        }
+        let params = best.map(|(_, p)| p).unwrap_or(LshParams { g: 3, l: 32 });
+        Self::new(params, weights, quantum, seed)
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    #[inline]
+    fn minhash(&self, row: usize, set: &[ElementId]) -> u64 {
+        let mut min = u64::MAX;
+        for &e in set {
+            let copies = (self.weights.weight(e) / self.quantum).round().max(0.0) as u64;
+            for c in 0..copies {
+                let h = self.hashers[row].hash_u64(((e as u64) << 32) | c);
+                if h < min {
+                    min = h;
+                }
+            }
+        }
+        min
+    }
+}
+
+/// Seed domain separator (avoids colliding with the unweighted scheme).
+const WEIGHTED_MARKER: u64 = 0x5745_4947_4854_4544; // "WEIGHTED"
+
+impl SignatureScheme for LshWeightedJaccard {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        out.reserve(self.params.l);
+        for j in 0..self.params.l {
+            let mut sig = SigBuilder::new(j as u64);
+            for q in 0..self.params.g {
+                sig.push(self.minhash(j * self.params.g + q, set));
+            }
+            out.push(sig.finish());
+        }
+    }
+
+    fn is_approximate(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "LSH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::similarity::jaccard;
+
+    #[test]
+    fn l_for_recall_formula() {
+        // γ=0.9, g=3: p=0.729; l = ceil(ln(0.05)/ln(0.271)) = ceil(2.295) = 3.
+        assert_eq!(LshParams::l_for_recall(3, 0.9, 0.95), 3);
+        // Higher recall needs more bands.
+        assert!(LshParams::l_for_recall(3, 0.9, 0.99) > LshParams::l_for_recall(3, 0.9, 0.95));
+        // Wider bands need more of them.
+        assert!(LshParams::l_for_recall(6, 0.9, 0.95) > LshParams::l_for_recall(3, 0.9, 0.95));
+    }
+
+    #[test]
+    fn recall_at_threshold_meets_target() {
+        for g in 1..8 {
+            for &(gamma, recall) in &[(0.8, 0.95), (0.9, 0.99)] {
+                let l = LshParams::l_for_recall(g, gamma, recall);
+                let p = LshParams { g, l };
+                assert!(
+                    p.recall_at(gamma) >= recall - 1e-9,
+                    "g={g} gamma={gamma}: {}",
+                    p.recall_at(gamma)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sets_always_share() {
+        let scheme = LshJaccard::new(LshParams { g: 4, l: 8 }, 3);
+        let s = vec![1, 5, 9, 13];
+        assert_eq!(scheme.signatures(&s), scheme.signatures(&s));
+    }
+
+    #[test]
+    fn empirical_recall_near_prediction() {
+        use rand::prelude::*;
+        let params = LshParams {
+            g: 3,
+            l: LshParams::l_for_recall(3, 0.8, 0.95),
+        };
+        let scheme = LshJaccard::new(params, 17);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut found = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            // Pair at jaccard exactly 0.8: share 8 of 10 union elements.
+            let base: Vec<u32> = (0..8).map(|_| rng.gen()).collect();
+            let mut a = base.clone();
+            a.push(rng.gen::<u32>() | 1 << 31);
+            let mut b = base.clone();
+            b.push(rng.gen::<u32>() & !(1 << 31));
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            if (jaccard(&a, &b) - 0.8).abs() > 1e-9 {
+                continue; // rare duplicate draw; skip
+            }
+            let sa = scheme.signatures(&a);
+            let sb = scheme.signatures(&b);
+            if sa.iter().any(|s| sb.contains(s)) {
+                found += 1;
+            }
+        }
+        let recall = found as f64 / trials as f64;
+        assert!(
+            recall > 0.90,
+            "observed recall {recall} too far below 0.95 target"
+        );
+    }
+
+    #[test]
+    fn dissimilar_sets_rarely_share() {
+        use rand::prelude::*;
+        let scheme = LshJaccard::new(LshParams { g: 4, l: 8 }, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hits = 0;
+        for _ in 0..300 {
+            let a: Vec<u32> = {
+                let mut v: Vec<u32> = (0..20).map(|_| rng.gen_range(0..1_000_000)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let b: Vec<u32> = {
+                let mut v: Vec<u32> = (0..20).map(|_| rng.gen_range(0..1_000_000)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let sa = scheme.signatures(&a);
+            let sb = scheme.signatures(&b);
+            if sa.iter().any(|s| sb.contains(s)) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 15, "too many far-pair collisions: {hits}");
+    }
+
+    #[test]
+    fn optimized_meets_recall_constraint() {
+        let c: SetCollection = (0..200)
+            .map(|i| {
+                (i..i + 20)
+                    .map(|x| (x * 7 % 501) as u32)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let scheme = LshJaccard::optimized(0.85, 0.95, &c, 100, 9);
+        assert!(scheme.params().recall_at(0.85) >= 0.95 - 1e-9);
+    }
+
+    #[test]
+    fn weighted_scheme_matches_unweighted_at_unit_weights() {
+        // With all weights = quantum, each element has exactly one replica:
+        // behaves like unweighted minhash (different hash values, same
+        // collision structure).
+        let weights = Arc::new(WeightMap::new(1.0));
+        let scheme = LshWeightedJaccard::new(LshParams { g: 2, l: 6 }, weights, 1.0, 11);
+        let a = vec![1, 2, 3, 4];
+        assert_eq!(scheme.signatures(&a), scheme.signatures(&a));
+        assert!(scheme.is_approximate());
+    }
+
+    #[test]
+    fn weighted_heavy_shared_element_raises_collision_rate() {
+        use rand::prelude::*;
+        let mut wm = WeightMap::new(1.0);
+        wm.set(7, 30.0);
+        let weights = Arc::new(wm);
+        let params = LshParams { g: 1, l: 4 };
+        let heavy = LshWeightedJaccard::new(params, Arc::clone(&weights), 1.0, 13);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut with_heavy, mut without) = (0, 0);
+        for _ in 0..200 {
+            let mut a: Vec<u32> = (0..6).map(|_| rng.gen_range(100..10_000)).collect();
+            let mut b: Vec<u32> = (0..6).map(|_| rng.gen_range(100..10_000)).collect();
+            a.push(7);
+            b.push(7);
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let sa = heavy.signatures(&a);
+            let sb = heavy.signatures(&b);
+            if sa.iter().any(|s| sb.contains(s)) {
+                with_heavy += 1;
+            }
+            // Same sets minus the heavy shared element.
+            let a2: Vec<u32> = a.iter().copied().filter(|&x| x != 7).collect();
+            let b2: Vec<u32> = b.iter().copied().filter(|&x| x != 7).collect();
+            let sa2 = heavy.signatures(&a2);
+            let sb2 = heavy.signatures(&b2);
+            if sa2.iter().any(|s| sb2.contains(s)) {
+                without += 1;
+            }
+        }
+        assert!(
+            with_heavy > without + 50,
+            "heavy shared element should dominate: {with_heavy} vs {without}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Naive O(n²) join — the ground-truth oracle for exactness tests.
+
+use ssj_core::predicate::Predicate;
+use ssj_core::set::{SetCollection, SetId, WeightMap};
+
+/// A brute-force nested-loop SSJoin. Exact by construction; used to validate
+/// every signature scheme in the workspace and as the "no filtering at all"
+/// end of the ablation spectrum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveJoin;
+
+impl NaiveJoin {
+    /// All pairs `(a, b)`, `a < b`, of `collection` satisfying `pred`.
+    ///
+    /// Applies the predicate's size bounds (when available) to skip pairs
+    /// that cannot join — the only optimization, so the result is still a
+    /// trustworthy oracle.
+    pub fn self_join(
+        collection: &SetCollection,
+        pred: Predicate,
+        weights: Option<&WeightMap>,
+    ) -> Vec<(SetId, SetId)> {
+        let mut out = Vec::new();
+        for a in 0..collection.len() as SetId {
+            let (lo, hi) = pred
+                .size_bounds(collection.set_len(a))
+                .unwrap_or((0, usize::MAX));
+            for b in a + 1..collection.len() as SetId {
+                let lb = collection.set_len(b);
+                if lb < lo || lb > hi {
+                    continue;
+                }
+                if pred.evaluate(collection.set(a), collection.set(b), weights) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// All pairs `(r, s) ∈ R × S` satisfying `pred`.
+    pub fn join(
+        r: &SetCollection,
+        s: &SetCollection,
+        pred: Predicate,
+        weights: Option<&WeightMap>,
+    ) -> Vec<(SetId, SetId)> {
+        let mut out = Vec::new();
+        for a in 0..r.len() as SetId {
+            let (lo, hi) = pred.size_bounds(r.set_len(a)).unwrap_or((0, usize::MAX));
+            for b in 0..s.len() as SetId {
+                let lb = s.set_len(b);
+                if lb < lo || lb > hi {
+                    continue;
+                }
+                if pred.evaluate(r.set(a), s.set(b), weights) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_similar_pairs() {
+        let c: SetCollection = vec![vec![1, 2, 3, 4], vec![1, 2, 3, 4, 5], vec![9, 10, 11]]
+            .into_iter()
+            .collect();
+        let pairs = NaiveJoin::self_join(&c, Predicate::Jaccard { gamma: 0.8 }, None);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn size_bound_skip_does_not_lose_pairs() {
+        // Identical results with a predicate that has no size bounds.
+        let c: SetCollection = vec![vec![1, 2, 3], vec![1, 2, 3, 4], vec![1, 2]]
+            .into_iter()
+            .collect();
+        let pred = Predicate::Jaccard { gamma: 0.5 };
+        let with_bounds = NaiveJoin::self_join(&c, pred, None);
+        let mut check = Vec::new();
+        for a in 0..c.len() as u32 {
+            for b in a + 1..c.len() as u32 {
+                if pred.evaluate(c.set(a), c.set(b), None) {
+                    check.push((a, b));
+                }
+            }
+        }
+        assert_eq!(with_bounds, check);
+    }
+
+    #[test]
+    fn binary_join() {
+        let r: SetCollection = vec![vec![1, 2, 3]].into_iter().collect();
+        let s: SetCollection = vec![vec![1, 2, 3], vec![4, 5]].into_iter().collect();
+        let pairs = NaiveJoin::join(&r, &s, Predicate::Jaccard { gamma: 0.9 }, None);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn weighted_predicate() {
+        let mut w = WeightMap::new(1.0);
+        w.set(1, 10.0);
+        let c: SetCollection = vec![vec![1, 2], vec![1, 3], vec![2, 3]]
+            .into_iter()
+            .collect();
+        let pairs = NaiveJoin::self_join(&c, Predicate::WeightedOverlap { t: 5.0 }, Some(&w));
+        assert_eq!(pairs, vec![(0, 1)]); // only the pair sharing element 1
+    }
+}

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for individual components: the similarity
+//! index (insert/query throughput), WtEnum signature generation, the AMS F2
+//! sketch, and probe-count vs the signature-framework identity join.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssj_baselines::ProbeCount;
+use ssj_bench::datasets::address_tokens_with_idf;
+use ssj_core::index::JaccardIndex;
+use ssj_core::predicate::Predicate;
+use ssj_core::signature::SignatureScheme;
+use ssj_core::sketch::F2Sketch;
+use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
+use std::sync::Arc;
+
+fn bench_components(c: &mut Criterion) {
+    let (collection, weights) = address_tokens_with_idf(3_000);
+
+    // Similarity index: build + query.
+    {
+        let mut group = c.benchmark_group("index_3k");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(collection.len() as u64));
+        group.bench_function("build", |b| {
+            b.iter(|| {
+                let mut idx = JaccardIndex::new(0.8, 32, 7).expect("valid gamma");
+                for (_, s) in collection.iter() {
+                    idx.insert(s.to_vec());
+                }
+                idx.len()
+            })
+        });
+        let mut idx = JaccardIndex::new(0.8, 32, 7).expect("valid gamma");
+        for (_, s) in collection.iter() {
+            idx.insert(s.to_vec());
+        }
+        group.bench_function("query_all", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (_, s) in collection.iter() {
+                    hits += idx.query(s).len();
+                }
+                hits
+            })
+        });
+        group.finish();
+    }
+
+    // WtEnum signature generation under IDF weights.
+    {
+        let mut group = c.benchmark_group("wtenum_signatures_3k");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(collection.len() as u64));
+        let max_w = collection
+            .iter()
+            .map(|(_, s)| weights.set_weight(s))
+            .fold(0.0f64, f64::max);
+        let scheme = WtEnumJaccard::new(
+            0.85,
+            max_w,
+            WtEnum::recommended_th(collection.len()),
+            Arc::clone(&weights),
+        );
+        group.bench_function("wtenum_jaccard", |b| {
+            b.iter(|| {
+                let mut buf = Vec::new();
+                let mut total = 0usize;
+                for (_, s) in collection.iter() {
+                    buf.clear();
+                    scheme.signatures_into(s, &mut buf);
+                    total += buf.len();
+                }
+                total
+            })
+        });
+        group.finish();
+    }
+
+    // AMS sketch update throughput.
+    {
+        let mut group = c.benchmark_group("f2_sketch");
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_function("update_100k", |b| {
+            b.iter(|| {
+                let mut sketch = F2Sketch::new(5, 64, 3);
+                for x in 0..100_000u64 {
+                    sketch.update(x % 5_000);
+                }
+                sketch.estimate()
+            })
+        });
+        group.finish();
+    }
+
+    // Probe-count on a jaccard workload.
+    {
+        let mut group = c.benchmark_group("probe_count_3k");
+        group.sample_size(10);
+        group.bench_function("jaccard_0.8", |b| {
+            b.iter(|| {
+                ProbeCount::self_join(&collection, Predicate::Jaccard { gamma: 0.8 }, None)
+                    .pairs
+                    .len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

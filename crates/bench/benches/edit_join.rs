@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark for the Figure 18 family: edit-distance string
+//! joins, PEN(n=1) vs PF(n=4), k ∈ {1, 2}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_bench::datasets::address_strings;
+use ssj_text::{edit_distance_self_join, EditJoinConfig};
+
+fn bench_edit(c: &mut Criterion) {
+    let strings = address_strings(2_000);
+    let mut group = c.benchmark_group("edit_join_2k");
+    group.sample_size(10);
+    for k in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("PEN_n1", k), &k, |b, &k| {
+            b.iter(|| {
+                edit_distance_self_join(&strings, EditJoinConfig::partenum(k))
+                    .pairs
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("PF_n4", k), &k, |b, &k| {
+            b.iter(|| {
+                edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, 4))
+                    .pairs
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark for the Figure 12 family: jaccard self-joins
+//! on address data, PEN vs LSH(0.95) vs PF, at a bench-friendly size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_bench::datasets::address_tokens;
+use ssj_bench::harness::{run_jaccard, JaccardAlgo};
+
+fn bench_jaccard(c: &mut Criterion) {
+    let collection = address_tokens(5_000);
+    let mut group = c.benchmark_group("jaccard_join_5k");
+    group.sample_size(10);
+    for gamma in [0.9, 0.8] {
+        for algo in [JaccardAlgo::Pen, JaccardAlgo::Lsh(0.95), JaccardAlgo::Pf] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("g{gamma}")),
+                &gamma,
+                |b, &gamma| b.iter(|| run_jaccard(&collection, gamma, algo, 1, 42).0.pairs.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jaccard);
+criterion_main!(benches);

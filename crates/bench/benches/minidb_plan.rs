@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark comparing the native pipeline against the
+//! paper's DBMS query plan (Figures 10–11) executed on the mini engine —
+//! quantifying the cost of the "DBMS + thin application shim" strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_bench::datasets::address_tokens;
+use ssj_core::join::{self_join, JoinOptions};
+use ssj_core::partenum::PartEnumJaccard;
+use ssj_core::predicate::Predicate;
+
+fn bench_plan(c: &mut Criterion) {
+    let collection = address_tokens(2_000);
+    let gamma = 0.85;
+    let scheme = PartEnumJaccard::new(gamma, collection.max_set_len(), 5).expect("valid gamma");
+    let mut group = c.benchmark_group("minidb_vs_native_2k");
+    group.sample_size(10);
+
+    group.bench_function("native_pipeline", |b| {
+        b.iter(|| {
+            self_join(
+                &scheme,
+                &collection,
+                Predicate::Jaccard { gamma },
+                None,
+                JoinOptions::default(),
+            )
+            .pairs
+            .len()
+        })
+    });
+
+    group.bench_function("minidb_plan_fig11", |b| {
+        b.iter(|| ssj_minidb::jaccard_plan(&collection, &scheme, gamma).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark for signature generation alone (steps 1–2 of
+//! Figure 2): per-scheme throughput, plus the Figure 15 trade-off endpoints
+//! (PartEnum at few vs many signatures per set).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssj_baselines::{LshJaccard, LshParams, PrefixFilter, PrefixFilterConfig};
+use ssj_bench::datasets::{equisize_hamming_threshold, uniform_sets};
+use ssj_core::partenum::{PartEnumHamming, PartEnumJaccard, PartEnumParams};
+use ssj_core::predicate::Predicate;
+use ssj_core::signature::SignatureScheme;
+
+fn count_all(scheme: &impl SignatureScheme, c: &ssj_core::set::SetCollection) -> u64 {
+    let mut buf = Vec::new();
+    let mut total = 0;
+    for (_, s) in c.iter() {
+        buf.clear();
+        scheme.signatures_into(s, &mut buf);
+        total += buf.len() as u64;
+    }
+    total
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let collection = uniform_sets(2_000, 0.9);
+    let gamma = 0.8;
+    let k = equisize_hamming_threshold(50, gamma);
+    let mut group = c.benchmark_group("signature_generation_2k");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(collection.len() as u64));
+
+    let pen_few =
+        PartEnumHamming::new(k, PartEnumParams { n1: k + 1, n2: 1 }, 1).expect("valid: k2 = 0");
+    group.bench_function("PEN_hamming_few_sigs", |b| {
+        b.iter(|| count_all(&pen_few, &collection))
+    });
+
+    let pen_many =
+        PartEnumHamming::new(k, PartEnumParams { n1: 4, n2: 4 }, 1).expect("valid for k=11");
+    group.bench_function("PEN_hamming_many_sigs", |b| {
+        b.iter(|| count_all(&pen_many, &collection))
+    });
+
+    let pen_jaccard =
+        PartEnumJaccard::new(gamma, collection.max_set_len(), 1).expect("valid gamma");
+    group.bench_function("PEN_jaccard", |b| {
+        b.iter(|| count_all(&pen_jaccard, &collection))
+    });
+
+    let lsh = LshJaccard::new(LshParams { g: 3, l: 16 }, 1);
+    group.bench_function("LSH_g3_l16", |b| b.iter(|| count_all(&lsh, &collection)));
+
+    let pf = PrefixFilter::build(
+        Predicate::Jaccard { gamma },
+        &[&collection],
+        None,
+        PrefixFilterConfig::default(),
+    )
+    .expect("unweighted build succeeds");
+    group.bench_function("PF", |b| b.iter(|| count_all(&pf, &collection)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmark for the Figure 19 family: weighted jaccard
+//! (IDF) self-joins, WEN vs weighted LSH vs weighted PF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_baselines::{LshParams, LshWeightedJaccard, PrefixFilter, PrefixFilterConfig};
+use ssj_bench::datasets::address_tokens_with_idf;
+use ssj_core::join::{self_join, JoinOptions};
+use ssj_core::predicate::Predicate;
+use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
+use std::sync::Arc;
+
+fn bench_weighted(c: &mut Criterion) {
+    let (collection, weights) = address_tokens_with_idf(5_000);
+    let max_w: f64 = collection
+        .iter()
+        .map(|(_, s)| weights.set_weight(s))
+        .fold(0.0, f64::max);
+    let mut group = c.benchmark_group("weighted_join_5k");
+    group.sample_size(10);
+    for gamma in [0.9, 0.8] {
+        let pred = Predicate::WeightedJaccard { gamma };
+        let th = WtEnum::recommended_th(collection.len());
+
+        let wen = WtEnumJaccard::new(gamma, max_w, th, Arc::clone(&weights));
+        group.bench_with_input(BenchmarkId::new("WEN", gamma), &gamma, |b, _| {
+            b.iter(|| {
+                self_join(
+                    &wen,
+                    &collection,
+                    pred,
+                    Some(&weights),
+                    JoinOptions::default(),
+                )
+                .pairs
+                .len()
+            })
+        });
+
+        let l = LshParams::l_for_recall(3, gamma, 0.95);
+        let lsh = LshWeightedJaccard::new(LshParams { g: 3, l }, Arc::clone(&weights), 0.5, 7);
+        group.bench_with_input(BenchmarkId::new("LSH95", gamma), &gamma, |b, _| {
+            b.iter(|| {
+                self_join(
+                    &lsh,
+                    &collection,
+                    pred,
+                    Some(&weights),
+                    JoinOptions::default(),
+                )
+                .pairs
+                .len()
+            })
+        });
+
+        let pf = PrefixFilter::build(
+            pred,
+            &[&collection],
+            Some(Arc::clone(&weights)),
+            PrefixFilterConfig::default(),
+        )
+        .expect("weights provided");
+        group.bench_with_input(BenchmarkId::new("PF", gamma), &gamma, |b, _| {
+            b.iter(|| {
+                self_join(
+                    &pf,
+                    &collection,
+                    pred,
+                    Some(&weights),
+                    JoinOptions::default(),
+                )
+                .pairs
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates the EXPERIMENTS.md tables from recorded JSON
+//! (`target/experiments/*.json`, produced by `reproduce`).
+//!
+//! ```text
+//! report [experiment ...]     # default: all found on disk
+//! ```
+
+use ssj_bench::report::{f2_table, load_records, slope_table, timing_table};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() {
+        names = [
+            "fig12",
+            "fig14",
+            "fig15",
+            "tab1",
+            "fig18",
+            "fig19",
+            "dblp",
+            "streaming",
+            "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let mut printed = 0;
+    for name in &names {
+        match load_records(name) {
+            Ok(records) if !records.is_empty() => {
+                println!("## {name}\n");
+                println!("{}", timing_table(&records));
+                if name == "fig12" || name.starts_with("fig14") {
+                    println!("F2:\n\n{}", f2_table(&records));
+                }
+                if name.starts_with("fig14") {
+                    let scaling: Vec<_> = records
+                        .iter()
+                        .filter(|r| r.experiment == "fig14")
+                        .cloned()
+                        .collect();
+                    if !scaling.is_empty() {
+                        println!("Scaling slopes:\n\n{}", slope_table(&scaling));
+                    }
+                }
+                printed += 1;
+            }
+            Ok(_) => eprintln!("[{name}] no records"),
+            Err(e) => eprintln!("[{name}] {e} (run `reproduce` first)"),
+        }
+    }
+    if printed == 0 {
+        eprintln!("nothing to report");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

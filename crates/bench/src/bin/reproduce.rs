@@ -1,0 +1,143 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! reproduce [--scale quick|default|full] [--threads N] [--exp LIST] [--list]
+//! ```
+//!
+//! `LIST` is comma-separated experiment ids (default: all):
+//! `fig12 fig13 fig14 fig15 tab1 fig18 fig19 dblp streaming binary ablation`
+//! (fig12/fig13 share one run, as do fig14's three panels).
+
+use ssj_bench::experiments;
+use ssj_bench::harness::{write_json, RunRecord, Scale};
+use std::process::ExitCode;
+
+const ALL: &[&str] = &[
+    "fig12",
+    "fig14",
+    "fig15",
+    "tab1",
+    "fig18",
+    "fig19",
+    "dblp",
+    "streaming",
+    "ablation",
+];
+
+fn normalize(exp: &str) -> Option<&'static str> {
+    match exp {
+        "fig12" | "fig13" => Some("fig12"),
+        "fig14" | "fig14a" | "fig14b" | "fig14c" => Some("fig14"),
+        "fig15" => Some("fig15"),
+        "tab1" | "table1" => Some("tab1"),
+        "fig18" => Some("fig18"),
+        "fig19" => Some("fig19"),
+        "dblp" => Some("dblp"),
+        "streaming" => Some("streaming"),
+        "binary" => Some("binary"),
+        "ablation" => Some("ablation"),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Default;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut selected: Vec<&'static str> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| Scale::parse(s)) else {
+                    eprintln!("--scale needs quick|default|full");
+                    return ExitCode::FAILURE;
+                };
+                scale = s;
+            }
+            "--threads" => {
+                i += 1;
+                let Some(t) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                threads = t;
+            }
+            "--exp" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--exp needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                for e in list.split(',') {
+                    let Some(id) = normalize(e.trim()) else {
+                        eprintln!("unknown experiment {e:?}; known: {ALL:?}");
+                        return ExitCode::FAILURE;
+                    };
+                    if !selected.contains(&id) {
+                        selected.push(id);
+                    }
+                }
+            }
+            "--list" => {
+                println!("experiments: {}", ALL.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce [--scale quick|default|full] [--threads N] [--exp LIST] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = ALL.to_vec();
+    }
+
+    println!(
+        "Reproducing {} experiment group(s) at scale {scale:?} with {threads} thread(s).",
+        selected.len()
+    );
+    let started = std::time::Instant::now();
+    let mut all_records: Vec<RunRecord> = Vec::new();
+    for &exp in &selected {
+        let t = std::time::Instant::now();
+        let records = match exp {
+            "fig12" => experiments::fig12_13::run(scale, threads),
+            "fig14" => experiments::fig14::run(scale, threads),
+            "fig15" => experiments::fig15::run(scale, threads),
+            "tab1" => experiments::table1::run(scale, threads),
+            "fig18" => experiments::fig18::run(scale, threads),
+            "fig19" => experiments::fig19::run(scale, threads),
+            "dblp" => experiments::dblp::run(scale, threads),
+            "streaming" => experiments::streaming::run(scale, threads),
+            "binary" => experiments::binary::run(scale, threads),
+            "ablation" => experiments::ablation::run(scale, threads),
+            _ => unreachable!("normalized above"),
+        };
+        match write_json(exp, &records) {
+            Ok(path) => println!(
+                "[{exp}] {} records in {:.1}s → {}",
+                records.len(),
+                t.elapsed().as_secs_f64(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[{exp}] could not write records: {e}"),
+        }
+        all_records.extend(records);
+    }
+    println!(
+        "\nDone: {} records total in {:.1}s.",
+        all_records.len(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,219 @@
+//! Ablations for the design choices DESIGN.md calls out (not a paper
+//! figure; extends the evaluation):
+//!
+//! 1. **Size-based filtering** on/off for prefix filter — quantifies the
+//!    augmentation the paper applied before benchmarking PF ("the
+//!    performance of the original prefix filter ... was very poor").
+//! 2. **Parameter optimization** for PartEnum — default heuristic `(n1,n2)`
+//!    vs F2-optimized, the machinery behind Table 1.
+//! 3. **Parallelism** — the join driver's thread scaling (an engineering
+//!    detail the paper's framework argues is orthogonal; measuring it here
+//!    backs that claim).
+//! 4. **Weight replication vs WtEnum** — Section 7's first reduction
+//!    (replicate each element w(e) times, then PartEnum) against WtEnum,
+//!    quantifying the signature blow-up that motivates WtEnum.
+
+use crate::datasets::{address_tokens, address_tokens_with_idf};
+use crate::harness::{render_table, run_jaccard, JaccardAlgo, RunRecord, Scale};
+use ssj_baselines::{PrefixFilter, PrefixFilterConfig};
+use ssj_core::join::{self_join, JoinOptions};
+use ssj_core::partenum::PartEnumJaccard;
+use ssj_core::predicate::Predicate;
+use ssj_core::replicated::ReplicatedPartEnumJaccard;
+use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
+use std::sync::Arc;
+
+/// Runs all ablations at the medium size and prints one table per ablation.
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let n = scale.medium();
+    let gamma = 0.85;
+    let collection = address_tokens(n);
+    let pred = Predicate::Jaccard { gamma };
+    let mut records = Vec::new();
+
+    // 1. PF with and without size filtering.
+    for (label, size_filter) in [("PF+sizefilter", true), ("PF-plain", false)] {
+        let scheme = PrefixFilter::build(
+            pred,
+            &[&collection],
+            None,
+            PrefixFilterConfig { size_filter },
+        )
+        .expect("unweighted build succeeds");
+        let result = self_join(
+            &scheme,
+            &collection,
+            pred,
+            None,
+            JoinOptions {
+                threads,
+                verify: true,
+            },
+        );
+        records.push(RunRecord::from_result(
+            "ablation",
+            "address",
+            label,
+            n,
+            gamma,
+            &result,
+            "size-filter ablation".into(),
+        ));
+    }
+
+    // 2. PEN with default vs optimized parameters.
+    let default_scheme =
+        PartEnumJaccard::new(gamma, collection.max_set_len(), 0xab1).expect("valid threshold");
+    let result = self_join(
+        &default_scheme,
+        &collection,
+        pred,
+        None,
+        JoinOptions {
+            threads,
+            verify: true,
+        },
+    );
+    records.push(RunRecord::from_result(
+        "ablation",
+        "address",
+        "PEN-default",
+        n,
+        gamma,
+        &result,
+        "heuristic (n1,n2)".into(),
+    ));
+    let (optimized, notes) = run_jaccard(&collection, gamma, JaccardAlgo::Pen, threads, 0xab1);
+    records.push(RunRecord::from_result(
+        "ablation",
+        "address",
+        "PEN-optimized",
+        n,
+        gamma,
+        &optimized,
+        notes,
+    ));
+
+    // 3. Thread scaling for the optimized PEN configuration.
+    for t in [1usize, 2, 4] {
+        let (result, _) = run_jaccard(&collection, gamma, JaccardAlgo::Pen, t, 0xab1);
+        records.push(RunRecord::from_result(
+            "ablation",
+            "address",
+            &format!("PEN-{t}thread"),
+            n,
+            gamma,
+            &result,
+            "thread-scaling ablation".into(),
+        ));
+    }
+
+    // 4. WtEnum vs replicated PartEnum on quantized IDF weights (both exact
+    //    for the quantized map, so their outputs must agree).
+    {
+        let (wc, idf) = address_tokens_with_idf(n.min(20_000));
+        let quantum = 0.5;
+        let rep_probe = ReplicatedPartEnumJaccard::new(gamma, 8, quantum, Arc::clone(&idf), 0)
+            .expect("valid params");
+        // Quantized weights make both schemes exact for the same predicate.
+        let mut universe: Vec<u32> = Vec::new();
+        for (_, s) in wc.iter() {
+            universe.extend_from_slice(s);
+        }
+        universe.sort_unstable();
+        universe.dedup();
+        let qweights = Arc::new(rep_probe.quantized_weight_map(universe));
+        let pred = Predicate::WeightedJaccard { gamma };
+        let max_rep = wc
+            .iter()
+            .map(|(_, s)| rep_probe.replicated_size(s))
+            .max()
+            .unwrap_or(1) as usize;
+        let rep = ReplicatedPartEnumJaccard::new(gamma, max_rep, quantum, Arc::clone(&qweights), 7)
+            .expect("valid params");
+        let rep_result = self_join(
+            &rep,
+            &wc,
+            pred,
+            Some(&qweights),
+            JoinOptions {
+                threads,
+                verify: true,
+            },
+        );
+        records.push(RunRecord::from_result(
+            "ablation",
+            "address",
+            "PEN-replicated",
+            wc.len(),
+            gamma,
+            &rep_result,
+            format!("quantum={quantum}"),
+        ));
+
+        let max_w = wc
+            .iter()
+            .map(|(_, s)| qweights.set_weight(s))
+            .fold(0.0f64, f64::max);
+        let wen = WtEnumJaccard::new(
+            gamma,
+            max_w.max(1.0),
+            WtEnum::recommended_th(wc.len()),
+            Arc::clone(&qweights),
+        );
+        let wen_result = self_join(
+            &wen,
+            &wc,
+            pred,
+            Some(&qweights),
+            JoinOptions {
+                threads,
+                verify: true,
+            },
+        );
+        assert_eq!(
+            rep_result.pairs.len(),
+            wen_result.pairs.len(),
+            "both schemes are exact for the quantized weights"
+        );
+        records.push(RunRecord::from_result(
+            "ablation",
+            "address",
+            "WEN-quantized",
+            wc.len(),
+            gamma,
+            &wen_result,
+            "same quantized weights".into(),
+        ));
+    }
+
+    println!("\n== Ablations (γ = {gamma}, {n} address records) ==");
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                format!("{:.3}", r.total_secs),
+                r.signatures.to_string(),
+                r.candidates.to_string(),
+                r.output_pairs.to_string(),
+                r.notes.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "variant",
+                "total_s",
+                "signatures",
+                "candidates",
+                "output",
+                "notes"
+            ],
+            &rows
+        )
+    );
+    records
+}

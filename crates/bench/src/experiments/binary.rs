@@ -1,0 +1,124 @@
+//! Binary-join extension (not a paper figure): the paper evaluates
+//! self-joins only, expecting "the relative performances to be similar for
+//! binary SSJoins as well" (Section 8). This experiment checks that claim:
+//! the address corpus is split into two halves joined R ⋈ S with each
+//! algorithm, and the relative ordering is compared against Figure 12's.
+
+use crate::datasets::address_tokens;
+use crate::harness::{render_table, JaccardAlgo, RunRecord, Scale};
+use ssj_baselines::{LshJaccard, PrefixFilter, PrefixFilterConfig};
+use ssj_core::join::{join, JoinOptions, JoinResult};
+use ssj_core::partenum::{optimize_jaccard, PartEnumJaccard};
+use ssj_core::predicate::Predicate;
+use ssj_core::set::SetCollection;
+
+fn split(collection: &SetCollection) -> (SetCollection, SetCollection) {
+    let mut r = SetCollection::new();
+    let mut s = SetCollection::new();
+    for (id, set) in collection.iter() {
+        if id % 2 == 0 {
+            r.push_sorted(set);
+        } else {
+            s.push_sorted(set);
+        }
+    }
+    (r, s)
+}
+
+fn run_binary(
+    r: &SetCollection,
+    s: &SetCollection,
+    gamma: f64,
+    algo: JaccardAlgo,
+    threads: usize,
+) -> (JoinResult, String) {
+    let pred = Predicate::Jaccard { gamma };
+    let opts = JoinOptions {
+        threads,
+        verify: true,
+    };
+    let max_len = r.max_set_len().max(s.max_set_len()).max(1);
+    match algo {
+        JaccardAlgo::Pen => {
+            // Optimize on the larger side; the scheme is shared by both.
+            let params = optimize_jaccard(gamma, r, 256, 1_000, 0xb1);
+            let scheme = PartEnumJaccard::with_params(gamma, max_len, 0xb1, &params)
+                .expect("optimizer yields valid parameters");
+            (
+                join(&scheme, r, s, pred, None, opts),
+                "shared scheme".into(),
+            )
+        }
+        JaccardAlgo::Lsh(recall) => {
+            let scheme = LshJaccard::optimized(gamma, recall, r, 1_000, 0xb1);
+            let p = scheme.params();
+            (
+                join(&scheme, r, s, pred, None, opts),
+                format!("g={} l={}", p.g, p.l),
+            )
+        }
+        JaccardAlgo::Pf => {
+            // Frequencies over R ∪ S, per the paper's definition.
+            let scheme = PrefixFilter::build(
+                pred,
+                &[r, s],
+                None,
+                PrefixFilterConfig { size_filter: true },
+            )
+            .expect("unweighted build succeeds");
+            (
+                join(&scheme, r, s, pred, None, opts),
+                "freqs over R∪S".into(),
+            )
+        }
+    }
+}
+
+/// Runs the binary-join grid at the medium size.
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let n = scale.medium();
+    let collection = address_tokens(n);
+    let (r, s) = split(&collection);
+    let mut records = Vec::new();
+    for &gamma in &[0.9, 0.8] {
+        let mut exact: Option<usize> = None;
+        for algo in [JaccardAlgo::Pen, JaccardAlgo::Lsh(0.95), JaccardAlgo::Pf] {
+            let (result, notes) = run_binary(&r, &s, gamma, algo, threads);
+            // Exactness cross-check between the exact algorithms.
+            if !result.approximate {
+                match exact {
+                    None => exact = Some(result.pairs.len()),
+                    Some(e) => assert_eq!(e, result.pairs.len(), "exact binary joins disagree"),
+                }
+            }
+            records.push(RunRecord::from_result(
+                "binary",
+                "address-split",
+                &algo.label(),
+                n,
+                gamma,
+                &result,
+                notes,
+            ));
+        }
+    }
+
+    println!("\n== Binary join (extension): R ⋈ S over split address data, {n} records ==");
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|rec| {
+            vec![
+                format!("{:.2}", rec.param),
+                rec.algo.clone(),
+                format!("{:.3}", rec.total_secs),
+                rec.candidates.to_string(),
+                rec.output_pairs.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["gamma", "algo", "total_s", "candidates", "output"], &rows)
+    );
+    records
+}

@@ -1,0 +1,90 @@
+//! Figures 12 & 13: jaccard SSJoin on address data.
+//!
+//! Grid: input sizes × thresholds {0.9, 0.85, 0.8} × algorithms
+//! {PEN, LSH(0.95), PF}. Figure 12 stacks the phase times
+//! (SigGen / CandPair / PostFilter); Figure 13 reports the F2 size of
+//! signatures for the same grid — both come out of the same runs here.
+//!
+//! Expected shape (paper): PEN ≥ LSH at γ ∈ {0.9, 0.85}, LSH slightly ahead
+//! at 0.8; PF falls behind both by a factor that grows with input size
+//! (quadratic scaling); F2 closely tracks total time.
+
+use crate::datasets::address_tokens;
+use crate::harness::{
+    estimate_collisions, recall_of, render_table, run_jaccard, timing_row, JaccardAlgo, RunRecord,
+    Scale, COLLISION_BUDGET, TIMING_HEADERS,
+};
+
+/// The threshold grid of Figures 12–13.
+pub const GAMMAS: [f64; 3] = [0.90, 0.85, 0.80];
+
+/// Runs the experiment, printing the Figure 12 table and returning records
+/// for both figures (`fig12` rows carry timings, `fig13` is derived from the
+/// same records' `f2` field).
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for &n in &scale.sizes() {
+        let collection = address_tokens(n);
+        for &gamma in &GAMMAS {
+            // Exact output from PEN to measure LSH's recall.
+            let mut exact: Option<Vec<(u32, u32)>> = None;
+            for algo in [JaccardAlgo::Pen, JaccardAlgo::Lsh(0.95), JaccardAlgo::Pf] {
+                let est = estimate_collisions(&collection, gamma, algo, 0xf12);
+                if est > COLLISION_BUDGET {
+                    println!(
+                        "  [skipped] {} at n={n} γ={gamma}: estimated {est:.1e} collisions exceeds the in-memory budget",
+                        algo.label()
+                    );
+                    continue;
+                }
+                let (result, notes) = run_jaccard(&collection, gamma, algo, threads, 0xf12);
+                let mut rec = RunRecord::from_result(
+                    "fig12",
+                    "address",
+                    &algo.label(),
+                    n,
+                    gamma,
+                    &result,
+                    notes,
+                );
+                if result.approximate {
+                    if let Some(exact) = &exact {
+                        rec.recall = Some(recall_of(&result.pairs, exact));
+                    }
+                } else if exact.is_none() {
+                    let mut pairs = result.pairs.clone();
+                    pairs.sort_unstable();
+                    exact = Some(pairs);
+                }
+                records.push(rec);
+            }
+        }
+    }
+
+    println!("\n== Figure 12: jaccard SSJoin total time, address data ==");
+    let rows: Vec<Vec<String>> = records.iter().map(timing_row).collect();
+    println!("{}", render_table(&TIMING_HEADERS, &rows));
+
+    println!("== Figure 13: F2 size of signatures (same grid) ==");
+    let f2_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.input_size.to_string(),
+                format!("{:.2}", r.param),
+                r.algo.clone(),
+                r.signatures.to_string(),
+                r.collisions.to_string(),
+                r.f2.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["size", "gamma", "algo", "signatures", "collisions", "F2"],
+            &f2_rows
+        )
+    );
+    records
+}

@@ -1,0 +1,152 @@
+//! Figure 14: scalability on the synthetic equi-size workload.
+//!
+//! (a)/(b): F2 vs input size (log-log) at γ = 0.9 / 0.8 for
+//! LSH(0.95), PEN, PF — the paper's headline scaling result: the F2-vs-size
+//! slope is ≈1 for PEN and LSH (near-linear) and ≈2 for PF (quadratic).
+//! (c): F2 vs threshold at the medium size for LSH(0.95), LSH(0.99), PEN.
+//!
+//! Because the sets are equi-sized, PartEnum needs no size-based filtering
+//! here (the whole collection lives in one interval) — the setting the paper
+//! chose to isolate scaling from partitioning effects.
+
+use crate::datasets::uniform_sets;
+use crate::harness::{
+    estimate_collisions, render_table, run_jaccard, JaccardAlgo, RunRecord, Scale, COLLISION_BUDGET,
+};
+
+/// Least-squares slope of `log(y)` against `log(x)` — the scaling exponent
+/// read off the paper's log-log plots.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1.0).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Runs parts (a) and (b): F2 vs input size at γ = 0.9 and 0.8.
+fn run_ab(scale: Scale, threads: usize, records: &mut Vec<RunRecord>) {
+    for &gamma in &[0.9, 0.8] {
+        for &n in &scale.sweep() {
+            let collection = uniform_sets(n, gamma);
+            for algo in [JaccardAlgo::Pen, JaccardAlgo::Lsh(0.95), JaccardAlgo::Pf] {
+                let est = estimate_collisions(&collection, gamma, algo, 0xf14);
+                if est > COLLISION_BUDGET {
+                    println!(
+                        "  [skipped] {} at n={n} γ={gamma}: estimated {est:.1e} collisions exceeds the in-memory budget (slope fits use the remaining points)",
+                        algo.label()
+                    );
+                    continue;
+                }
+                let (result, notes) = run_jaccard(&collection, gamma, algo, threads, 0xf14);
+                records.push(RunRecord::from_result(
+                    "fig14",
+                    "uniform",
+                    &algo.label(),
+                    n,
+                    gamma,
+                    &result,
+                    notes,
+                ));
+            }
+        }
+    }
+}
+
+/// Runs part (c): F2 vs threshold at the medium size.
+fn run_c(scale: Scale, threads: usize, records: &mut Vec<RunRecord>) {
+    let n = scale.medium();
+    for &gamma in &[0.95, 0.90, 0.85, 0.80] {
+        let collection = uniform_sets(n, gamma);
+        for algo in [
+            JaccardAlgo::Lsh(0.95),
+            JaccardAlgo::Lsh(0.99),
+            JaccardAlgo::Pen,
+        ] {
+            let (result, notes) = run_jaccard(&collection, gamma, algo, threads, 0xf14c);
+            let mut rec = RunRecord::from_result(
+                "fig14c",
+                "uniform",
+                &algo.label(),
+                n,
+                gamma,
+                &result,
+                notes,
+            );
+            rec.experiment = "fig14c".to_string();
+            records.push(rec);
+        }
+    }
+}
+
+/// Runs the experiment and prints F2 tables plus fitted slopes.
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    run_ab(scale, threads, &mut records);
+    run_c(scale, threads, &mut records);
+
+    for &gamma in &[0.9, 0.8] {
+        println!(
+            "\n== Figure 14{}: F2 vs input size, γ = {gamma} (log-log) ==",
+            if gamma == 0.9 { "(a)" } else { "(b)" }
+        );
+        let mut rows = Vec::new();
+        for algo in ["PEN", "LSH(0.95)", "PF"] {
+            let pts: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|r| r.experiment == "fig14" && r.param == gamma && r.algo == algo)
+                .map(|r| (r.input_size as f64, r.f2 as f64))
+                .collect();
+            let slope = loglog_slope(&pts);
+            for (x, y) in &pts {
+                rows.push(vec![
+                    algo.to_string(),
+                    format!("{x:.0}"),
+                    format!("{y:.0}"),
+                    format!("{slope:.2}"),
+                ]);
+            }
+        }
+        println!("{}", render_table(&["algo", "size", "F2", "slope"], &rows));
+    }
+
+    println!(
+        "== Figure 14(c): F2 vs similarity threshold, {} sets ==",
+        scale.medium()
+    );
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .filter(|r| r.experiment == "fig14c")
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.param),
+                r.algo.clone(),
+                r.f2.to_string(),
+                r.notes.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["gamma", "algo", "F2", "params"], &rows)
+    );
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_perfect_power_laws() {
+        let linear: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);
+        let quad: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 2.0 * (i * i) as f64)).collect();
+        assert!((loglog_slope(&quad) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 15: the trade-off between number of signatures and filtering
+//! effectiveness.
+//!
+//! On the synthetic workload (γ = 0.8 → equi-size hamming threshold k = 11
+//! for 50-element sets), sweep PartEnum's `(n1, n2)` from few-signatures /
+//! weak-filtering (large n1) to many-signatures / strong-filtering
+//! (small n1), reporting for each setting the total number of signatures
+//! and the number of signature collisions (`F2 − #signatures`, exactly the
+//! quantity the paper plots).
+
+use crate::datasets::{equisize_hamming_threshold, uniform_sets};
+use crate::harness::{render_table, RunRecord, Scale};
+use ssj_core::join::{self_join, JoinOptions};
+use ssj_core::partenum::{PartEnumHamming, PartEnumParams};
+use ssj_core::predicate::Predicate;
+
+/// Runs the sweep and prints the Figure 15 table.
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let gamma = 0.8;
+    let n = scale.medium();
+    let collection = uniform_sets(n, gamma);
+    let k = equisize_hamming_threshold(50, gamma);
+    let pred = Predicate::Hamming { k };
+
+    // Candidate (n1, n2) settings, from fewest signatures to most — the
+    // paper's x-axis runs (11,1), (10,3), ..., (2,7).
+    let mut candidates = PartEnumParams::candidates(k, 256);
+    candidates.sort_by_key(|p| p.signatures_per_vector(k));
+    // Thin out near-duplicate signature counts to keep the table readable.
+    let mut sweep: Vec<PartEnumParams> = Vec::new();
+    let mut last = 0usize;
+    for p in candidates {
+        let s = p.signatures_per_vector(k);
+        if s > last {
+            sweep.push(p);
+            last = s;
+        }
+    }
+    sweep.truncate(10);
+
+    let mut records = Vec::new();
+    for params in sweep {
+        let scheme = PartEnumHamming::new(k, params, 0xf15).expect("candidates are valid");
+        let result = self_join(
+            &scheme,
+            &collection,
+            pred,
+            None,
+            JoinOptions {
+                threads,
+                verify: true,
+            },
+        );
+        let mut rec = RunRecord::from_result(
+            "fig15",
+            "uniform",
+            "PEN",
+            n,
+            gamma,
+            &result,
+            format!("(n1,n2)=({},{})", params.n1, params.n2),
+        );
+        rec.experiment = "fig15".into();
+        records.push(rec);
+    }
+
+    println!("\n== Figure 15: #signatures vs collisions, k = {k}, {n} sets ==");
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.notes.clone(),
+                r.signatures.to_string(),
+                r.collisions.to_string(),
+                r.candidates.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["params", "NumSign", "F2 - NumSign", "candidates"], &rows)
+    );
+    records
+}

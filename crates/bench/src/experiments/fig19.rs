@@ -1,0 +1,117 @@
+//! Figure 19: weighted jaccard SSJoins (IDF weights) on address data.
+//!
+//! Grid: input sizes × thresholds {0.9, 0.85, 0.8} × algorithms
+//! {WEN, LSH(0.95), PF}. Expected shape (paper): WtEnum significantly beats
+//! LSH here — it exploits the IDF frequency information LSH ignores — and
+//! does not degrade steeply at lower thresholds the way PartEnum does;
+//! PF scales quadratically as in the unweighted case.
+
+use crate::datasets::address_tokens_with_idf;
+use crate::harness::{recall_of, render_table, timing_row, RunRecord, Scale, TIMING_HEADERS};
+use ssj_baselines::{LshWeightedJaccard, PrefixFilter, PrefixFilterConfig};
+use ssj_core::join::{self_join, JoinOptions, JoinResult};
+use ssj_core::predicate::Predicate;
+use ssj_core::set::{SetCollection, WeightMap};
+use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
+use std::sync::Arc;
+
+/// The threshold grid of Figure 19.
+pub const GAMMAS: [f64; 3] = [0.90, 0.85, 0.80];
+
+fn max_set_weight(c: &SetCollection, w: &WeightMap) -> f64 {
+    c.iter().map(|(_, s)| w.set_weight(s)).fold(0.0, f64::max)
+}
+
+fn run_algo(
+    algo: &str,
+    collection: &SetCollection,
+    weights: &Arc<WeightMap>,
+    gamma: f64,
+    threads: usize,
+) -> (JoinResult, String) {
+    let pred = Predicate::WeightedJaccard { gamma };
+    let opts = JoinOptions {
+        threads,
+        verify: true,
+    };
+    match algo {
+        "WEN" => {
+            let th = WtEnum::recommended_th(collection.len());
+            let scheme = WtEnumJaccard::new(
+                gamma,
+                max_set_weight(collection, weights),
+                th,
+                Arc::clone(weights),
+            );
+            let result = self_join(&scheme, collection, pred, Some(weights), opts);
+            (result, format!("TH={th:.2}"))
+        }
+        "LSH(0.95)" => {
+            // Quantum: keep per-element replicas modest on IDF weights.
+            let quantum = 0.5;
+            let scheme = LshWeightedJaccard::optimized(
+                gamma,
+                0.95,
+                collection,
+                Arc::clone(weights),
+                quantum,
+                500,
+                0xf19,
+            );
+            let p = scheme.params();
+            let result = self_join(&scheme, collection, pred, Some(weights), opts);
+            (result, format!("g={} l={} q={quantum}", p.g, p.l))
+        }
+        "PF" => {
+            let scheme = PrefixFilter::build(
+                pred,
+                &[collection],
+                Some(Arc::clone(weights)),
+                PrefixFilterConfig { size_filter: true },
+            )
+            .expect("weights provided");
+            let result = self_join(&scheme, collection, pred, Some(weights), opts);
+            (result, "weighted residual prefix".to_string())
+        }
+        other => unreachable!("unknown algo {other}"),
+    }
+}
+
+/// Runs the experiment and prints the Figure 19 table.
+pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for &n in &scale.sizes() {
+        let (collection, weights) = address_tokens_with_idf(n);
+        for &gamma in &GAMMAS {
+            let mut exact: Option<Vec<(u32, u32)>> = None;
+            for algo in ["WEN", "LSH(0.95)", "PF"] {
+                let (result, notes) = run_algo(algo, &collection, &weights, gamma, threads);
+                let mut rec =
+                    RunRecord::from_result("fig19", "address", algo, n, gamma, &result, notes);
+                if result.approximate {
+                    if let Some(exact) = &exact {
+                        rec.recall = Some(recall_of(&result.pairs, exact));
+                    }
+                } else if exact.is_none() {
+                    let mut pairs = result.pairs.clone();
+                    pairs.sort_unstable();
+                    exact = Some(pairs);
+                } else if let Some(exact) = &exact {
+                    // Exactness cross-check between WEN and PF.
+                    let mut pairs = result.pairs.clone();
+                    pairs.sort_unstable();
+                    assert_eq!(
+                        &pairs, exact,
+                        "exact algorithms disagree at n={n} γ={gamma}"
+                    );
+                }
+                records.push(rec);
+            }
+        }
+    }
+
+    println!("\n== Figure 19: weighted jaccard SSJoin time (IDF weights), address data ==");
+    let rows: Vec<Vec<String>> = records.iter().map(timing_row).collect();
+    println!("{}", render_table(&TIMING_HEADERS, &rows));
+    records
+}

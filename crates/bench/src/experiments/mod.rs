@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(scale, threads) -> Vec<RunRecord>` and prints its own table;
+//! the `reproduce` binary dispatches here and persists the records.
+
+pub mod ablation;
+pub mod binary;
+pub mod dblp;
+pub mod fig12_13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig18;
+pub mod fig19;
+pub mod streaming;
+pub mod table1;

@@ -1,0 +1,77 @@
+//! Table 1: optimal PartEnum parameters vs input size.
+//!
+//! On the synthetic workload at γ = 0.8 (equi-size hamming threshold
+//! k = 11), run the F2-estimation optimizer for each projected input size
+//! and report the chosen `(n1, n2)` and signatures per set. The paper's
+//! trend to reproduce: **larger inputs choose settings with more signatures
+//! per set** — that adaptivity is what buys near-linear scaling.
+
+use crate::datasets::{equisize_hamming_threshold, uniform_sets};
+use crate::harness::{render_table, RunRecord, Scale};
+use ssj_core::partenum::optimize_hamming;
+use ssj_core::set::ElementId;
+
+/// Runs the optimizer sweep and prints the Table 1 analogue.
+pub fn run(scale: Scale, _threads: usize) -> Vec<RunRecord> {
+    let gamma = 0.8;
+    let k = equisize_hamming_threshold(50, gamma);
+    // One fixed sample (the optimizer's view of the data distribution); the
+    // projected total size is what varies, as in Table 1.
+    let sample_collection = uniform_sets(2_000.min(scale.medium()), gamma);
+    let sample: Vec<&[ElementId]> = (0..sample_collection.len())
+        .map(|i| sample_collection.set(i as u32))
+        .collect();
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &scale.sweep() {
+        let params = optimize_hamming(k, &sample, n, 256, 0x7a1);
+        let sigs = params.signatures_per_vector(k);
+        rows.push(vec![
+            n.to_string(),
+            format!("({},{})", params.n1, params.n2),
+            sigs.to_string(),
+        ]);
+        records.push(RunRecord {
+            experiment: "tab1".into(),
+            dataset: "uniform".into(),
+            algo: "PEN".into(),
+            input_size: n,
+            param: gamma,
+            sig_gen_secs: 0.0,
+            cand_gen_secs: 0.0,
+            verify_secs: 0.0,
+            total_secs: 0.0,
+            f2: 0,
+            signatures: sigs as u64,
+            collisions: 0,
+            candidates: 0,
+            output_pairs: 0,
+            recall: None,
+            notes: format!("(n1,n2)=({},{})", params.n1, params.n2),
+        });
+    }
+
+    println!("\n== Table 1: optimal PartEnum parameters vs input size (γ = {gamma}, k = {k}) ==");
+    println!(
+        "{}",
+        render_table(&["input size", "optimal (n1,n2)", "signatures/set"], &rows)
+    );
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_more_signatures_for_bigger_inputs() {
+        let records = run(Scale::Quick, 1);
+        let first = records.first().expect("non-empty").signatures;
+        let last = records.last().expect("non-empty").signatures;
+        assert!(
+            last >= first,
+            "optimizer should not choose fewer signatures at larger scale"
+        );
+    }
+}

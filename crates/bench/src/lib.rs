@@ -1,0 +1,22 @@
+//! # ssj-bench — the reproduction harness
+//!
+//! Regenerates every table and figure in the paper's evaluation
+//! (Section 8): Figures 12–15, 18, 19 and Table 1, plus ablations. Run
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin reproduce -- --scale default
+//! ```
+//!
+//! to print all tables and write machine-readable records to
+//! `target/experiments/*.json`. Criterion micro-benchmarks (one per
+//! experiment family) live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{JaccardAlgo, RunRecord, Scale};

@@ -1,0 +1,168 @@
+//! Markdown report generation from recorded experiment JSON.
+//!
+//! `reproduce` writes machine-readable [`RunRecord`]s to
+//! `target/experiments/*.json`; this module turns them back into the
+//! markdown tables EXPERIMENTS.md quotes, so the document is regenerable
+//! from raw measurements (`cargo run -p ssj-bench --bin report`).
+
+use crate::harness::RunRecord;
+use std::fmt::Write as _;
+
+/// Renders a markdown table from header + rows.
+fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+fn fmt_recall(r: &RunRecord) -> String {
+    r.recall.map_or_else(|| "–".into(), |x| format!("{x:.3}"))
+}
+
+/// The Figure 12/19-style timing table (grouped by size then threshold).
+pub fn timing_table(records: &[RunRecord]) -> String {
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.input_size.to_string(),
+                format!("{:.2}", r.param),
+                r.algo.clone(),
+                format!("{:.2}", r.sig_gen_secs),
+                format!("{:.2}", r.cand_gen_secs),
+                format!("{:.2}", r.verify_secs),
+                format!("{:.2}", r.total_secs),
+                r.output_pairs.to_string(),
+                fmt_recall(r),
+            ]
+        })
+        .collect();
+    md_table(
+        &[
+            "size",
+            "γ/k",
+            "algo",
+            "siggen",
+            "candpair",
+            "postfilter",
+            "total",
+            "output",
+            "recall",
+        ],
+        &rows,
+    )
+}
+
+/// The Figure 13/14-style F2 table.
+pub fn f2_table(records: &[RunRecord]) -> String {
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.input_size.to_string(),
+                format!("{:.2}", r.param),
+                r.algo.clone(),
+                r.signatures.to_string(),
+                r.collisions.to_string(),
+                r.f2.to_string(),
+            ]
+        })
+        .collect();
+    md_table(
+        &["size", "γ", "algo", "signatures", "collisions", "F2"],
+        &rows,
+    )
+}
+
+/// Log-log scaling slopes per (algo, threshold) — the Figure 14 fit.
+pub fn slope_table(records: &[RunRecord]) -> String {
+    use crate::experiments::fig14::loglog_slope;
+    let mut keys: Vec<(String, f64)> = records.iter().map(|r| (r.algo.clone(), r.param)).collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).expect("finite params"));
+    keys.dedup();
+    let rows: Vec<Vec<String>> = keys
+        .into_iter()
+        .map(|(algo, param)| {
+            let pts: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|r| r.algo == algo && r.param == param)
+                .map(|r| (r.input_size as f64, r.f2 as f64))
+                .collect();
+            vec![
+                algo,
+                format!("{param:.2}"),
+                format!("{:.2}", loglog_slope(&pts)),
+            ]
+        })
+        .collect();
+    md_table(&["algo", "γ", "F2-vs-size slope"], &rows)
+}
+
+/// Loads records from `target/experiments/<name>.json`.
+pub fn load_records(name: &str) -> std::io::Result<Vec<RunRecord>> {
+    let path = std::path::Path::new("target")
+        .join("experiments")
+        .join(format!("{name}.json"));
+    let data = std::fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(algo: &str, size: usize, param: f64, f2: u64) -> RunRecord {
+        RunRecord {
+            experiment: "t".into(),
+            dataset: "d".into(),
+            algo: algo.into(),
+            input_size: size,
+            param,
+            sig_gen_secs: 0.1,
+            cand_gen_secs: 0.2,
+            verify_secs: 0.3,
+            total_secs: 0.6,
+            f2,
+            signatures: 10,
+            collisions: 5,
+            candidates: 4,
+            output_pairs: 2,
+            recall: Some(0.97),
+            notes: String::new(),
+        }
+    }
+
+    #[test]
+    fn timing_table_shape() {
+        let t = timing_table(&[record("PEN", 1000, 0.8, 100)]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("PEN"));
+        assert!(lines[2].contains("0.970"));
+    }
+
+    #[test]
+    fn f2_table_shape() {
+        let t = f2_table(&[record("PF", 500, 0.9, 42)]);
+        assert!(t.contains("| 42 |"));
+    }
+
+    #[test]
+    fn slopes_recover_exponents() {
+        // Quadratic series → slope 2.
+        let records: Vec<RunRecord> = [1_000usize, 10_000, 100_000]
+            .iter()
+            .map(|&n| record("PF", n, 0.8, (n as u64) * (n as u64) / 1_000))
+            .collect();
+        let t = slope_table(&records);
+        assert!(t.contains("2.00"), "table:\n{t}");
+    }
+}

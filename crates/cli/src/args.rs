@@ -1,0 +1,349 @@
+//! Command-line argument parsing (hand-rolled: the workspace carries no
+//! argument-parsing dependency).
+
+use std::fmt;
+
+/// Which algorithm drives the join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// PartEnum (exact; the default).
+    Pen,
+    /// Prefix filter (exact), with an optional gram size for edit joins.
+    Pf(Option<usize>),
+    /// Minhash LSH at the given recall target (approximate).
+    Lsh(f64),
+    /// WtEnum (exact; weighted joins only).
+    Wen,
+}
+
+/// How input lines become sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tokenizer {
+    /// Whitespace word tokens.
+    Words,
+    /// Character n-grams of the given size.
+    Qgrams(usize),
+}
+
+/// The join mode (subcommand).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Jaccard similarity ≥ threshold.
+    Jaccard {
+        /// Similarity threshold.
+        gamma: f64,
+    },
+    /// Hamming distance ≤ k.
+    Hamming {
+        /// Distance threshold.
+        k: usize,
+    },
+    /// Edit distance ≤ k over raw strings.
+    Edit {
+        /// Edit-distance threshold.
+        k: usize,
+    },
+    /// Weighted (IDF) jaccard ≥ threshold.
+    Weighted {
+        /// Similarity threshold.
+        gamma: f64,
+    },
+    /// Dice coefficient ≥ threshold.
+    Dice {
+        /// Similarity threshold.
+        gamma: f64,
+    },
+    /// Cosine similarity ≥ threshold.
+    Cosine {
+        /// Similarity threshold.
+        gamma: f64,
+    },
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Join mode.
+    pub mode: Mode,
+    /// Left input path.
+    pub input: String,
+    /// Right input path (binary join) — self-join when absent.
+    pub input2: Option<String>,
+    /// Algorithm.
+    pub algo: Algo,
+    /// Tokenizer (ignored by `edit`, which works on raw strings).
+    pub tokenizer: Tokenizer,
+    /// Worker threads.
+    pub threads: usize,
+    /// Output path (stdout when absent).
+    pub output: Option<String>,
+    /// Print join statistics to stderr.
+    pub stats: bool,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ssjoin — exact set-similarity joins (VLDB 2006 reproduction)
+
+USAGE:
+  ssjoin <jaccard|hamming|edit|weighted|dice|cosine> --input FILE [OPTIONS]
+
+MODES:
+  jaccard   --threshold G     pairs with jaccard similarity >= G
+  hamming   --k K             pairs with hamming distance <= K
+  edit      --k K             strings within edit distance K
+  weighted  --threshold G     pairs with IDF-weighted jaccard >= G
+  dice      --threshold G     pairs with dice coefficient >= G
+  cosine    --threshold G     pairs with cosine similarity >= G
+
+OPTIONS:
+  --input FILE        one record per line (required)
+  --input2 FILE       second input: binary join instead of self-join
+  --algo A            pen (default) | pf[:gram] | lsh[:recall] | wen
+  --tokenizer T       words (default) | qgrams:N
+  --threads N         worker threads (default 1)
+  --output FILE       write pairs here instead of stdout
+  --stats             print phase timings and counters to stderr
+";
+
+fn parse_algo(s: &str) -> Result<Algo, ParseError> {
+    if let Some(rest) = s.strip_prefix("lsh") {
+        let recall = match rest.strip_prefix(':') {
+            None if rest.is_empty() => 0.95,
+            Some(r) => r
+                .parse()
+                .map_err(|_| ParseError(format!("bad LSH recall {r:?}")))?,
+            _ => return Err(ParseError(format!("unknown algorithm {s:?}"))),
+        };
+        if !(0.0 < recall && recall < 1.0) {
+            return Err(ParseError("LSH recall must be in (0, 1)".into()));
+        }
+        return Ok(Algo::Lsh(recall));
+    }
+    if let Some(rest) = s.strip_prefix("pf") {
+        let gram = match rest.strip_prefix(':') {
+            None if rest.is_empty() => None,
+            Some(g) => Some(
+                g.parse()
+                    .map_err(|_| ParseError(format!("bad PF gram size {g:?}")))?,
+            ),
+            _ => return Err(ParseError(format!("unknown algorithm {s:?}"))),
+        };
+        return Ok(Algo::Pf(gram));
+    }
+    match s {
+        "pen" => Ok(Algo::Pen),
+        "wen" => Ok(Algo::Wen),
+        _ => Err(ParseError(format!("unknown algorithm {s:?}"))),
+    }
+}
+
+fn parse_tokenizer(s: &str) -> Result<Tokenizer, ParseError> {
+    if s == "words" {
+        return Ok(Tokenizer::Words);
+    }
+    if let Some(n) = s.strip_prefix("qgrams:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| ParseError(format!("bad qgram size {n:?}")))?;
+        if n == 0 {
+            return Err(ParseError("qgram size must be positive".into()));
+        }
+        return Ok(Tokenizer::Qgrams(n));
+    }
+    Err(ParseError(format!("unknown tokenizer {s:?}")))
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mode_name = args.first().ok_or_else(|| ParseError(USAGE.into()))?;
+    let mut threshold: Option<f64> = None;
+    let mut k: Option<usize> = None;
+    let mut input: Option<String> = None;
+    let mut input2: Option<String> = None;
+    let mut algo: Option<Algo> = None;
+    let mut tokenizer = Tokenizer::Words;
+    let mut threads = 1usize;
+    let mut output = None;
+    let mut stats = false;
+
+    let mut i = 1;
+    let next = |i: &mut usize| -> Result<&String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| ParseError(format!("{} needs a value", args[*i - 1])))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --threshold".into()))?,
+                )
+            }
+            "--k" => {
+                k = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --k".into()))?,
+                )
+            }
+            "--input" => input = Some(next(&mut i)?.clone()),
+            "--input2" => input2 = Some(next(&mut i)?.clone()),
+            "--algo" => algo = Some(parse_algo(next(&mut i)?)?),
+            "--tokenizer" => tokenizer = parse_tokenizer(next(&mut i)?)?,
+            "--threads" => {
+                threads = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --threads".into()))?
+            }
+            "--output" => output = Some(next(&mut i)?.clone()),
+            "--stats" => stats = true,
+            other => return Err(ParseError(format!("unknown option {other:?}\n\n{USAGE}"))),
+        }
+        i += 1;
+    }
+
+    let need_threshold = || {
+        threshold
+            .ok_or_else(|| ParseError("this mode requires --threshold".into()))
+            .and_then(|g| {
+                if 0.0 < g && g <= 1.0 {
+                    Ok(g)
+                } else {
+                    Err(ParseError("--threshold must be in (0, 1]".into()))
+                }
+            })
+    };
+    let need_k = || k.ok_or_else(|| ParseError("this mode requires --k".into()));
+    let mode = match mode_name.as_str() {
+        "jaccard" => Mode::Jaccard {
+            gamma: need_threshold()?,
+        },
+        "hamming" => Mode::Hamming { k: need_k()? },
+        "edit" => Mode::Edit { k: need_k()? },
+        "weighted" => Mode::Weighted {
+            gamma: need_threshold()?,
+        },
+        "dice" => Mode::Dice {
+            gamma: need_threshold()?,
+        },
+        "cosine" => Mode::Cosine {
+            gamma: need_threshold()?,
+        },
+        "--help" | "-h" | "help" => return Err(ParseError(USAGE.into())),
+        other => return Err(ParseError(format!("unknown mode {other:?}\n\n{USAGE}"))),
+    };
+    let input = input.ok_or_else(|| ParseError("--input is required".into()))?;
+    let algo = algo.unwrap_or(match mode {
+        Mode::Weighted { .. } => Algo::Wen,
+        _ => Algo::Pen,
+    });
+    // Mode/algo compatibility.
+    match (mode, algo) {
+        (Mode::Edit { .. }, Algo::Lsh(_)) => {
+            return Err(ParseError(
+                "LSH does not map naturally to edit distance (paper, Section 8.2)".into(),
+            ))
+        }
+        (Mode::Edit { .. }, Algo::Wen)
+        | (Mode::Jaccard { .. }, Algo::Wen)
+        | (Mode::Hamming { .. }, Algo::Wen) => {
+            return Err(ParseError("wen applies only to weighted joins".into()))
+        }
+        (Mode::Hamming { .. }, Algo::Lsh(_)) => {
+            return Err(ParseError(
+                "lsh supports jaccard and weighted modes only".into(),
+            ))
+        }
+        _ => {}
+    }
+    if input2.is_some() && matches!(mode, Mode::Edit { .. } | Mode::Weighted { .. }) {
+        return Err(ParseError(
+            "--input2 currently supports jaccard and hamming".into(),
+        ));
+    }
+    Ok(Cli {
+        mode,
+        input,
+        input2,
+        algo,
+        tokenizer,
+        threads: threads.max(1),
+        output,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_basic_jaccard() {
+        let cli = parse(&args("jaccard --input a.txt --threshold 0.8")).unwrap();
+        assert_eq!(cli.mode, Mode::Jaccard { gamma: 0.8 });
+        assert_eq!(cli.algo, Algo::Pen);
+        assert_eq!(cli.tokenizer, Tokenizer::Words);
+        assert_eq!(cli.threads, 1);
+    }
+
+    #[test]
+    fn parses_algo_variants() {
+        assert_eq!(parse_algo("pen").unwrap(), Algo::Pen);
+        assert_eq!(parse_algo("pf").unwrap(), Algo::Pf(None));
+        assert_eq!(parse_algo("pf:5").unwrap(), Algo::Pf(Some(5)));
+        assert_eq!(parse_algo("lsh").unwrap(), Algo::Lsh(0.95));
+        assert_eq!(parse_algo("lsh:0.99").unwrap(), Algo::Lsh(0.99));
+        assert!(parse_algo("bogus").is_err());
+        assert!(parse_algo("lsh:2").is_err());
+    }
+
+    #[test]
+    fn parses_tokenizers() {
+        assert_eq!(parse_tokenizer("words").unwrap(), Tokenizer::Words);
+        assert_eq!(parse_tokenizer("qgrams:3").unwrap(), Tokenizer::Qgrams(3));
+        assert!(parse_tokenizer("qgrams:0").is_err());
+        assert!(parse_tokenizer("chars").is_err());
+    }
+
+    #[test]
+    fn weighted_defaults_to_wen() {
+        let cli = parse(&args("weighted --input a.txt --threshold 0.8")).unwrap();
+        assert_eq!(cli.algo, Algo::Wen);
+    }
+
+    #[test]
+    fn rejects_incompatible_combinations() {
+        assert!(parse(&args("edit --input a --k 2 --algo lsh")).is_err());
+        assert!(parse(&args("jaccard --input a --threshold 0.8 --algo wen")).is_err());
+        assert!(parse(&args("hamming --input a --k 2 --algo lsh")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_values() {
+        assert!(parse(&args("jaccard --input a.txt")).is_err()); // no threshold
+        assert!(parse(&args("jaccard --threshold 0.8")).is_err()); // no input
+        assert!(parse(&args("jaccard --input a --threshold 1.5")).is_err());
+        assert!(parse(&args("edit --input a")).is_err()); // no k
+        assert!(parse(&args("frobnicate --input a")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

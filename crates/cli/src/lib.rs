@@ -1,0 +1,375 @@
+//! # ssj-cli — `ssjoin`, the command-line front end
+//!
+//! Line-oriented similarity joins over text files: each input line is one
+//! record; the output is one `idx1 <TAB> idx2` pair per line (0-based line
+//! numbers; `idx1` from `--input`, `idx2` from `--input2` for binary joins).
+//! Run `ssjoin --help` for the full surface.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+
+use args::{Algo, Cli, Mode, Tokenizer};
+use ssj_baselines::{LshJaccard, LshWeightedJaccard, PrefixFilter, PrefixFilterConfig};
+use ssj_core::join::{join, self_join, JoinOptions, JoinResult};
+use ssj_core::partenum::GeneralPartEnum;
+use ssj_core::predicate::Predicate;
+use ssj_core::set::{SetCollection, WeightMap};
+use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// Everything a run produces: the pairs and a stats summary line.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Matched `(left, right)` line-number pairs.
+    pub pairs: Vec<(u32, u32)>,
+    /// Human-readable stats (phase timings, counters).
+    pub stats_line: String,
+    /// Whether the answer is guaranteed complete.
+    pub exact: bool,
+}
+
+/// Reads one record per line.
+fn read_lines(path: &str) -> std::io::Result<Vec<String>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    reader.lines().collect()
+}
+
+fn tokenize(lines: &[String], tokenizer: Tokenizer) -> SetCollection {
+    match tokenizer {
+        Tokenizer::Words => lines
+            .iter()
+            .map(|l| ssj_text::token_set(l, 0x11e))
+            .collect(),
+        Tokenizer::Qgrams(n) => lines.iter().map(|l| ssj_text::qgram_set(l, n)).collect(),
+    }
+}
+
+/// Loads a set input: binary `ssj-io` collections (sniffed by magic) load
+/// directly; anything else is read as text lines and tokenized.
+fn load_sets(path: &str, tokenizer: Tokenizer) -> Result<SetCollection, String> {
+    let head = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if head.starts_with(b"SSJC") {
+        return ssj_io::collection_from_bytes(&head).map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(head)
+        .map_err(|_| format!("{path}: not UTF-8 text (and not an SSJC binary collection)"))?;
+    let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+    Ok(tokenize(&lines, tokenizer))
+}
+
+fn stats_line(result: &JoinResult) -> String {
+    let s = &result.stats;
+    format!(
+        "signatures={} collisions={} candidates={} output={} false_positives={} \
+         siggen={:.3}s candpair={:.3}s postfilter={:.3}s total={:.3}s",
+        s.total_signatures(),
+        s.signature_collisions,
+        s.candidate_pairs,
+        s.output_pairs,
+        s.false_positives,
+        s.sig_gen_secs,
+        s.cand_gen_secs,
+        s.verify_secs,
+        s.total_secs()
+    )
+}
+
+fn build_and_run(
+    cli: &Cli,
+    pred: Predicate,
+    left: &SetCollection,
+    right: Option<&SetCollection>,
+    weights: Option<Arc<WeightMap>>,
+) -> Result<JoinResult, String> {
+    let opts = JoinOptions {
+        threads: cli.threads,
+        verify: true,
+    };
+    let max_len = left
+        .max_set_len()
+        .max(right.map_or(0, |r| r.max_set_len()))
+        .max(1);
+    let collections: Vec<&SetCollection> = match right {
+        Some(r) => vec![left, r],
+        None => vec![left],
+    };
+    let seed = 0xc11;
+    let run = |scheme: &(dyn ssj_core::signature::SignatureScheme + Sync)| match right {
+        Some(r) => join(&scheme, left, r, pred, weights.as_deref(), opts),
+        None => self_join(&scheme, left, pred, weights.as_deref(), opts),
+    };
+    match cli.algo {
+        Algo::Pen => {
+            let scheme = GeneralPartEnum::new(pred, max_len, seed)
+                .map_err(|e| format!("PartEnum does not support this predicate: {e}"))?;
+            Ok(run(&scheme))
+        }
+        Algo::Pf(_) => {
+            let scheme = PrefixFilter::build(
+                pred,
+                &collections,
+                weights.clone(),
+                PrefixFilterConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(run(&scheme))
+        }
+        Algo::Lsh(recall) => match pred {
+            Predicate::Jaccard { gamma } => {
+                let scheme = LshJaccard::optimized(gamma, recall, left, 1_000, seed);
+                Ok(run(&scheme))
+            }
+            Predicate::WeightedJaccard { gamma } => {
+                let w = weights.clone().expect("weighted mode builds weights");
+                let scheme =
+                    LshWeightedJaccard::optimized(gamma, recall, left, w, 0.5, 1_000, seed);
+                Ok(run(&scheme))
+            }
+            _ => Err("lsh supports jaccard and weighted modes only".into()),
+        },
+        Algo::Wen => match pred {
+            Predicate::WeightedJaccard { gamma } => {
+                let w = weights.clone().expect("weighted mode builds weights");
+                let max_w = left
+                    .iter()
+                    .map(|(_, s)| w.set_weight(s))
+                    .fold(0.0f64, f64::max)
+                    .max(1.0);
+                let th = WtEnum::recommended_th(left.len());
+                let scheme = WtEnumJaccard::new(gamma, max_w, th, w);
+                Ok(run(&scheme))
+            }
+            _ => Err("wen applies only to weighted joins".into()),
+        },
+    }
+}
+
+/// Executes a parsed invocation against the filesystem.
+pub fn execute(cli: &Cli) -> Result<Outcome, String> {
+    let left_lines = read_lines(&cli.input).map_err(|e| format!("{}: {e}", cli.input))?;
+
+    // Edit mode bypasses tokenization: it works on the raw strings.
+    if let Mode::Edit { k } = cli.mode {
+        let mut cfg = match cli.algo {
+            Algo::Pen => ssj_text::EditJoinConfig::partenum(k),
+            Algo::Pf(gram) => ssj_text::EditJoinConfig::prefix_filter(k, gram.unwrap_or(4)),
+            _ => unreachable!("parser rejects other algos for edit mode"),
+        };
+        cfg.threads = cli.threads;
+        let result = ssj_text::edit_distance_self_join(&left_lines, cfg);
+        let s = &result.stats;
+        return Ok(Outcome {
+            pairs: result.pairs,
+            stats_line: format!(
+                "candidates={} output={} siggen={:.3}s candpair={:.3}s editverify={:.3}s",
+                s.candidate_pairs, s.output_pairs, s.sig_gen_secs, s.cand_gen_secs, s.verify_secs
+            ),
+            exact: true,
+        });
+    }
+
+    let left = load_sets(&cli.input, cli.tokenizer)?;
+    let right = match &cli.input2 {
+        Some(p) => Some(load_sets(p, cli.tokenizer)?),
+        None => None,
+    };
+
+    let (pred, weights) = match cli.mode {
+        Mode::Jaccard { gamma } => (Predicate::Jaccard { gamma }, None),
+        Mode::Hamming { k } => (Predicate::Hamming { k }, None),
+        Mode::Dice { gamma } => (Predicate::Dice { gamma }, None),
+        Mode::Cosine { gamma } => (Predicate::Cosine { gamma }, None),
+        Mode::Weighted { gamma } => {
+            let w = Arc::new(WeightMap::idf(&left));
+            (Predicate::WeightedJaccard { gamma }, Some(w))
+        }
+        Mode::Edit { .. } => unreachable!("handled above"),
+    };
+
+    let result = build_and_run(cli, pred, &left, right.as_ref(), weights)?;
+    Ok(Outcome {
+        stats_line: stats_line(&result),
+        exact: !result.approximate,
+        pairs: result.pairs,
+    })
+}
+
+/// Writes pairs to the configured destination.
+pub fn write_output(cli: &Cli, outcome: &Outcome) -> std::io::Result<()> {
+    let mut sink: Box<dyn Write> = match &cli.output {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout().lock())),
+    };
+    for &(a, b) in &outcome.pairs {
+        writeln!(sink, "{a}\t{b}")?;
+    }
+    sink.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use args::parse;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, lines: &[&str]) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("ssj_cli_{}_{name}", std::process::id()));
+        std::fs::write(&path, lines.join("\n")).expect("temp write");
+        path
+    }
+
+    fn argvec(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_end_to_end() {
+        let input = temp_file(
+            "jac.txt",
+            &[
+                "alpha beta gamma delta",
+                "alpha beta gamma delta epsilon",
+                "unrelated words here",
+            ],
+        );
+        let cli = parse(&argvec(&format!(
+            "jaccard --input {} --threshold 0.8",
+            input.display()
+        )))
+        .unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.pairs, vec![(0, 1)]);
+        assert!(out.exact);
+        assert!(out.stats_line.contains("output=1"));
+    }
+
+    #[test]
+    fn edit_end_to_end() {
+        let input = temp_file("edit.txt", &["148th ave ne", "147th ave ne", "main street"]);
+        let cli = parse(&argvec(&format!("edit --input {} --k 1", input.display()))).unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn weighted_end_to_end_all_algos() {
+        let input = temp_file(
+            "w.txt",
+            &[
+                "acme robotics seattle wa",
+                "acme robotics llc seattle wa",
+                "zenith optics seattle wa",
+                "other thing entirely different",
+            ],
+        );
+        for algo in ["wen", "pf", "lsh:0.99"] {
+            let cli = parse(&argvec(&format!(
+                "weighted --input {} --threshold 0.55 --algo {algo}",
+                input.display()
+            )))
+            .unwrap();
+            let out = execute(&cli).unwrap();
+            assert!(out.pairs.contains(&(0, 1)), "algo={algo}: {:?}", out.pairs);
+        }
+    }
+
+    #[test]
+    fn binary_join_and_output_file() {
+        let left = temp_file("l.txt", &["a b c d", "x y z"]);
+        let right = temp_file("r.txt", &["a b c d e", "q r s"]);
+        let out_path = std::env::temp_dir().join(format!("ssj_cli_out_{}", std::process::id()));
+        let cli = parse(&argvec(&format!(
+            "jaccard --input {} --input2 {} --threshold 0.8 --output {}",
+            left.display(),
+            right.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.pairs, vec![(0, 0)]);
+        write_output(&cli, &out).unwrap();
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert_eq!(written.trim(), "0\t0");
+    }
+
+    #[test]
+    fn qgram_tokenizer_mode() {
+        let input = temp_file("q.txt", &["washington", "woshington", "qqqqqqq"]);
+        // 3-gram sets at hamming distance 4 (Example 1).
+        let cli = parse(&argvec(&format!(
+            "hamming --input {} --k 4 --tokenizer qgrams:3",
+            input.display()
+        )))
+        .unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cli = parse(&argvec("jaccard --input /nonexistent/x --threshold 0.8")).unwrap();
+        let err = execute(&cli).unwrap_err();
+        assert!(err.contains("/nonexistent/x"));
+    }
+
+    #[test]
+    fn dice_and_cosine_modes() {
+        let input = temp_file("dc.txt", &["a b c d e", "a b c d e f", "x y z", "p q r s"]);
+        for mode in ["dice", "cosine"] {
+            for algo in ["pen", "pf"] {
+                let cli = parse(&argvec(&format!(
+                    "{mode} --input {} --threshold 0.85 --algo {algo}",
+                    input.display()
+                )))
+                .unwrap();
+                let out = execute(&cli).unwrap();
+                assert_eq!(out.pairs, vec![(0, 1)], "mode={mode} algo={algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_collection_input() {
+        // Write a binary collection and join it directly (no tokenizer).
+        let collection: ssj_core::set::SetCollection =
+            vec![vec![1u32, 2, 3, 4, 5], vec![1, 2, 3, 4, 5, 6], vec![9, 10]]
+                .into_iter()
+                .collect();
+        let path = std::env::temp_dir().join(format!("ssj_cli_bin_{}.ssjc", std::process::id()));
+        ssj_io::save_collection(&path, &collection).unwrap();
+        let cli = parse(&argvec(&format!(
+            "jaccard --input {} --threshold 0.8",
+            path.display()
+        )))
+        .unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pf_and_pen_agree_via_cli() {
+        let input = temp_file(
+            "agree.txt",
+            &[
+                "one two three four",
+                "one two three four five",
+                "one two six seven",
+                "eight nine ten",
+            ],
+        );
+        let mut results = Vec::new();
+        for algo in ["pen", "pf"] {
+            let cli = parse(&argvec(&format!(
+                "jaccard --input {} --threshold 0.6 --algo {algo}",
+                input.display()
+            )))
+            .unwrap();
+            results.push(execute(&cli).unwrap().pairs);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+}

@@ -1,0 +1,32 @@
+//! `ssjoin` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match ssj_cli::args::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match ssj_cli::execute(&cli) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.stats {
+        eprintln!("{}", outcome.stats_line);
+        if !outcome.exact {
+            eprintln!("note: LSH is approximate; the pair list may be incomplete");
+        }
+    }
+    if let Err(e) = ssj_cli::write_output(&cli, &outcome) {
+        eprintln!("error writing output: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

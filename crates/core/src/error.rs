@@ -1,0 +1,40 @@
+//! Error type for the crate.
+
+use std::fmt;
+
+/// Errors raised when constructing schemes or running joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsjError {
+    /// A scheme was constructed with parameters violating its constraints
+    /// (e.g. PartEnum's `n1 ≤ k+1`, `n1·n2 ≥ k+1` from Figure 3).
+    InvalidParams(String),
+    /// The predicate is outside the class a scheme supports (Section 6).
+    UnsupportedPredicate(String),
+}
+
+impl fmt::Display for SsjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsjError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            SsjError::UnsupportedPredicate(msg) => write!(f, "unsupported predicate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SsjError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SsjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SsjError::InvalidParams("n1 too big".into());
+        assert_eq!(e.to_string(), "invalid parameters: n1 too big");
+        let e = SsjError::UnsupportedPredicate("overlap".into());
+        assert!(e.to_string().contains("unsupported predicate"));
+    }
+}

@@ -1,0 +1,426 @@
+//! An incremental similarity index over a signature scheme.
+//!
+//! Section 9 observes that "general similarity joins are closely related to
+//! proximity search, where the goal is to retrieve, given a lookup object,
+//! the closest object from a given collection ... We have not yet explored
+//! if our signature schemes would be applicable to proximity search." This
+//! module explores exactly that: an inverted index from signatures to set
+//! ids supporting incremental inserts, deletions, and verified lookups —
+//! which also yields streaming deduplication (query-then-insert) for free.
+//!
+//! Exactness carries over directly: if the scheme guarantees that joining
+//! pairs share a signature, a query probes every bucket of its own
+//! signatures and therefore sees every indexed set it joins with.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::predicate::Predicate;
+use crate::set::{ElementId, SetCollection, SetId, WeightMap};
+use crate::signature::{Signature, SignatureScheme};
+use std::sync::Arc;
+
+/// An inverted signature index over an owned, growing collection.
+///
+/// The scheme's hidden parameters are fixed at construction (Section 3.1),
+/// so every insert and query uses the same signature function. The caller
+/// must construct the scheme to cover the sizes it will index — e.g.
+/// [`crate::partenum::PartEnumJaccard::new`] with a sufficient
+/// `max_set_size`; see [`JaccardIndex`] for a wrapper that manages this
+/// automatically.
+pub struct SimilarityIndex<S: SignatureScheme> {
+    scheme: S,
+    pred: Predicate,
+    weights: Option<Arc<WeightMap>>,
+    sets: SetCollection,
+    postings: FxHashMap<Signature, Vec<SetId>>,
+    deleted: FxHashSet<SetId>,
+    sig_buf: Vec<Signature>,
+}
+
+impl<S: SignatureScheme> SimilarityIndex<S> {
+    /// Creates an empty index. `weights` is required iff `pred` is weighted.
+    pub fn new(scheme: S, pred: Predicate, weights: Option<Arc<WeightMap>>) -> Self {
+        assert!(
+            !pred.is_weighted() || weights.is_some(),
+            "weighted predicate requires a WeightMap"
+        );
+        Self {
+            scheme,
+            pred,
+            weights,
+            sets: SetCollection::new(),
+            postings: FxHashMap::default(),
+            deleted: FxHashSet::default(),
+            sig_buf: Vec::new(),
+        }
+    }
+
+    /// Number of live (non-deleted) sets.
+    pub fn len(&self) -> usize {
+        self.sets.len() - self.deleted.len()
+    }
+
+    /// Whether the index holds no live sets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The indexed set for an id (including deleted ones).
+    pub fn set(&self, id: SetId) -> &[ElementId] {
+        self.sets.set(id)
+    }
+
+    /// Inserts a set (sorted and deduplicated internally); returns its id.
+    pub fn insert(&mut self, elems: Vec<ElementId>) -> SetId {
+        let id = self.sets.push(elems);
+        self.sig_buf.clear();
+        self.scheme
+            .signatures_into(self.sets.set(id), &mut self.sig_buf);
+        self.sig_buf.sort_unstable();
+        self.sig_buf.dedup();
+        for &sig in &self.sig_buf {
+            self.postings.entry(sig).or_default().push(id);
+        }
+        id
+    }
+
+    /// Marks a set deleted (it stops appearing in query results).
+    pub fn remove(&mut self, id: SetId) {
+        assert!((id as usize) < self.sets.len(), "unknown id {id}");
+        self.deleted.insert(id);
+    }
+
+    /// Ids of indexed sets sharing at least one signature with `query`
+    /// (unverified candidates), deduplicated and sorted.
+    pub fn query_candidates(&self, query: &[ElementId]) -> Vec<SetId> {
+        let mut sigs = Vec::new();
+        self.scheme.signatures_into(query, &mut sigs);
+        sigs.sort_unstable();
+        sigs.dedup();
+        let mut out: Vec<SetId> = Vec::new();
+        for sig in sigs {
+            if let Some(ids) = self.postings.get(&sig) {
+                out.extend(ids.iter().copied().filter(|id| !self.deleted.contains(id)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of indexed sets actually satisfying the predicate against `query`.
+    pub fn query(&self, query: &[ElementId]) -> Vec<SetId> {
+        let mut sorted: Vec<ElementId> = query.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.query_candidates(&sorted)
+            .into_iter()
+            .filter(|&id| {
+                self.pred
+                    .evaluate(&sorted, self.sets.set(id), self.weights.as_deref())
+            })
+            .collect()
+    }
+
+    /// Verified lookup, ranked: matches sorted by a caller-supplied score
+    /// (descending), truncated to `k`. Only sets satisfying the index
+    /// predicate participate — a threshold index cannot see below its
+    /// threshold (rank within the γ-neighborhood, per Section 9's
+    /// proximity-search framing).
+    pub fn query_top_k(
+        &self,
+        query: &[ElementId],
+        k: usize,
+        score: impl Fn(&[ElementId], &[ElementId]) -> f64,
+    ) -> Vec<(SetId, f64)> {
+        let mut sorted: Vec<ElementId> = query.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut scored: Vec<(SetId, f64)> = self
+            .query(&sorted)
+            .into_iter()
+            .map(|id| (id, score(&sorted, self.sets.set(id))))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Queries, then inserts — the streaming-deduplication primitive:
+    /// returns the ids of existing near-duplicates and the new set's id.
+    pub fn query_insert(&mut self, elems: Vec<ElementId>) -> (Vec<SetId>, SetId) {
+        let mut sorted = elems;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let matches = self.query(&sorted);
+        let id = self.insert(sorted);
+        (matches, id)
+    }
+}
+
+/// A jaccard similarity index that manages PartEnum's size coverage
+/// automatically: when an inserted set exceeds the covered size range, the
+/// scheme is rebuilt with doubled capacity and all live sets are re-signed
+/// (amortized O(1) rebuilds per insert, like vector growth).
+///
+/// ```
+/// use ssj_core::index::JaccardIndex;
+///
+/// let mut index = JaccardIndex::new(0.8, 32, 7).unwrap();
+/// let a = index.insert(vec![1, 2, 3, 4, 5]);
+/// index.insert(vec![10, 11, 12]);
+/// // Js({1..5}, {1..6}) = 5/6 ≥ 0.8 → found; nothing else matches.
+/// assert_eq!(index.query(&[1, 2, 3, 4, 5, 6]), vec![a]);
+/// ```
+pub struct JaccardIndex {
+    gamma: f64,
+    seed: u64,
+    max_size: usize,
+    inner: SimilarityIndex<crate::partenum::PartEnumJaccard>,
+}
+
+impl JaccardIndex {
+    /// Creates an index for `Js ≥ gamma`, initially covering sets of up to
+    /// `initial_max_size` elements.
+    pub fn new(gamma: f64, initial_max_size: usize, seed: u64) -> crate::error::Result<Self> {
+        let max_size = initial_max_size.max(16);
+        let scheme = crate::partenum::PartEnumJaccard::new(gamma, max_size, seed)?;
+        Ok(Self {
+            gamma,
+            seed,
+            max_size,
+            inner: SimilarityIndex::new(scheme, Predicate::Jaccard { gamma }, None),
+        })
+    }
+
+    /// Number of live sets.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the index holds no live sets.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn ensure_capacity(&mut self, size: usize) {
+        if size <= self.max_size {
+            return;
+        }
+        while self.max_size < size {
+            self.max_size *= 2;
+        }
+        let scheme = crate::partenum::PartEnumJaccard::new(self.gamma, self.max_size, self.seed)
+            .expect("gamma already validated");
+        // Rebuild: re-sign every live set under the wider scheme.
+        let mut rebuilt =
+            SimilarityIndex::new(scheme, Predicate::Jaccard { gamma: self.gamma }, None);
+        let old = std::mem::replace(
+            &mut self.inner,
+            SimilarityIndex::new(
+                crate::partenum::PartEnumJaccard::new(self.gamma, 16, self.seed)
+                    .expect("gamma already validated"),
+                Predicate::Jaccard { gamma: self.gamma },
+                None,
+            ),
+        );
+        for id in 0..old.sets.len() as SetId {
+            if !old.deleted.contains(&id) {
+                rebuilt.insert(old.sets.set(id).to_vec());
+            }
+        }
+        self.inner = rebuilt;
+    }
+
+    /// Inserts a set; returns its (current) id.
+    ///
+    /// Note: ids are invalidated by capacity rebuilds — treat them as valid
+    /// only until the next insert of a larger-than-covered set, or pre-size
+    /// the index generously.
+    pub fn insert(&mut self, elems: Vec<ElementId>) -> SetId {
+        let mut sorted = elems;
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.ensure_capacity(sorted.len());
+        self.inner.insert(sorted)
+    }
+
+    /// Verified lookup.
+    pub fn query(&self, query: &[ElementId]) -> Vec<SetId> {
+        if query.len() > self.max_size {
+            // The scheme cannot sign a query beyond its covered size range
+            // consistently; fall back to a size-bounded linear scan (rare —
+            // only until the first insert of comparable size grows coverage).
+            let mut sorted: Vec<ElementId> = query.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let pred = Predicate::Jaccard { gamma: self.gamma };
+            let (lo, hi) = pred.size_bounds(sorted.len()).unwrap_or((0, usize::MAX));
+            return (0..self.inner.sets.len() as SetId)
+                .filter(|id| !self.inner.deleted.contains(id))
+                .filter(|&id| {
+                    let len = self.inner.sets.set_len(id);
+                    len >= lo && len <= hi
+                })
+                .filter(|&id| pred.evaluate(&sorted, self.inner.sets.set(id), None))
+                .collect();
+        }
+        self.inner.query(query)
+    }
+
+    /// Streaming dedup: query then insert.
+    pub fn query_insert(&mut self, elems: Vec<ElementId>) -> (Vec<SetId>, SetId) {
+        let mut sorted = elems;
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.ensure_capacity(sorted.len());
+        self.inner.query_insert(sorted)
+    }
+
+    /// The indexed set for an id.
+    pub fn set(&self, id: SetId) -> &[ElementId] {
+        self.inner.set(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partenum::PartEnumJaccard;
+
+    fn index(gamma: f64) -> SimilarityIndex<PartEnumJaccard> {
+        let scheme = PartEnumJaccard::new(gamma, 64, 5).expect("valid gamma");
+        SimilarityIndex::new(scheme, Predicate::Jaccard { gamma }, None)
+    }
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let mut idx = index(0.8);
+        let a = idx.insert(vec![1, 2, 3, 4, 5]);
+        idx.insert(vec![10, 11, 12]);
+        let hits = idx.query(&[1, 2, 3, 4, 5, 6]); // Js = 5/6 ≥ 0.8
+        assert_eq!(hits, vec![a]);
+        assert!(idx.query(&[20, 21]).is_empty());
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn query_accepts_unsorted_input() {
+        let mut idx = index(0.9);
+        let a = idx.insert(vec![5, 4, 3, 2, 1, 1]);
+        assert_eq!(idx.query(&[5, 3, 1, 2, 4]), vec![a]);
+    }
+
+    #[test]
+    fn remove_hides_sets() {
+        let mut idx = index(0.8);
+        let a = idx.insert(vec![1, 2, 3, 4, 5]);
+        assert_eq!(idx.query(&[1, 2, 3, 4, 5]), vec![a]);
+        idx.remove(a);
+        assert!(idx.query(&[1, 2, 3, 4, 5]).is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn streaming_dedup_finds_prior_duplicates() {
+        let mut idx = index(0.8);
+        let stream: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4, 5],
+            vec![6, 7, 8],
+            vec![1, 2, 3, 4, 5, 9], // dup of #0
+            vec![6, 7, 8],          // dup of #1
+        ];
+        let mut dups = 0;
+        for s in stream {
+            let (matches, _) = idx.query_insert(s);
+            dups += usize::from(!matches.is_empty());
+        }
+        assert_eq!(dups, 2);
+    }
+
+    #[test]
+    fn index_matches_batch_join() {
+        use crate::join::{self_join, JoinOptions};
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2);
+        let sets: Vec<Vec<u32>> = (0..150)
+            .map(|i| {
+                let base = (i % 30) * 50;
+                let len = rng.gen_range(5..15);
+                (base..base + len).collect()
+            })
+            .collect();
+        let gamma = 0.8;
+        let collection: SetCollection = sets.iter().cloned().collect();
+        let scheme = PartEnumJaccard::new(gamma, 64, 5).expect("valid gamma");
+        let batch = self_join(
+            &scheme,
+            &collection,
+            Predicate::Jaccard { gamma },
+            None,
+            JoinOptions::default(),
+        );
+        // Incremental: query each set against all previously inserted ones.
+        let mut idx = index(gamma);
+        let mut incremental: Vec<(u32, u32)> = Vec::new();
+        for s in &sets {
+            let (matches, id) = idx.query_insert(s.clone());
+            for m in matches {
+                incremental.push((m.min(id), m.max(id)));
+            }
+        }
+        let mut a = batch.pairs;
+        a.sort_unstable();
+        incremental.sort_unstable();
+        assert_eq!(a, incremental);
+    }
+
+    #[test]
+    fn jaccard_index_grows_capacity() {
+        let mut idx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        idx.insert((0..10).collect());
+        // Insert something far beyond initial coverage → triggers rebuild.
+        idx.insert((0..500).collect());
+        assert_eq!(idx.len(), 2);
+        let hits = idx.query(&(0..499).collect::<Vec<_>>()); // Js = 499/500
+        assert_eq!(hits.len(), 1);
+        let small_hits = idx.query(&(0..10).collect::<Vec<_>>());
+        assert_eq!(small_hits.len(), 1);
+    }
+
+    #[test]
+    fn top_k_ranks_by_score() {
+        let mut idx = index(0.5);
+        let a = idx.insert((0..10).collect()); // Js 1.0 vs the query below
+        let b = idx.insert((0..9).chain([100]).collect()); // Js 9/11
+        let c = idx.insert((0..6).chain([200, 201, 202, 203]).collect()); // Js 6/14
+        let query: Vec<u32> = (0..10).collect();
+        let top = idx.query_top_k(&query, 2, crate::similarity::jaccard);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, a);
+        assert!((top[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(top[1].0, b);
+        // c is below the 0.5 threshold? Js = 6/14 ≈ 0.43 < 0.5: invisible.
+        let all = idx.query_top_k(&query, 10, crate::similarity::jaccard);
+        assert!(all.iter().all(|&(id, _)| id != c));
+    }
+
+    #[test]
+    fn empty_sets_in_index() {
+        let mut idx = index(0.8);
+        let e1 = idx.insert(vec![]);
+        idx.insert(vec![1]);
+        assert_eq!(idx.query(&[]), vec![e1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "WeightMap")]
+    fn weighted_predicate_requires_weights() {
+        let scheme = PartEnumJaccard::new(0.8, 16, 0).expect("valid gamma");
+        SimilarityIndex::new(scheme, Predicate::WeightedJaccard { gamma: 0.8 }, None);
+    }
+}

@@ -1,0 +1,562 @@
+//! The signature-based join driver (Figure 2).
+//!
+//! Every algorithm in this workspace — PartEnum, WtEnum, prefix filter, the
+//! identity scheme, LSH — plugs its [`SignatureScheme`] into this one driver,
+//! which executes the scheme-independent steps:
+//!
+//! 1–2. generate signatures for each input set,
+//! 3.   find all pairs whose signature sets overlap (a hash "join" on the
+//!      signature value), and
+//! 4.   post-filter candidates with the actual predicate.
+//!
+//! The driver is instrumented with the Section 3.2 measures (see
+//! [`crate::stats::JoinStats`]) and optionally parallelizes signature
+//! generation, candidate sharding, and verification across threads.
+
+use crate::hash::FxHashMap;
+use crate::predicate::Predicate;
+use crate::set::{SetCollection, SetId, WeightMap};
+use crate::signature::{Signature, SignatureScheme};
+use crate::stats::JoinStats;
+use std::time::Instant;
+
+/// Execution options for the join driver.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Worker threads. 1 runs fully sequentially.
+    pub threads: usize,
+    /// Run the post-filter (step 4). Disable to obtain raw candidate pairs —
+    /// e.g. for string joins, where verification uses edit distance on the
+    /// original strings instead of the SSJoin predicate (Section 8.2).
+    pub verify: bool,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            verify: true,
+        }
+    }
+}
+
+impl JoinOptions {
+    /// Sequential execution with verification.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel execution over `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            verify: true,
+        }
+    }
+}
+
+/// Output of a join: the matching pairs and the collected statistics.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// Matching `(r, s)` id pairs. For self-joins, `r < s`.
+    pub pairs: Vec<(SetId, SetId)>,
+    /// Instrumentation (Section 3.2 measures and phase timings).
+    pub stats: JoinStats,
+    /// Whether the scheme was approximate (LSH): `pairs` may then be
+    /// incomplete; exact schemes always yield the complete answer.
+    pub approximate: bool,
+}
+
+/// Flattened per-set signatures: `sigs[offsets[i]..offsets[i+1]]` belong to
+/// set `i`. Signatures are sorted and deduplicated per set, so bucket
+/// membership is unique per (signature, set).
+struct SignatureTable {
+    sigs: Vec<Signature>,
+    offsets: Vec<u64>,
+}
+
+impl SignatureTable {
+    fn total(&self) -> u64 {
+        self.sigs.len() as u64
+    }
+
+    fn of(&self, id: usize) -> &[Signature] {
+        &self.sigs[self.offsets[id] as usize..self.offsets[id + 1] as usize]
+    }
+}
+
+/// Generates signatures for every set, in parallel chunks.
+fn generate_signatures(
+    scheme: &(impl SignatureScheme + Sync),
+    collection: &SetCollection,
+    threads: usize,
+) -> SignatureTable {
+    let n = collection.len();
+    if threads <= 1 || n < 1024 {
+        let mut sigs = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut buf = Vec::new();
+        for (_, set) in collection.iter() {
+            buf.clear();
+            scheme.signatures_into(set, &mut buf);
+            buf.sort_unstable();
+            buf.dedup();
+            sigs.extend_from_slice(&buf);
+            offsets.push(sigs.len() as u64);
+        }
+        return SignatureTable { sigs, offsets };
+    }
+
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<(Vec<Signature>, Vec<u64>)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut sigs = Vec::new();
+                    // Per-set signature counts within this chunk.
+                    let mut counts = Vec::with_capacity(hi.saturating_sub(lo));
+                    let mut buf = Vec::new();
+                    for id in lo..hi {
+                        buf.clear();
+                        scheme.signatures_into(collection.set(id as SetId), &mut buf);
+                        buf.sort_unstable();
+                        buf.dedup();
+                        sigs.extend_from_slice(&buf);
+                        counts.push(buf.len() as u64);
+                    }
+                    (sigs, counts)
+                })
+            })
+            .collect();
+        parts = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    })
+    .expect("thread scope failed");
+
+    let mut sigs = Vec::with_capacity(parts.iter().map(|(s, _)| s.len()).sum());
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    for (part_sigs, counts) in parts {
+        for c in counts {
+            offsets.push(offsets.last().expect("non-empty") + c);
+        }
+        sigs.extend_from_slice(&part_sigs);
+    }
+    SignatureTable { sigs, offsets }
+}
+
+/// Self-join candidate generation: returns `(encoded pairs, collisions)`.
+/// Pairs are encoded `(min << 32) | max` and deduplicated.
+fn self_candidates(table: &SignatureTable, n: usize, threads: usize) -> (Vec<u64>, u64) {
+    fn bucket_pairs(map: FxHashMap<Signature, Vec<SetId>>) -> (Vec<u64>, u64) {
+        let mut pairs: Vec<u64> = Vec::new();
+        let mut collisions = 0u64;
+        // Amortized in-place dedup keeps peak memory near 2× the number of
+        // *distinct* candidates instead of the raw collision count (the two
+        // differ by the average signatures shared per pair).
+        let mut dedup_at = 1 << 20;
+        for (_, ids) in map {
+            let c = ids.len() as u64;
+            if c < 2 {
+                continue;
+            }
+            collisions += c * (c - 1) / 2;
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    let (a, b) = (ids[i], ids[j]);
+                    pairs.push(((a as u64) << 32) | b as u64);
+                }
+            }
+            if pairs.len() >= dedup_at {
+                pairs.sort_unstable();
+                pairs.dedup();
+                dedup_at = (pairs.len() * 2).max(1 << 20);
+            }
+        }
+        (pairs, collisions)
+    }
+
+    let (mut pairs, collisions) = if threads <= 1 {
+        let mut map: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
+        for id in 0..n {
+            for &sig in table.of(id) {
+                map.entry(sig).or_default().push(id as SetId);
+            }
+        }
+        bucket_pairs(map)
+    } else {
+        let shards = threads as u64;
+        let mut results: Vec<(Vec<u64>, u64)> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut map: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
+                        for id in 0..n {
+                            for &sig in table.of(id) {
+                                if sig % shards == shard {
+                                    map.entry(sig).or_default().push(id as SetId);
+                                }
+                            }
+                        }
+                        bucket_pairs(map)
+                    })
+                })
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+        })
+        .expect("thread scope failed");
+        let mut pairs = Vec::new();
+        let mut collisions = 0;
+        for (p, c) in results {
+            pairs.extend_from_slice(&p);
+            collisions += c;
+        }
+        (pairs, collisions)
+    };
+    pairs.sort_unstable();
+    pairs.dedup();
+    (pairs, collisions)
+}
+
+/// Binary-join candidate generation: index S, probe R.
+fn binary_candidates(
+    table_r: &SignatureTable,
+    table_s: &SignatureTable,
+    nr: usize,
+    ns: usize,
+) -> (Vec<u64>, u64) {
+    let mut index: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
+    for id in 0..ns {
+        for &sig in table_s.of(id) {
+            index.entry(sig).or_default().push(id as SetId);
+        }
+    }
+    let mut pairs: Vec<u64> = Vec::new();
+    let mut collisions = 0u64;
+    let mut dedup_at = 1 << 20;
+    for r in 0..nr {
+        for &sig in table_r.of(r) {
+            if let Some(ids) = index.get(&sig) {
+                collisions += ids.len() as u64;
+                for &s in ids {
+                    pairs.push(((r as u64) << 32) | s as u64);
+                }
+            }
+        }
+        if pairs.len() >= dedup_at {
+            pairs.sort_unstable();
+            pairs.dedup();
+            dedup_at = (pairs.len() * 2).max(1 << 20);
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    (pairs, collisions)
+}
+
+/// Post-filters encoded candidate pairs with the predicate.
+fn verify_pairs(
+    pairs: &[u64],
+    left: &SetCollection,
+    right: &SetCollection,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+    threads: usize,
+) -> Vec<(SetId, SetId)> {
+    let check = |encoded: u64| -> Option<(SetId, SetId)> {
+        let a = (encoded >> 32) as SetId;
+        let b = (encoded & 0xffff_ffff) as SetId;
+        pred.evaluate(left.set(a), right.set(b), weights)
+            .then_some((a, b))
+    };
+    if threads <= 1 || pairs.len() < 4096 {
+        return pairs.iter().filter_map(|&p| check(p)).collect();
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut out = Vec::new();
+    let check = &check;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| slice.iter().filter_map(|&p| check(p)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    out
+}
+
+/// Computes a self-SSJoin of `collection` under `pred` using `scheme`
+/// (Figure 2 with `R = S`). Returns all pairs `(a, b)`, `a < b`, satisfying
+/// the predicate — plus every candidate pair when `opts.verify` is off.
+pub fn self_join(
+    scheme: &(impl SignatureScheme + Sync),
+    collection: &SetCollection,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+    opts: JoinOptions,
+) -> JoinResult {
+    let mut stats = JoinStats {
+        num_sets_r: collection.len(),
+        num_sets_s: collection.len(),
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let table = generate_signatures(scheme, collection, opts.threads);
+    stats.signatures_r = table.total();
+    stats.sig_gen_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (encoded, collisions) = self_candidates(&table, collection.len(), opts.threads);
+    stats.signature_collisions = collisions;
+    stats.candidate_pairs = encoded.len() as u64;
+    stats.cand_gen_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let pairs = if opts.verify {
+        verify_pairs(
+            &encoded,
+            collection,
+            collection,
+            pred,
+            weights,
+            opts.threads,
+        )
+    } else {
+        encoded
+            .iter()
+            .map(|&p| ((p >> 32) as SetId, (p & 0xffff_ffff) as SetId))
+            .collect()
+    };
+    stats.output_pairs = pairs.len() as u64;
+    stats.false_positives = stats.candidate_pairs - stats.output_pairs;
+    stats.verify_secs = t2.elapsed().as_secs_f64();
+
+    JoinResult {
+        pairs,
+        stats,
+        approximate: scheme.is_approximate(),
+    }
+}
+
+/// Computes a binary SSJoin `R ⋈ S` under `pred` using one shared `scheme`
+/// (the same hidden parameters must generate both sides' signatures —
+/// Section 3.1).
+pub fn join(
+    scheme: &(impl SignatureScheme + Sync),
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+    opts: JoinOptions,
+) -> JoinResult {
+    let mut stats = JoinStats {
+        num_sets_r: r.len(),
+        num_sets_s: s.len(),
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let table_r = generate_signatures(scheme, r, opts.threads);
+    let table_s = generate_signatures(scheme, s, opts.threads);
+    stats.signatures_r = table_r.total();
+    stats.signatures_s = table_s.total();
+    stats.sig_gen_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (encoded, collisions) = binary_candidates(&table_r, &table_s, r.len(), s.len());
+    stats.signature_collisions = collisions;
+    stats.candidate_pairs = encoded.len() as u64;
+    stats.cand_gen_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let pairs = if opts.verify {
+        verify_pairs(&encoded, r, s, pred, weights, opts.threads)
+    } else {
+        encoded
+            .iter()
+            .map(|&p| ((p >> 32) as SetId, (p & 0xffff_ffff) as SetId))
+            .collect()
+    };
+    stats.output_pairs = pairs.len() as u64;
+    stats.false_positives = stats.candidate_pairs - stats.output_pairs;
+    stats.verify_secs = t2.elapsed().as_secs_f64();
+
+    JoinResult {
+        pairs,
+        stats,
+        approximate: scheme.is_approximate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partenum::PartEnumJaccard;
+    use crate::similarity::jaccard;
+    use rand::prelude::*;
+
+    /// Identity scheme for exercising the driver independently of PartEnum.
+    struct Identity;
+    impl SignatureScheme for Identity {
+        fn signatures_into(&self, set: &[u32], out: &mut Vec<u64>) {
+            out.extend(set.iter().map(|&e| e as u64));
+        }
+    }
+
+    fn naive_self(collection: &SetCollection, pred: Predicate) -> Vec<(SetId, SetId)> {
+        let mut out = Vec::new();
+        for a in 0..collection.len() as SetId {
+            for b in a + 1..collection.len() as SetId {
+                if pred.evaluate(collection.set(a), collection.set(b), None) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    fn small_random_collection(seed: u64, n: usize) -> SetCollection {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets = Vec::new();
+        for _ in 0..n {
+            let len = rng.gen_range(3..20);
+            let s: Vec<u32> = (0..len).map(|_| rng.gen_range(0..60u32)).collect();
+            sets.push(s);
+        }
+        // Plant some near-duplicates so the join has output.
+        for i in 0..n / 4 {
+            let mut dup: Vec<u32> = sets[i].clone();
+            dup.push(100 + i as u32);
+            sets.push(dup);
+        }
+        sets.into_iter().collect()
+    }
+
+    #[test]
+    fn identity_scheme_self_join_matches_naive() {
+        let collection = small_random_collection(1, 60);
+        let pred = Predicate::Jaccard { gamma: 0.6 };
+        let result = self_join(&Identity, &collection, pred, None, JoinOptions::default());
+        let mut expected = naive_self(&collection, pred);
+        expected.sort_unstable();
+        let mut got = result.pairs.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert_eq!(result.stats.output_pairs as usize, expected.len());
+        assert!(!result.approximate);
+    }
+
+    #[test]
+    fn partenum_self_join_matches_naive() {
+        let collection = small_random_collection(2, 60);
+        for gamma in [0.6, 0.8, 0.9] {
+            let pred = Predicate::Jaccard { gamma };
+            let scheme = PartEnumJaccard::new(gamma, collection.max_set_len(), 5).unwrap();
+            let result = self_join(&scheme, &collection, pred, None, JoinOptions::default());
+            let mut expected = naive_self(&collection, pred);
+            expected.sort_unstable();
+            let mut got = result.pairs.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let collection = small_random_collection(3, 2000);
+        let pred = Predicate::Jaccard { gamma: 0.7 };
+        let scheme = PartEnumJaccard::new(0.7, collection.max_set_len(), 9).unwrap();
+        let seq = self_join(&scheme, &collection, pred, None, JoinOptions::sequential());
+        let par = self_join(&scheme, &collection, pred, None, JoinOptions::parallel(4));
+        let mut a = seq.pairs.clone();
+        let mut b = par.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(seq.stats.signatures_r, par.stats.signatures_r);
+        assert_eq!(
+            seq.stats.signature_collisions,
+            par.stats.signature_collisions
+        );
+        assert_eq!(seq.stats.candidate_pairs, par.stats.candidate_pairs);
+    }
+
+    #[test]
+    fn binary_join_matches_naive() {
+        let r = small_random_collection(4, 40);
+        let s = small_random_collection(5, 40);
+        let pred = Predicate::Jaccard { gamma: 0.5 };
+        let max_len = r.max_set_len().max(s.max_set_len());
+        let scheme = PartEnumJaccard::new(0.5, max_len, 6).unwrap();
+        let result = join(&scheme, &r, &s, pred, None, JoinOptions::default());
+        let mut expected = Vec::new();
+        for a in 0..r.len() as SetId {
+            for b in 0..s.len() as SetId {
+                if pred.evaluate(r.set(a), s.set(b), None) {
+                    expected.push((a, b));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let mut got = result.pairs.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn verify_off_returns_candidates() {
+        let collection = small_random_collection(6, 30);
+        let pred = Predicate::Jaccard { gamma: 0.8 };
+        let scheme = PartEnumJaccard::new(0.8, collection.max_set_len(), 2).unwrap();
+        let opts = JoinOptions {
+            verify: false,
+            ..Default::default()
+        };
+        let result = self_join(&scheme, &collection, pred, None, opts);
+        assert_eq!(result.pairs.len() as u64, result.stats.candidate_pairs);
+        assert_eq!(result.stats.false_positives, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let collection = small_random_collection(7, 50);
+        let pred = Predicate::Jaccard { gamma: 0.7 };
+        let scheme = PartEnumJaccard::new(0.7, collection.max_set_len(), 3).unwrap();
+        let result = self_join(&scheme, &collection, pred, None, JoinOptions::default());
+        let s = &result.stats;
+        assert_eq!(s.output_pairs + s.false_positives, s.candidate_pairs);
+        // Collisions upper-bound distinct candidates.
+        assert!(s.signature_collisions >= s.candidate_pairs);
+        assert!(s.f2() >= 2 * s.signatures_r);
+        // Every reported output pair truly satisfies the predicate.
+        for &(a, b) in &result.pairs {
+            assert!(jaccard(collection.set(a), collection.set(b)) + 1e-9 >= 0.7);
+        }
+    }
+
+    #[test]
+    fn empty_collection_joins() {
+        let empty = SetCollection::new();
+        let pred = Predicate::Jaccard { gamma: 0.9 };
+        let scheme = PartEnumJaccard::new(0.9, 1, 0).unwrap();
+        let result = self_join(&scheme, &empty, pred, None, JoinOptions::default());
+        assert!(result.pairs.is_empty());
+        assert_eq!(result.stats.candidate_pairs, 0);
+    }
+}

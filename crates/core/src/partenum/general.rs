@@ -1,0 +1,287 @@
+//! PartEnum for the general predicate class of Section 6.
+//!
+//! Section 6's recipe: a predicate is PartEnum-evaluable if (1) every set
+//! size admits lower/upper bounds on joinable partner sizes, and (2) every
+//! joining pair of given sizes admits a hamming-distance bound. Condition 1
+//! drives the same interval decomposition as jaccard (Section 5); condition
+//! 2 supplies each interval's hamming threshold.
+//!
+//! Two structural cases arise:
+//!
+//! * predicates with a *global* hamming bound (`Hamming {k}`) need no size
+//!   decomposition at all — one PartEnum instance covers every size;
+//! * predicates with a *multiplicative* size bound (`Jaccard`,
+//!   `MaxFraction`: partner size ≤ `ℓ/γ`) get the Figure 6 interval
+//!   construction, with each instance's threshold taken from the worst
+//!   hamming bound over the pair sizes it can see.
+
+use super::hamming::PartEnumHamming;
+use super::intervals::SizeIntervals;
+use super::params::PartEnumParams;
+use crate::error::{Result, SsjError};
+use crate::hash::SigBuilder;
+use crate::predicate::Predicate;
+use crate::set::ElementId;
+use crate::signature::{Signature, SignatureScheme};
+
+#[derive(Debug, Clone)]
+enum Structure {
+    /// One instance covers all sizes (global hamming bound).
+    Single(PartEnumHamming),
+    /// Size-interval decomposition (multiplicative size bound).
+    Intervals {
+        intervals: SizeIntervals,
+        /// `instances[i]` is instance `i+1` (1-based).
+        instances: Vec<PartEnumHamming>,
+    },
+}
+
+/// PartEnum generalized to any [`Predicate`] satisfying Section 6's two
+/// conditions (currently `Jaccard`, `Hamming`, and `MaxFraction`).
+///
+/// For interval-structured predicates, construction *verifies* the routing
+/// invariant rather than assuming it: for every size `ℓ` up to
+/// `max_set_size`, the largest joinable partner size must fall within the
+/// next interval, so that the Figure 6 "emit instances i and i+1" routing is
+/// exhaustive. Predicates violating the conditions (e.g. plain `Overlap`,
+/// which has no size bound at all) are rejected with
+/// [`SsjError::UnsupportedPredicate`].
+///
+/// ```
+/// use ssj_core::partenum::GeneralPartEnum;
+/// use ssj_core::predicate::Predicate;
+///
+/// // Section 6's example predicate is supported...
+/// assert!(GeneralPartEnum::new(Predicate::MaxFraction { gamma: 0.9 }, 100, 0).is_ok());
+/// // ...plain intersection thresholds are not (no size/hamming bounds).
+/// assert!(GeneralPartEnum::new(Predicate::Overlap { t: 20 }, 100, 0).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneralPartEnum {
+    pred: Predicate,
+    structure: Structure,
+}
+
+impl GeneralPartEnum {
+    /// Builds the scheme, or rejects the predicate.
+    pub fn new(pred: Predicate, max_set_size: usize, seed: u64) -> Result<Self> {
+        Self::with_params(pred, max_set_size, seed, PartEnumParams::default_for)
+    }
+
+    /// Builds with a custom `k → (n1, n2)` parameter choice.
+    pub fn with_params(
+        pred: Predicate,
+        max_set_size: usize,
+        seed: u64,
+        params: impl Fn(usize) -> PartEnumParams,
+    ) -> Result<Self> {
+        if !pred.supports_partenum() {
+            return Err(SsjError::UnsupportedPredicate(format!(
+                "{pred:?} lacks size or hamming bounds (Section 6 conditions)"
+            )));
+        }
+        if let Predicate::Hamming { k } = pred {
+            let p = params(k);
+            p.validate(k)?;
+            let instance = PartEnumHamming::new(k, p, seed)?;
+            return Ok(Self {
+                pred,
+                structure: Structure::Single(instance),
+            });
+        }
+
+        // Multiplicative case. Effective size ratio: how much larger a
+        // partner may be, probed at a reference size (uniform for the
+        // supported predicates).
+        let probe = max_set_size.max(16);
+        let (_, hi) = pred.size_bounds(probe).expect("checked supports_partenum");
+        let ratio = (hi as f64 / probe as f64).max(1.0);
+        let gamma_eff = (1.0 / ratio).clamp(1e-6, 1.0);
+        let intervals = SizeIntervals::new(gamma_eff, max_set_size.max(1) + 1);
+
+        // Verify the i/i+1 routing is exhaustive for this predicate.
+        for len in 1..=max_set_size {
+            let i = intervals.interval_of(len);
+            if let Some((_, hi)) = pred.size_bounds(len) {
+                let hi = hi.min(max_set_size);
+                if hi >= 1 {
+                    let j = intervals.interval_of(hi);
+                    if j > i + 1 {
+                        return Err(SsjError::UnsupportedPredicate(format!(
+                            "partner size {hi} for size {len} escapes interval {i}+1 (lands in {j})"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Per-instance hamming threshold: the worst hamming bound over pair
+        // sizes the instance can see (both in [l_{i−1}, r_i]; the supported
+        // predicates' bounds are monotone, so corners suffice — we still take
+        // the max over three corners for safety).
+        let mut instances = Vec::with_capacity(intervals.count());
+        for i in 1..=intervals.count() {
+            let (l, r) = intervals.interval(i);
+            let lo = if i > 1 {
+                intervals.interval(i - 1).0
+            } else {
+                l
+            };
+            let k = [(lo, r), (r, r), (lo, lo)]
+                .iter()
+                .filter_map(|&(a, b)| pred.hamming_bound(a, b))
+                .max()
+                .ok_or_else(|| SsjError::UnsupportedPredicate("no hamming bound".into()))?;
+            let p = params(k);
+            p.validate(k)?;
+            instances.push(PartEnumHamming::with_tag(
+                k,
+                p,
+                seed.wrapping_add(i as u64).wrapping_mul(0x85eb_ca6b),
+                i as u64,
+            )?);
+        }
+        Ok(Self {
+            pred,
+            structure: Structure::Intervals {
+                intervals,
+                instances,
+            },
+        })
+    }
+
+    /// The predicate this scheme evaluates.
+    pub fn predicate(&self) -> Predicate {
+        self.pred
+    }
+}
+
+impl SignatureScheme for GeneralPartEnum {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        match &self.structure {
+            Structure::Single(instance) => instance.signatures_into(set, out),
+            Structure::Intervals {
+                intervals,
+                instances,
+            } => {
+                if set.is_empty() {
+                    // Under a multiplicative predicate an empty set joins
+                    // only other empty sets: a constant sentinel signature
+                    // (domain-separated from instance tags) is exact.
+                    let mut sig = SigBuilder::new(u64::MAX);
+                    sig.push(0);
+                    out.push(sig.finish());
+                    return;
+                }
+                let i = intervals.interval_of(set.len());
+                if let Some(pe) = instances.get(i - 1) {
+                    pe.signatures_into(set, out);
+                }
+                if let Some(pe) = instances.get(i) {
+                    pe.signatures_into(set, out);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PEN-GEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn share_sig(scheme: &GeneralPartEnum, a: &[u32], b: &[u32]) -> bool {
+        let sa = scheme.signatures(a);
+        let sb = scheme.signatures(b);
+        sa.iter().any(|s| sb.contains(s))
+    }
+
+    #[test]
+    fn rejects_unbounded_predicates() {
+        let err = GeneralPartEnum::new(Predicate::Overlap { t: 20 }, 100, 0);
+        assert!(matches!(err, Err(SsjError::UnsupportedPredicate(_))));
+        let err = GeneralPartEnum::new(Predicate::WeightedOverlap { t: 2.0 }, 100, 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn maxfraction_correctness_randomized() {
+        // Section 6's example predicate: |r∩s| ≥ γ·max(|r|,|s|).
+        let gamma = 0.9;
+        let pred = Predicate::MaxFraction { gamma };
+        let scheme = GeneralPartEnum::new(pred, 150, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..100 {
+            let m = rng.gen_range(30..100usize);
+            let shared: Vec<u32> = (0..m as u32).collect();
+            // extras on one side, keeping |r∩s| = m ≥ γ·max.
+            let max_extra = ((m as f64 / gamma) - m as f64).floor() as usize;
+            let ea = rng.gen_range(0..=max_extra);
+            let mut a = shared.clone();
+            a.extend((0..ea as u32).map(|x| 10_000 + x));
+            let b = shared.clone();
+            a.sort_unstable();
+            assert!(
+                pred.evaluate(&a, &b, None),
+                "trial {trial} construction broke"
+            );
+            assert!(share_sig(&scheme, &a, &b), "trial {trial}: missed pair");
+        }
+    }
+
+    #[test]
+    fn jaccard_via_general_matches_dedicated_behavior() {
+        let pred = Predicate::Jaccard { gamma: 0.85 };
+        let scheme = GeneralPartEnum::new(pred, 80, 5).unwrap();
+        let a: Vec<u32> = (0..40).collect();
+        let mut b: Vec<u32> = (0..38).collect();
+        b.extend([500, 501]); // Js = 38/42 ≈ 0.905 ≥ 0.85
+        assert!(pred.evaluate(&a, &b, None));
+        assert!(share_sig(&scheme, &a, &b));
+    }
+
+    #[test]
+    fn hamming_uses_single_instance_and_handles_empty_sets() {
+        let pred = Predicate::Hamming { k: 3 };
+        let scheme = GeneralPartEnum::new(pred, 60, 8).unwrap();
+        let a: Vec<u32> = (0..30).collect();
+        let mut b = a.clone();
+        b.retain(|&x| x != 7); // Hd = 1
+        assert!(share_sig(&scheme, &a, &b));
+        // Hd(∅, {1,2}) = 2 ≤ 3: the pair must share a signature — this is
+        // why the hamming predicate cannot use the interval sentinel.
+        assert!(share_sig(&scheme, &[], &[1, 2]));
+        assert!(share_sig(&scheme, &[], &[]));
+    }
+
+    #[test]
+    fn dissimilar_pairs_usually_filtered() {
+        let pred = Predicate::MaxFraction { gamma: 0.9 };
+        let scheme = GeneralPartEnum::new(pred, 100, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = 0;
+        for _ in 0..200 {
+            let mut a: Vec<u32> = (0..60).map(|_| rng.gen_range(0..100_000)).collect();
+            a.sort_unstable();
+            a.dedup();
+            let mut b: Vec<u32> = (0..60).map(|_| rng.gen_range(0..100_000)).collect();
+            b.sort_unstable();
+            b.dedup();
+            if share_sig(&scheme, &a, &b) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 20, "poor filtering: {hits}/200 far pairs collided");
+    }
+
+    #[test]
+    fn empty_sets_share_sentinel_under_jaccard() {
+        let scheme = GeneralPartEnum::new(Predicate::Jaccard { gamma: 0.8 }, 20, 0).unwrap();
+        assert!(share_sig(&scheme, &[], &[]));
+        assert!(!share_sig(&scheme, &[], &[1, 2]));
+    }
+}

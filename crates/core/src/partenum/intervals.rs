@@ -1,0 +1,171 @@
+//! Size intervals for jaccard PartEnum (Figure 6, steps (a)–(b)) and the
+//! size-based filtering of Section 5.
+
+use crate::predicate::floor_tol;
+
+/// A partition of the positive integers into intervals
+/// `I1 = [1,1]`, `Ii = [l_i, r_i]` with `l_i = r_{i−1} + 1` and
+/// `r_i = ⌊l_i / γ⌋` (Figure 6).
+///
+/// Lemma 1 gives: if `Js(r, s) ≥ γ` and `|s| ∈ Ii` then
+/// `|r| ∈ I_{i−1} ∪ I_i ∪ I_{i+1}`, which is why each set is routed to two
+/// consecutive PartEnum instances.
+#[derive(Debug, Clone)]
+pub struct SizeIntervals {
+    gamma: f64,
+    /// `bounds[i] = r_i` (1-based intervals; `bounds[0] = 0` is a sentinel
+    /// standing for `r_0`, so `l_1 = 1`).
+    bounds: Vec<usize>,
+}
+
+impl SizeIntervals {
+    /// Builds all intervals needed to cover sizes up to `max_size`,
+    /// for jaccard threshold `gamma ∈ (0, 1]`.
+    pub fn new(gamma: f64, max_size: usize) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        let mut bounds = vec![0usize];
+        while *bounds.last().expect("non-empty") < max_size {
+            let l = bounds.last().expect("non-empty") + 1;
+            // r_i = floor(l_i / γ), but never below l_i (γ ≤ 1 guarantees
+            // this mathematically; the max is fp-noise armor).
+            let r = floor_tol(l as f64 / gamma).max(l);
+            bounds.push(r);
+        }
+        Self { gamma, bounds }
+    }
+
+    /// The jaccard threshold the intervals were built for.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of intervals.
+    pub fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The 1-based interval index containing `size`.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0 or beyond the covered range.
+    pub fn interval_of(&self, size: usize) -> usize {
+        assert!(size >= 1, "interval_of is defined on positive sizes");
+        assert!(
+            size <= *self.bounds.last().expect("non-empty"),
+            "size {} beyond covered range {}",
+            size,
+            self.bounds.last().expect("non-empty")
+        );
+        // bounds is strictly increasing; find the first r_i >= size.
+        self.bounds.partition_point(|&r| r < size)
+    }
+
+    /// The `[l_i, r_i]` bounds of 1-based interval `i`.
+    pub fn interval(&self, i: usize) -> (usize, usize) {
+        assert!(
+            i >= 1 && i < self.bounds.len(),
+            "interval index out of range"
+        );
+        (self.bounds[i - 1] + 1, self.bounds[i])
+    }
+
+    /// The hamming threshold of PartEnum instance `i` (Figure 6, step (c)):
+    /// `k_i = ⌊2·(1−γ)/(1+γ)·r_i⌋`.
+    ///
+    /// Any joining pair routed to instance `i` has both sizes ≤ `r_i`, so
+    /// `Hd(r, s) ≤ (1−γ)/(1+γ)·(|r|+|s|) ≤ 2·(1−γ)/(1+γ)·r_i` (Section 5),
+    /// and hamming distance is integral, justifying the floor.
+    pub fn hamming_threshold(&self, i: usize) -> usize {
+        let (_, r) = self.interval(i);
+        floor_tol(2.0 * (1.0 - self.gamma) / (1.0 + self.gamma) * r as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example5_intervals() {
+        // Example 5 (γ = 0.9): I1=[1,1], I8=[8,8], I9=[9,10], I13=[17,18],
+        // I14=[19,21].
+        let iv = SizeIntervals::new(0.9, 21);
+        assert_eq!(iv.interval(1), (1, 1));
+        assert_eq!(iv.interval(8), (8, 8));
+        assert_eq!(iv.interval(9), (9, 10));
+        assert_eq!(iv.interval(13), (17, 18));
+        assert_eq!(iv.interval(14), (19, 21));
+    }
+
+    #[test]
+    fn intervals_partition_the_range() {
+        for &gamma in &[0.5, 0.8, 0.85, 0.9, 0.95, 1.0] {
+            let iv = SizeIntervals::new(gamma, 500);
+            let mut expected_l = 1;
+            for i in 1..=iv.count() {
+                let (l, r) = iv.interval(i);
+                assert_eq!(l, expected_l, "gamma={gamma} i={i}");
+                assert!(r >= l);
+                expected_l = r + 1;
+            }
+            // Every size maps into the interval that contains it.
+            for size in 1..=500 {
+                let i = iv.interval_of(size);
+                let (l, r) = iv.interval(i);
+                assert!(l <= size && size <= r, "gamma={gamma} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_one_gives_singleton_intervals() {
+        let iv = SizeIntervals::new(1.0, 10);
+        for i in 1..=10 {
+            assert_eq!(iv.interval(i), (i, i));
+            assert_eq!(iv.hamming_threshold(i), 0);
+        }
+    }
+
+    #[test]
+    fn lemma1_neighbors_suffice() {
+        // If Js(r,s) ≥ γ and |s| ∈ Ii then |r| ∈ I_{i−1} ∪ I_i ∪ I_{i+1}:
+        // check the size arithmetic for every (γ, size) in range.
+        for &gamma in &[0.7, 0.8, 0.9, 0.95] {
+            let iv = SizeIntervals::new(gamma, 3000);
+            for s_size in 1..=1000usize {
+                let i = iv.interval_of(s_size);
+                // Lemma 1: γ·|s| ≤ |r| ≤ |s|/γ.
+                let lo = (gamma * s_size as f64).ceil() as usize;
+                let hi = (s_size as f64 / gamma).floor() as usize;
+                for r_size in [lo.max(1), hi] {
+                    let j = iv.interval_of(r_size);
+                    assert!(
+                        j + 1 >= i && j <= i + 1,
+                        "gamma={gamma} |s|={s_size} (I{i}) |r|={r_size} (I{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_threshold_example() {
+        // γ = 0.9, I9 = [9,10]: k_9 = floor(2·0.1/1.9·10) = floor(1.05) = 1.
+        let iv = SizeIntervals::new(0.9, 21);
+        assert_eq!(iv.hamming_threshold(9), 1);
+        // I14 = [19,21]: k = floor(2·0.1/1.9·21) = floor(2.21) = 2.
+        assert_eq!(iv.hamming_threshold(14), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sizes")]
+    fn interval_of_zero_panics() {
+        SizeIntervals::new(0.9, 10).interval_of(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond covered range")]
+    fn interval_of_out_of_range_panics() {
+        SizeIntervals::new(0.9, 10).interval_of(1000);
+    }
+}

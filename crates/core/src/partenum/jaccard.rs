@@ -1,0 +1,244 @@
+//! PartEnum for jaccard SSJoins (Section 5, Figure 6).
+
+use super::hamming::PartEnumHamming;
+use super::intervals::SizeIntervals;
+use super::params::PartEnumParams;
+use crate::error::{Result, SsjError};
+use crate::hash::SigBuilder;
+use crate::set::ElementId;
+use crate::signature::{Signature, SignatureScheme};
+
+/// The PartEnum signature scheme for `Js(r, s) ≥ γ` (Figure 6).
+///
+/// The construction conceptually splits the join into per-size-interval
+/// instances: sizes are partitioned into intervals `Ii` (Lemma 1 bounds how
+/// far apart joining sizes can be), each interval `i` owns a hamming
+/// PartEnum instance `PE[i]` with threshold `k_i = ⌊2(1−γ)/(1+γ)·r_i⌋`, and
+/// a set of size in `Ii` emits the signatures of `PE[i]` and `PE[i+1]`, each
+/// tagged with the instance number so signatures of different instances
+/// never match. This *size-based filtering* is what makes PartEnum work for
+/// jaccard and is reusable by other schemes (the paper augments prefix
+/// filter with it too — see `ssj-baselines`).
+#[derive(Debug, Clone)]
+pub struct PartEnumJaccard {
+    gamma: f64,
+    intervals: SizeIntervals,
+    /// `instances[i]` is `PE[i+1]` (1-based instance `i+1`).
+    instances: Vec<PartEnumHamming>,
+}
+
+impl PartEnumJaccard {
+    /// Builds a scheme for threshold `gamma`, covering sets up to
+    /// `max_set_size` elements, choosing per-instance parameters with the
+    /// default heuristic.
+    pub fn new(gamma: f64, max_set_size: usize, seed: u64) -> Result<Self> {
+        Self::with_params(gamma, max_set_size, seed, PartEnumParams::default_for)
+    }
+
+    /// Builds a scheme with a custom parameter choice per instance: `params`
+    /// maps each instance's hamming threshold `k_i` to the `(n1, n2)` to use.
+    /// This is the hook the optimizer (Table 1) uses.
+    pub fn with_params(
+        gamma: f64,
+        max_set_size: usize,
+        seed: u64,
+        params: impl Fn(usize) -> PartEnumParams,
+    ) -> Result<Self> {
+        if !(gamma > 0.0 && gamma <= 1.0) {
+            return Err(SsjError::InvalidParams(format!(
+                "jaccard threshold must be in (0, 1], got {gamma}"
+            )));
+        }
+        // A set of size max_set_size ∈ I_m emits for instances m and m+1:
+        // cover one interval past max_set_size.
+        let intervals = SizeIntervals::new(gamma, max_set_size.max(1) + 1);
+        let mut instances = Vec::with_capacity(intervals.count());
+        for i in 1..=intervals.count() {
+            let k = intervals.hamming_threshold(i);
+            let p = params(k);
+            p.validate(k)?;
+            // Each instance gets its own derived seed and carries the
+            // instance number as its signature tag (Figure 6, steps 3–6).
+            instances.push(PartEnumHamming::with_tag(
+                k,
+                p,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                i as u64,
+            )?);
+        }
+        Ok(Self {
+            gamma,
+            intervals,
+            instances,
+        })
+    }
+
+    /// The jaccard threshold.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The size intervals in use.
+    pub fn intervals(&self) -> &SizeIntervals {
+        &self.intervals
+    }
+
+    /// The hamming instance for 1-based interval `i`, if covered.
+    pub fn instance(&self, i: usize) -> Option<&PartEnumHamming> {
+        (i >= 1).then(|| self.instances.get(i - 1)).flatten()
+    }
+
+    /// Upper bound on signatures emitted for a set of the given size
+    /// (instance `i` plus instance `i+1`).
+    pub fn signatures_per_set(&self, size: usize) -> usize {
+        if size == 0 {
+            return 1;
+        }
+        let i = self.intervals.interval_of(size);
+        let a = self.instance(i).map_or(0, |pe| pe.signatures_per_vector());
+        let b = self
+            .instance(i + 1)
+            .map_or(0, |pe| pe.signatures_per_vector());
+        a + b
+    }
+}
+
+impl SignatureScheme for PartEnumJaccard {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        if set.is_empty() {
+            // Js(∅, ∅) = 1 ≥ γ: all empty sets must share a signature, and
+            // Js(∅, s) = 0 < γ for non-empty s, so a constant sentinel
+            // signature (domain-separated from every instance tag) is exact.
+            let mut sig = SigBuilder::new(u64::MAX);
+            sig.push(0);
+            out.push(sig.finish());
+            return;
+        }
+        let i = self.intervals.interval_of(set.len());
+        // Figure 6: emit PE[i] and PE[i+1] signatures, tagged by instance
+        // (the tag is baked into each instance's SigBuilder).
+        if let Some(pe) = self.instance(i) {
+            pe.signatures_into(set, out);
+        }
+        if let Some(pe) = self.instance(i + 1) {
+            pe.signatures_into(set, out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::jaccard;
+    use rand::prelude::*;
+
+    fn share_sig(scheme: &PartEnumJaccard, a: &[u32], b: &[u32]) -> bool {
+        let sa = scheme.signatures(a);
+        let sb = scheme.signatures(b);
+        sa.iter().any(|s| sb.contains(s))
+    }
+
+    #[test]
+    fn correctness_on_random_similar_pairs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..200u64 {
+            let gamma = *[0.8, 0.85, 0.9].choose(&mut rng).expect("non-empty");
+            let scheme = PartEnumJaccard::new(gamma, 120, trial).unwrap();
+            // Build a pair with jaccard >= gamma: share m elements, add a few
+            // distinct ones.
+            let m = rng.gen_range(20..80);
+            let shared: Vec<u32> = (0..m).map(|x| x * 3).collect();
+            let extra_total = ((1.0 - gamma) / gamma * m as f64).floor() as usize;
+            let ea = rng.gen_range(0..=extra_total);
+            let eb = extra_total - ea;
+            let mut a = shared.clone();
+            a.extend((0..ea as u32).map(|x| 1_000_000 + x));
+            let mut b = shared.clone();
+            b.extend((0..eb as u32).map(|x| 2_000_000 + x));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert!(jaccard(&a, &b) + 1e-9 >= gamma, "construction broke");
+            assert!(
+                share_sig(&scheme, &a, &b),
+                "trial {trial}: gamma={gamma} Js={} sizes=({},{})",
+                jaccard(&a, &b),
+                a.len(),
+                b.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_interval_pairs_share_signatures() {
+        // Sizes straddling an interval boundary must still collide via the
+        // shared neighbor instance (the reason Figure 6 emits two instances).
+        let gamma = 0.9;
+        let scheme = PartEnumJaccard::new(gamma, 60, 3).unwrap();
+        // |a| = 19, |b| = 21 sit in different intervals at γ=0.9
+        // (I14 = [19,21] actually covers both; use 18 vs 19: I13=[17,18],
+        // I14=[19,21]).
+        let shared: Vec<u32> = (0..18).collect();
+        let a = shared.clone(); // size 18 ∈ I13
+        let mut b = shared.clone();
+        b.push(100); // size 19 ∈ I14, Js = 18/19 = 0.947 ≥ 0.9
+        assert_eq!(scheme.intervals().interval_of(18), 13);
+        assert_eq!(scheme.intervals().interval_of(19), 14);
+        assert!(jaccard(&a, &b) >= gamma);
+        assert!(share_sig(&scheme, &a, &b));
+    }
+
+    #[test]
+    fn size_filtering_blocks_distant_sizes() {
+        // Example 5's point: r10 (∈ R9, R10) and s13 (∈ S11, S12) never meet.
+        let scheme = PartEnumJaccard::new(0.9, 30, 11).unwrap();
+        let a: Vec<u32> = (0..10).collect(); // size 10
+        let b: Vec<u32> = (0..13).collect(); // size 13, superset!
+                                             // Even though b ⊃ a, Js = 10/13 ≈ 0.77 < 0.9 and instances differ.
+        assert!(!share_sig(&scheme, &a, &b));
+    }
+
+    #[test]
+    fn empty_sets_join_each_other_only() {
+        let scheme = PartEnumJaccard::new(0.8, 20, 0).unwrap();
+        assert!(share_sig(&scheme, &[], &[]));
+        assert!(!share_sig(&scheme, &[], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn gamma_validation() {
+        assert!(PartEnumJaccard::new(0.0, 10, 0).is_err());
+        assert!(PartEnumJaccard::new(1.5, 10, 0).is_err());
+        assert!(PartEnumJaccard::new(1.0, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn gamma_one_matches_exact_duplicates() {
+        let scheme = PartEnumJaccard::new(1.0, 10, 4).unwrap();
+        assert!(share_sig(&scheme, &[1, 2, 3], &[1, 2, 3]));
+        assert!(!share_sig(&scheme, &[1, 2, 3], &[1, 2, 4]));
+    }
+
+    #[test]
+    fn signatures_per_set_accounts_two_instances() {
+        let scheme = PartEnumJaccard::new(0.8, 50, 2).unwrap();
+        let n = scheme.signatures_per_set(20);
+        let sigs = scheme.signatures(&(0..20).collect::<Vec<_>>());
+        assert_eq!(sigs.len(), n);
+        assert_eq!(scheme.signatures_per_set(0), 1);
+    }
+
+    #[test]
+    fn custom_params_hook_is_used() {
+        let scheme = PartEnumJaccard::with_params(0.8, 40, 9, PartEnumParams::default_for).unwrap();
+        let i = scheme.intervals().interval_of(30);
+        let k = scheme.intervals().hamming_threshold(i);
+        assert_eq!(
+            scheme.instance(i).unwrap().params(),
+            PartEnumParams::default_for(k)
+        );
+    }
+}

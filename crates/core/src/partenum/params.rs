@@ -1,0 +1,235 @@
+//! PartEnum tuning parameters (`n1`, `n2`) and the subset-enumeration
+//! combinatorics behind the signature count `n1 · C(n2, n2 − k2)`.
+
+use crate::error::{Result, SsjError};
+
+/// The two control parameters of PartEnum (Figure 3):
+/// `n1` first-level partitions and `n2` second-level partitions within each.
+///
+/// Constraints (Figure 3's header): `1 ≤ n1 ≤ k+1` and `n1·n2 ≥ k+1`
+/// (which guarantees `k2 < n2`, so the enumerated subsets are non-empty
+/// selections of size `n2 − k2 ≥ 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartEnumParams {
+    /// Number of first-level partitions.
+    pub n1: usize,
+    /// Number of second-level partitions per first-level partition.
+    pub n2: usize,
+}
+
+impl PartEnumParams {
+    /// Creates and validates parameters for hamming threshold `k`.
+    pub fn new(n1: usize, n2: usize, k: usize) -> Result<Self> {
+        let p = Self { n1, n2 };
+        p.validate(k)?;
+        Ok(p)
+    }
+
+    /// Checks the Figure 3 constraints against threshold `k`.
+    pub fn validate(&self, k: usize) -> Result<()> {
+        if self.n1 == 0 || self.n2 == 0 {
+            return Err(SsjError::InvalidParams("n1 and n2 must be positive".into()));
+        }
+        if self.n1 > k + 1 {
+            return Err(SsjError::InvalidParams(format!(
+                "n1 = {} exceeds k+1 = {}",
+                self.n1,
+                k + 1
+            )));
+        }
+        if self.n1 * self.n2 < k + 1 {
+            return Err(SsjError::InvalidParams(format!(
+                "n1*n2 = {} is below k+1 = {} (second-level threshold would exceed n2)",
+                self.n1 * self.n2,
+                k + 1
+            )));
+        }
+        Ok(())
+    }
+
+    /// The per-first-level-partition hamming threshold
+    /// `k2 = ceil((k+1)/n1) − 1` (Figure 3, line "Define k2").
+    ///
+    /// If `Hd(u, v) ≤ k` then some first-level partition sees at most `k2`
+    /// differing dimensions: otherwise every partition had ≥ `k2+1 =
+    /// ceil((k+1)/n1)` differences, totalling ≥ `k+1 > k`.
+    #[inline]
+    pub fn k2(&self, k: usize) -> usize {
+        (k + 1).div_ceil(self.n1) - 1
+    }
+
+    /// Signatures generated per vector: `n1 · C(n2, n2 − k2)`.
+    pub fn signatures_per_vector(&self, k: usize) -> usize {
+        self.n1 * binomial(self.n2, self.n2 - self.k2(k))
+    }
+
+    /// A serviceable default when no data is available for optimization:
+    /// `k2 = 1` (each first-level partition enumerates `C(n2, n2−1) = n2`
+    /// subsets), which Table 1 shows is the right regime for mid-sized
+    /// inputs, with `n2 = 3`.
+    pub fn default_for(k: usize) -> Self {
+        if k == 0 {
+            return Self { n1: 1, n2: 1 };
+        }
+        // k2 = 1 ⟺ ceil((k+1)/n1) = 2 ⟺ n1 = ceil((k+1)/2).
+        let n1 = (k + 1).div_ceil(2);
+        let n2 = 3.max((k + 1).div_ceil(n1));
+        Self { n1, n2 }
+    }
+
+    /// All candidate parameter settings for threshold `k` whose signature
+    /// count does not exceed `max_sigs`. Used by the optimizer (Table 1) and
+    /// by the Figure 15 trade-off sweep.
+    pub fn candidates(k: usize, max_sigs: usize) -> Vec<Self> {
+        let mut out = Vec::new();
+        for n1 in 1..=k + 1 {
+            let k2 = (k + 1).div_ceil(n1) - 1;
+            // n2 must be at least k2+1 (constraint n1*n2 ≥ k+1); larger n2
+            // with the same k2 buys filtering at the cost of more signatures.
+            for n2 in (k2 + 1)..=(k2 + 8).max(4) {
+                let p = Self { n1, n2 };
+                if p.validate(k).is_ok() && p.signatures_per_vector(k) <= max_sigs {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_by_key(|p| (p.signatures_per_vector(k), p.n1, p.n2));
+        out.dedup();
+        out
+    }
+}
+
+/// Binomial coefficient `C(n, r)` with saturation (never panics).
+pub fn binomial(n: usize, r: usize) -> usize {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+    }
+    acc.min(usize::MAX as u128) as usize
+}
+
+/// Enumerates all `C(n, size)` subsets of `{0..n}` of the given size, as
+/// bitmasks. `n ≤ 32`.
+///
+/// These are the "subset S of {1,…,n2} of size n2 − k2" selections of
+/// Figure 3, line 3.
+pub fn subsets_of_size(n: usize, size: usize) -> Vec<u32> {
+    assert!(n <= 32, "second-level partition count must be ≤ 32");
+    if size > n {
+        return Vec::new();
+    }
+    if size == 0 {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity(binomial(n, size));
+    // Gosper's hack: iterate masks with `size` bits set in increasing order.
+    let mut mask: u64 = (1u64 << size) - 1;
+    let limit: u64 = 1u64 << n;
+    while mask < limit {
+        out.push(mask as u32);
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(4, 3), 4);
+        assert_eq!(binomial(3, 2), 3);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn subsets_enumeration_complete_and_distinct() {
+        let subs = subsets_of_size(4, 3);
+        assert_eq!(subs.len(), 4);
+        for &m in &subs {
+            assert_eq!(m.count_ones(), 3);
+            assert!(m < 16);
+        }
+        let mut sorted = subs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn subsets_edge_cases() {
+        assert_eq!(subsets_of_size(3, 0), vec![0]);
+        assert_eq!(subsets_of_size(3, 3), vec![0b111]);
+        assert!(subsets_of_size(2, 3).is_empty());
+        assert_eq!(subsets_of_size(32, 1).len(), 32);
+    }
+
+    #[test]
+    fn example3_parameters() {
+        // Figure 4 / Example 3: n1=3, n2=4, k=5 → k2=1, 3·C(4,3)=12 sigs.
+        let p = PartEnumParams::new(3, 4, 5).unwrap();
+        assert_eq!(p.k2(5), 1);
+        assert_eq!(p.signatures_per_vector(5), 12);
+    }
+
+    #[test]
+    fn example4_parameters() {
+        // Example 4 / Figure 5: n1=2, n2=3, k=3 → k2=1, 2·C(3,2)=6 sigs.
+        let p = PartEnumParams::new(2, 3, 3).unwrap();
+        assert_eq!(p.k2(3), 1);
+        assert_eq!(p.signatures_per_vector(3), 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(PartEnumParams::new(0, 3, 3).is_err());
+        assert!(PartEnumParams::new(5, 3, 3).is_err()); // n1 > k+1
+        assert!(PartEnumParams::new(2, 1, 3).is_err()); // n1*n2 < k+1
+        assert!(PartEnumParams::new(1, 4, 3).is_ok());
+    }
+
+    #[test]
+    fn k2_counting_argument_bound() {
+        // For any valid params, n1 * (k2+1) >= k+1 (the counting argument).
+        for k in 0..30 {
+            for n1 in 1..=k + 1 {
+                let n2 = (k + 1usize).div_ceil(n1);
+                let p = PartEnumParams { n1, n2 };
+                if p.validate(k).is_ok() {
+                    assert!(n1 * (p.k2(k) + 1) > k, "k={k} n1={n1}");
+                    assert!(p.k2(k) < n2, "k2 must be < n2 for k={k} n1={n1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_params_are_valid() {
+        for k in 0..100 {
+            let p = PartEnumParams::default_for(k);
+            p.validate(k).unwrap_or_else(|e| panic!("k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn candidates_are_valid_and_capped() {
+        let cands = PartEnumParams::candidates(5, 64);
+        assert!(!cands.is_empty());
+        for p in &cands {
+            p.validate(5).unwrap();
+            assert!(p.signatures_per_vector(5) <= 64);
+        }
+        // Includes the Example 3 setting.
+        assert!(cands.contains(&PartEnumParams { n1: 3, n2: 4 }));
+    }
+}

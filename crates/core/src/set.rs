@@ -1,0 +1,320 @@
+//! Set records and collections.
+//!
+//! The paper's inputs are collections of sets over a domain `{1..n}`
+//! (Section 2). We represent an element as a `u32` (tokenizers hash strings
+//! into this space) and a set as a **sorted, deduplicated** slice of
+//! elements, which makes intersection/union sizes a linear merge and keeps
+//! the per-set memory at 4 bytes/element.
+//!
+//! Weighted sets (Section 7) are a set plus a global element→weight map; see
+//! [`WeightMap`].
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// An element of the set domain. Tokenizers hash tokens/q-grams into this.
+pub type ElementId = u32;
+
+/// Identifier of a set within a [`SetCollection`] (its index).
+pub type SetId = u32;
+
+/// A collection of sets: the `R` (or `S`) input of an SSJoin.
+///
+/// Stored in a flattened arena (`elems` + `offsets`) so a million small sets
+/// cost two allocations, not a million.
+#[derive(Clone, Default)]
+pub struct SetCollection {
+    elems: Vec<ElementId>,
+    offsets: Vec<u32>,
+}
+
+impl SetCollection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self {
+            elems: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Creates a collection with capacity hints.
+    pub fn with_capacity(sets: usize, total_elems: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        Self {
+            elems: Vec::with_capacity(total_elems),
+            offsets,
+        }
+    }
+
+    /// Appends a set given in any order, sorting and deduplicating it.
+    /// Returns the new set's id.
+    pub fn push(&mut self, mut elems: Vec<ElementId>) -> SetId {
+        elems.sort_unstable();
+        elems.dedup();
+        self.push_sorted(&elems)
+    }
+
+    /// Appends a set that is already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `elems` is not strictly increasing.
+    pub fn push_sorted(&mut self, elems: &[ElementId]) -> SetId {
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "set must be strictly sorted"
+        );
+        let id = self.len() as SetId;
+        self.elems.extend_from_slice(elems);
+        self.offsets.push(self.elems.len() as u32);
+        id
+    }
+
+    /// Builds a collection from unsorted sets.
+    pub fn from_sets<I>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<ElementId>>,
+    {
+        let mut c = Self::new();
+        for s in sets {
+            c.push(s);
+        }
+        c
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the collection holds no sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The elements of set `id`, sorted ascending.
+    #[inline]
+    pub fn set(&self, id: SetId) -> &[ElementId] {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        &self.elems[lo..hi]
+    }
+
+    /// Size of set `id`.
+    #[inline]
+    pub fn set_len(&self, id: SetId) -> usize {
+        (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
+    }
+
+    /// Iterates `(id, elements)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[ElementId])> + '_ {
+        (0..self.len() as SetId).map(move |id| (id, self.set(id)))
+    }
+
+    /// Total number of stored elements (with multiplicity across sets).
+    #[inline]
+    pub fn total_elements(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Largest set size, or 0 if empty.
+    pub fn max_set_len(&self) -> usize {
+        (0..self.len() as SetId)
+            .map(|id| self.set_len(id))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean set size, or 0.0 if empty.
+    pub fn avg_set_len(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.elems.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// Per-element document frequency: how many sets contain each element.
+    ///
+    /// Prefix filter orders elements by this; IDF weighting derives from it.
+    pub fn element_frequencies(&self) -> FxHashMap<ElementId, u32> {
+        let mut freq = FxHashMap::default();
+        freq.reserve(self.elems.len() / 2);
+        for &e in &self.elems {
+            *freq.entry(e).or_insert(0) += 1;
+        }
+        freq
+    }
+}
+
+impl fmt::Debug for SetCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetCollection")
+            .field("sets", &self.len())
+            .field("total_elements", &self.elems.len())
+            .finish()
+    }
+}
+
+impl FromIterator<Vec<ElementId>> for SetCollection {
+    fn from_iter<I: IntoIterator<Item = Vec<ElementId>>>(iter: I) -> Self {
+        Self::from_sets(iter)
+    }
+}
+
+/// Global element weights for weighted SSJoins (Section 7).
+///
+/// Elements absent from the map have weight [`WeightMap::default_weight`]
+/// (useful when joining against a corpus that introduced unseen tokens).
+#[derive(Clone, Debug, Default)]
+pub struct WeightMap {
+    weights: FxHashMap<ElementId, f64>,
+    default_weight: f64,
+}
+
+impl WeightMap {
+    /// Creates an empty map where unknown elements weigh `default_weight`.
+    pub fn new(default_weight: f64) -> Self {
+        Self {
+            weights: FxHashMap::default(),
+            default_weight,
+        }
+    }
+
+    /// Builds a map from explicit pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (ElementId, f64)>>(
+        pairs: I,
+        default_weight: f64,
+    ) -> Self {
+        Self {
+            weights: pairs.into_iter().collect(),
+            default_weight,
+        }
+    }
+
+    /// Builds IDF weights `w(e) = ln(N / df(e))` from a collection, the
+    /// information-retrieval weighting the paper assumes for WtEnum.
+    pub fn idf(collection: &SetCollection) -> Self {
+        let n = collection.len().max(1) as f64;
+        let freq = collection.element_frequencies();
+        let mut weights = FxHashMap::default();
+        weights.reserve(freq.len());
+        for (e, df) in freq {
+            // df >= 1 here; add-one smoothing keeps ubiquitous tokens positive.
+            weights.insert(e, (n / df as f64).ln().max(0.0) + 1e-9);
+        }
+        Self {
+            // Unseen elements are rarer than anything observed.
+            default_weight: (n + 1.0).ln(),
+            weights,
+        }
+    }
+
+    /// Sets the weight of one element.
+    pub fn set(&mut self, e: ElementId, w: f64) {
+        self.weights.insert(e, w);
+    }
+
+    /// Weight of element `e`.
+    #[inline]
+    pub fn weight(&self, e: ElementId) -> f64 {
+        self.weights.get(&e).copied().unwrap_or(self.default_weight)
+    }
+
+    /// Weight assigned to elements not present in the map.
+    #[inline]
+    pub fn default_weight(&self) -> f64 {
+        self.default_weight
+    }
+
+    /// Total weight of a (sorted) set.
+    pub fn set_weight(&self, set: &[ElementId]) -> f64 {
+        set.iter().map(|&e| self.weight(e)).sum()
+    }
+
+    /// All explicit `(element, weight)` entries, in arbitrary order.
+    pub fn entries(&self) -> Vec<(ElementId, f64)> {
+        self.weights.iter().map(|(&e, &w)| (e, w)).collect()
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the map has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut c = SetCollection::new();
+        let id = c.push(vec![5, 1, 3, 1, 5]);
+        assert_eq!(c.set(id), &[1, 3, 5]);
+        assert_eq!(c.set_len(id), 3);
+    }
+
+    #[test]
+    fn arena_layout_roundtrips() {
+        let c = SetCollection::from_sets(vec![vec![1, 2], vec![], vec![7, 8, 9]]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.set(0), &[1, 2]);
+        assert_eq!(c.set(1), &[] as &[u32]);
+        assert_eq!(c.set(2), &[7, 8, 9]);
+        assert_eq!(c.total_elements(), 5);
+        assert_eq!(c.max_set_len(), 3);
+        assert!((c.avg_set_len() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_sets() {
+        let c = SetCollection::from_sets(vec![vec![1], vec![2, 3]]);
+        let got: Vec<_> = c.iter().map(|(id, s)| (id, s.to_vec())).collect();
+        assert_eq!(got, vec![(0, vec![1]), (1, vec![2, 3])]);
+    }
+
+    #[test]
+    fn frequencies_count_sets_containing() {
+        let c = SetCollection::from_sets(vec![vec![1, 2], vec![2, 3], vec![2]]);
+        let f = c.element_frequencies();
+        assert_eq!(f[&2], 3);
+        assert_eq!(f[&1], 1);
+        assert_eq!(f[&3], 1);
+    }
+
+    #[test]
+    fn idf_weights_are_monotone_in_rarity() {
+        let c = SetCollection::from_sets(vec![vec![1, 2], vec![2, 3], vec![2, 4], vec![2]]);
+        let w = WeightMap::idf(&c);
+        // Element 2 appears everywhere: weight near zero. Element 1 is rare.
+        assert!(w.weight(1) > w.weight(2));
+        assert!(w.weight(2) >= 0.0);
+        // Unseen elements are at least as heavy as the rarest seen.
+        assert!(w.weight(999) >= w.weight(1));
+    }
+
+    #[test]
+    fn weight_map_defaults_and_totals() {
+        let mut w = WeightMap::new(0.5);
+        w.set(1, 2.0);
+        assert_eq!(w.weight(1), 2.0);
+        assert_eq!(w.weight(2), 0.5);
+        assert!((w.set_weight(&[1, 2, 3]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn push_sorted_rejects_unsorted_in_debug() {
+        let mut c = SetCollection::new();
+        c.push_sorted(&[3, 1]);
+    }
+}

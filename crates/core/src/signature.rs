@@ -1,0 +1,114 @@
+//! The signature-scheme abstraction (Section 3, Figure 2).
+//!
+//! A signature-based SSJoin algorithm is fully determined by its *signature
+//! scheme*: a function from an input set to a small set of signatures such
+//! that any two sets satisfying the join predicate share at least one
+//! signature (the correctness requirement of Section 3.1). Candidate-pair
+//! generation and post-filtering (the join driver in [`crate::join`]) are
+//! shared by every scheme, exactly as the paper argues the engineering
+//! details are "orthogonal to the high-level outline".
+
+use crate::set::ElementId;
+
+/// A 64-bit signature hash. The paper hashes signatures to small integers
+/// (Section 4.2); hash collisions only add false-positive candidates, never
+/// lose output pairs, so exactness is preserved.
+pub type Signature = u64;
+
+/// A signature scheme: `Sign(·)` of Figure 2.
+///
+/// Implementations carry their "hidden parameters" (Section 3.1) — the join
+/// threshold, collection statistics like element frequencies, and random
+/// seeds — fixed at construction time so that the *same* parameters generate
+/// the signatures of every input set.
+pub trait SignatureScheme {
+    /// Appends the signatures of `set` (sorted, deduplicated) to `out`.
+    ///
+    /// `out` is a reusable buffer: callers clear it between sets. Duplicate
+    /// signatures within one set are permitted (the join driver deduplicates
+    /// per-set where it matters) but schemes should avoid emitting them.
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>);
+
+    /// Convenience wrapper returning a fresh vector.
+    fn signatures(&self, set: &[ElementId]) -> Vec<Signature> {
+        let mut out = Vec::new();
+        self.signatures_into(set, &mut out);
+        out
+    }
+
+    /// Whether the correctness requirement holds only probabilistically
+    /// (LSH-style schemes). Exact schemes return `false`; the join driver
+    /// records this in the result so downstream code knows whether the
+    /// answer is guaranteed complete.
+    fn is_approximate(&self) -> bool {
+        false
+    }
+
+    /// A short human-readable name for reports ("PEN", "PF", "LSH", ...).
+    fn name(&self) -> &'static str {
+        "SIG"
+    }
+}
+
+impl<T: SignatureScheme + ?Sized> SignatureScheme for &T {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        (**self).signatures_into(set, out)
+    }
+    fn is_approximate(&self) -> bool {
+        (**self).is_approximate()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: SignatureScheme + ?Sized> SignatureScheme for Box<T> {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        (**self).signatures_into(set, out)
+    }
+    fn is_approximate(&self) -> bool {
+        (**self).is_approximate()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy scheme: one signature per element (the identity scheme of
+    /// Section 3.3, used by Probe-Count/Pair-Count).
+    struct Identity;
+
+    impl SignatureScheme for Identity {
+        fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+            out.extend(set.iter().map(|&e| e as u64));
+        }
+        fn name(&self) -> &'static str {
+            "ID"
+        }
+    }
+
+    #[test]
+    fn trait_object_and_reference_forwarding() {
+        let scheme = Identity;
+        assert_eq!(scheme.signatures(&[1, 2, 3]), vec![1, 2, 3]);
+        let as_ref: &dyn SignatureScheme = &scheme;
+        assert_eq!(as_ref.signatures(&[4]), vec![4]);
+        assert_eq!(as_ref.name(), "ID");
+        assert!(!as_ref.is_approximate());
+        let boxed: Box<dyn SignatureScheme> = Box::new(Identity);
+        assert_eq!(boxed.signatures(&[9]), vec![9]);
+    }
+
+    #[test]
+    fn signatures_into_reuses_buffer() {
+        let scheme = Identity;
+        let mut buf = vec![99, 98];
+        buf.clear();
+        scheme.signatures_into(&[5, 6], &mut buf);
+        assert_eq!(buf, vec![5, 6]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Set-similarity and distance measures over sorted element slices.
+//!
+//! Everything the paper's predicates need (Section 2): intersection size,
+//! hamming distance (= symmetric-difference size, Section 2.2), jaccard
+//! (Section 2.3), plus the weighted variants of Section 7 and the dice /
+//! cosine measures commonly layered on the same SSJoin machinery.
+
+use crate::set::{ElementId, WeightMap};
+
+/// `|a ∩ b|` for sorted, deduplicated slices. Linear merge.
+#[inline]
+pub fn intersection_size(a: &[ElementId], b: &[ElementId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Whether `|a ∩ b| >= t`, with early termination.
+///
+/// Bails out as soon as the remaining elements cannot reach `t`; this is the
+/// hot path of the post-filtering step (Figure 2, step 4).
+#[inline]
+pub fn intersection_at_least(a: &[ElementId], b: &[ElementId], t: usize) -> bool {
+    if t == 0 {
+        return true;
+    }
+    if a.len() < t || b.len() < t {
+        return false;
+    }
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    loop {
+        // Upper bound on what is still reachable.
+        let rem = (a.len() - i).min(b.len() - j);
+        if n + rem < t {
+            return false;
+        }
+        if i >= a.len() || j >= b.len() {
+            return n >= t;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                if n >= t {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Hamming distance between two sets viewed as binary vectors:
+/// `|a ⊖ b| = |a| + |b| − 2·|a ∩ b|` (Section 2.2).
+#[inline]
+pub fn hamming_distance(a: &[ElementId], b: &[ElementId]) -> usize {
+    a.len() + b.len() - 2 * intersection_size(a, b)
+}
+
+/// Jaccard similarity `|a ∩ b| / |a ∪ b|` (Section 2.3). Empty∕empty is 1.
+#[inline]
+pub fn jaccard(a: &[ElementId], b: &[ElementId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let i = intersection_size(a, b);
+    i as f64 / (a.len() + b.len() - i) as f64
+}
+
+/// Dice coefficient `2|a ∩ b| / (|a| + |b|)`. Empty∕empty is 1.
+#[inline]
+pub fn dice(a: &[ElementId], b: &[ElementId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Cosine similarity `|a ∩ b| / sqrt(|a|·|b|)` on binary vectors.
+/// Empty∕empty is 1; empty vs non-empty is 0.
+#[inline]
+pub fn cosine(a: &[ElementId], b: &[ElementId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// Weighted intersection `w(a ∩ b)` under a global weight map.
+#[inline]
+pub fn weighted_intersection(a: &[ElementId], b: &[ElementId], w: &WeightMap) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                total += w.weight(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    total
+}
+
+/// Weighted jaccard `w(a ∩ b) / w(a ∪ b)`. Empty∕empty is 1.
+#[inline]
+pub fn weighted_jaccard(a: &[ElementId], b: &[ElementId], w: &WeightMap) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = weighted_intersection(a, b, w);
+    let union = w.set_weight(a) + w.set_weight(b) - inter;
+    if union <= 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Weighted hamming distance `w(a ⊖ b)`.
+#[inline]
+pub fn weighted_hamming(a: &[ElementId], b: &[ElementId], w: &WeightMap) -> f64 {
+    w.set_weight(a) + w.set_weight(b) - 2.0 * weighted_intersection(a, b, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1/2: 3-gram sets of "washington"/"woshington".
+    fn example_sets() -> (Vec<u32>, Vec<u32>) {
+        // was ash shi hin ing ngt gto ton  -> encode grams as arbitrary ids
+        // wos osh shi hin ing ngt gto ton
+        let s1 = vec![1, 2, 10, 11, 12, 13, 14, 15];
+        let s2 = vec![3, 4, 10, 11, 12, 13, 14, 15];
+        (s1, s2)
+    }
+
+    #[test]
+    fn paper_example_1_hamming() {
+        let (s1, s2) = example_sets();
+        assert_eq!(hamming_distance(&s1, &s2), 4);
+    }
+
+    #[test]
+    fn paper_example_2_jaccard() {
+        let (s1, s2) = example_sets();
+        assert!((jaccard(&s1, &s2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_basics() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[1, 5, 9], &[2, 6, 10]), 0);
+        assert_eq!(intersection_size(&[1, 2], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn intersection_at_least_matches_exact() {
+        let a = &[1, 3, 5, 7, 9, 11];
+        let b = &[3, 4, 5, 6, 7, 8];
+        let exact = intersection_size(a, b);
+        for t in 0..=a.len() + 1 {
+            assert_eq!(intersection_at_least(a, b, t), exact >= t, "t={t}");
+        }
+    }
+
+    #[test]
+    fn intersection_at_least_early_exit_on_short_inputs() {
+        assert!(!intersection_at_least(&[1], &[1, 2, 3], 2));
+        assert!(intersection_at_least(&[], &[], 0));
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        let j = jaccard(&[1, 2, 3], &[3, 4, 5]);
+        assert!(j > 0.0 && j < 1.0);
+    }
+
+    #[test]
+    fn dice_and_cosine_sanity() {
+        assert!((dice(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-12);
+        assert!((cosine(&[1, 2], &[1, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[1], &[2]), 0.0);
+        assert_eq!(cosine(&[], &[1]), 0.0);
+        assert_eq!(dice(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn hamming_is_symmetric_difference() {
+        assert_eq!(hamming_distance(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(hamming_distance(&[], &[1, 2]), 2);
+        assert_eq!(hamming_distance(&[1], &[1]), 0);
+    }
+
+    #[test]
+    fn weighted_measures_reduce_to_unweighted_with_unit_weights() {
+        let w = WeightMap::new(1.0);
+        let a = &[1, 2, 3, 9];
+        let b = &[2, 3, 4];
+        assert!((weighted_intersection(a, b, &w) - intersection_size(a, b) as f64).abs() < 1e-12);
+        assert!((weighted_jaccard(a, b, &w) - jaccard(a, b)).abs() < 1e-12);
+        assert!((weighted_hamming(a, b, &w) - hamming_distance(a, b) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_respects_weights() {
+        let mut w = WeightMap::new(1.0);
+        w.set(1, 100.0);
+        // Sharing the heavy element dominates similarity.
+        let heavy = weighted_jaccard(&[1, 2], &[1, 3], &w);
+        let light = weighted_jaccard(&[2, 5], &[3, 5], &w);
+        assert!(heavy > light);
+    }
+}

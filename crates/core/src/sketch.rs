@@ -1,0 +1,233 @@
+//! AMS "tug-of-war" sketch for the second frequency moment F2.
+//!
+//! Section 3.2 proposes tuning signature-scheme parameters by estimating the
+//! intermediate-result size, noting that "for self-SSJoins, the above
+//! expression is within a factor 2 of F2 measure of signatures of all input
+//! sets, and there exist well-known techniques for estimating F2 measure
+//! using limited memory [1]" — citation [1] being Alon, Matias & Szegedy.
+//! This module implements that sketch: each estimator maintains
+//! `X = Σᵢ ε(i)·fᵢ` for a 4-wise-independent-style random sign function ε,
+//! and `E[X²] = F2`. Averaging `cols` estimators controls variance;
+//! the median over `rows` groups controls confidence.
+//!
+//! [`estimate_signature_f2`] applies the sketch to a signature scheme
+//! without materializing the signature multiset — O(rows·cols) memory
+//! regardless of input size, exactly the regime the paper's optimizer
+//! discussion targets.
+
+use crate::hash::Mix64;
+use crate::set::ElementId;
+use crate::signature::SignatureScheme;
+
+/// An AMS F2 sketch with `rows × cols` ±1 counters.
+///
+/// ```
+/// use ssj_core::sketch::F2Sketch;
+///
+/// let mut sketch = F2Sketch::new(5, 64, 42);
+/// for x in 0..1000u64 {
+///     sketch.update(x % 100); // each of 100 values occurs 10 times
+/// }
+/// // F2 = 100 · 10² = 10,000; the sketch lands within ~25%.
+/// let est = sketch.estimate();
+/// assert!((est - 10_000.0).abs() / 10_000.0 < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct F2Sketch {
+    rows: usize,
+    cols: usize,
+    /// One running `Σ ε(item)` per estimator, row-major.
+    counters: Vec<i64>,
+    /// One sign hash per estimator.
+    signs: Vec<Mix64>,
+    /// Number of updates (handy for diagnostics).
+    updates: u64,
+}
+
+impl F2Sketch {
+    /// Creates a sketch. Typical settings: `rows = 5`, `cols = 64` give
+    /// ≈1/√64 ≈ 12% standard error with good confidence.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(
+            rows >= 1 && cols >= 1,
+            "sketch must have at least one estimator"
+        );
+        let base = Mix64::new(seed ^ 0xa145_0000);
+        let signs = (0..rows * cols).map(|i| base.derive(i as u64)).collect();
+        Self {
+            rows,
+            cols,
+            counters: vec![0; rows * cols],
+            signs,
+            updates: 0,
+        }
+    }
+
+    /// Feeds one occurrence of `item` into the sketch.
+    #[inline]
+    pub fn update(&mut self, item: u64) {
+        self.updates += 1;
+        for (c, h) in self.counters.iter_mut().zip(&self.signs) {
+            // Lowest bit of an independent hash as the ±1 sign.
+            if h.hash_u64(item) & 1 == 0 {
+                *c += 1;
+            } else {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Number of updates so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The F2 estimate: median over rows of the mean over columns of `X²`.
+    pub fn estimate(&self) -> f64 {
+        let mut row_means: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let row = &self.counters[r * self.cols..(r + 1) * self.cols];
+                row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / self.cols as f64
+            })
+            .collect();
+        row_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        let mid = row_means.len() / 2;
+        if row_means.len() % 2 == 1 {
+            row_means[mid]
+        } else {
+            (row_means[mid - 1] + row_means[mid]) / 2.0
+        }
+    }
+}
+
+/// Estimates the F2 of the *signature multiset* a scheme would generate over
+/// `sets` (each set's signatures fed once), scaled to `scale ×` the sample.
+///
+/// F2 of the signature multiset = Σ_sig count(sig)², which equals
+/// `#signatures + 2·collisions` — the same information
+/// [`crate::partenum::estimate_cost`] computes exactly with a hash table,
+/// here in constant memory.
+pub fn estimate_signature_f2(
+    scheme: &impl SignatureScheme,
+    sets: &[&[ElementId]],
+    scale: f64,
+    seed: u64,
+) -> f64 {
+    let mut sketch = F2Sketch::new(5, 64, seed);
+    let mut total_sigs = 0u64;
+    let mut buf = Vec::new();
+    for set in sets {
+        buf.clear();
+        scheme.signatures_into(set, &mut buf);
+        total_sigs += buf.len() as u64;
+        for &sig in &buf {
+            sketch.update(sig);
+        }
+    }
+    // F2 = N + 2C with N signatures and C collision pairs. N scales linearly
+    // and C quadratically, so the scaled estimate is N·scale + (F2−N)·scale².
+    let f2 = sketch.estimate();
+    let n = total_sigs as f64;
+    n * scale + (f2 - n).max(0.0) * scale * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashMap;
+    use rand::prelude::*;
+
+    fn exact_f2(items: &[u64]) -> f64 {
+        let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+        for &x in items {
+            *counts.entry(x).or_insert(0) += 1;
+        }
+        counts.values().map(|&c| (c as f64) * (c as f64)).sum()
+    }
+
+    #[test]
+    fn unbiased_on_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..500u64)).collect();
+        let truth = exact_f2(&items);
+        let mut sketch = F2Sketch::new(5, 128, 7);
+        for &x in &items {
+            sketch.update(x);
+        }
+        let est = sketch.estimate();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.25, "relative error {rel} (est {est} vs {truth})");
+    }
+
+    #[test]
+    fn detects_skew() {
+        // A heavy hitter dominates F2; the sketch must reflect that.
+        let mut uniform: Vec<u64> = (0..1_000).collect();
+        let mut skewed = uniform.clone();
+        skewed.extend(std::iter::repeat_n(42u64, 1_000));
+        uniform.extend(1_000..2_000);
+        let run = |items: &[u64]| {
+            let mut s = F2Sketch::new(5, 128, 3);
+            for &x in items {
+                s.update(x);
+            }
+            s.estimate()
+        };
+        assert!(run(&skewed) > 10.0 * run(&uniform));
+    }
+
+    #[test]
+    fn distinct_stream_f2_equals_length() {
+        let items: Vec<u64> = (0..5_000).map(crate::hash::mix64).collect();
+        let mut sketch = F2Sketch::new(5, 128, 9);
+        for &x in &items {
+            sketch.update(x);
+        }
+        let est = sketch.estimate();
+        let truth = items.len() as f64;
+        assert!((est - truth).abs() / truth < 0.3, "est {est} vs {truth}");
+        assert_eq!(sketch.updates(), 5_000);
+    }
+
+    #[test]
+    fn signature_f2_estimate_tracks_exact_cost() {
+        use crate::partenum::{estimate_cost, PartEnumHamming};
+        let mut rng = StdRng::seed_from_u64(4);
+        let sets: Vec<Vec<u32>> = (0..400)
+            .map(|_| {
+                let mut v: Vec<u32> = (0..30).map(|_| rng.gen_range(0..3_000)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let refs: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        let scheme = PartEnumHamming::with_defaults(5, 11);
+        // estimate_cost = 2N·scale + C·scale²; sketch gives N·scale + 2C·scale²
+        // — both are monotone in (N, C), so compare via the derived C.
+        let exact = estimate_cost(&scheme, &refs, 1.0);
+        let sketched = estimate_signature_f2(&scheme, &refs, 1.0, 5);
+        // Derive collision counts from each: exact C = exact − 2N; sketched
+        // 2C = sketched − N.
+        let mut buf = Vec::new();
+        let mut n = 0u64;
+        for s in &refs {
+            buf.clear();
+            scheme.signatures_into(s, &mut buf);
+            n += buf.len() as u64;
+        }
+        let exact_c = exact - 2.0 * n as f64;
+        let sketched_c = (sketched - n as f64) / 2.0;
+        let tol = 0.35 * exact_c.max(50.0);
+        assert!(
+            (exact_c - sketched_c).abs() <= tol,
+            "collisions: exact {exact_c} vs sketched {sketched_c}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one estimator")]
+    fn zero_size_sketch_rejected() {
+        F2Sketch::new(0, 8, 1);
+    }
+}

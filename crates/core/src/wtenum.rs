@@ -1,0 +1,511 @@
+//! **WtEnum** — weighted enumeration for weighted SSJoins (Section 7,
+//! Figure 8).
+//!
+//! For an intersection predicate `w(r ∩ s) ≥ T` under element weights,
+//! Figure 8 generates, for every *minimal* subset `s'` of `s` with weighted
+//! size ≥ T (minimal: no proper subset reaches T, equivalently
+//! `w(s') − min_{e∈s'} w(e) < T`), the smallest prefix of `s'` in descending
+//! weight order whose weight reaches the pruning threshold `TH`. Correctness
+//! (paper): if `w(r ∩ s) ≥ T` then `r ∩ s` contains a minimal subset, whose
+//! prefix both sets emit.
+//!
+//! Enumerating minimal subsets explicitly is exponential. This module
+//! enumerates the *prefixes directly*: walk elements in descending weight
+//! order choosing take/skip; the moment the chosen weight crosses TH, the
+//! candidate signature is fully determined (later elements are lighter, so
+//! the prefix of any completion is exactly the chosen sequence), and it is a
+//! real signature iff some minimal subset completes it:
+//!
+//! * chosen weight ≥ T: only `s' = chosen` itself qualifies (any extension
+//!   has the proper subset `chosen` ≥ T), so emit iff `chosen` is minimal;
+//! * chosen weight < T: a minimal completion exists iff the remaining
+//!   suffix can reach T — completing greedily in descending order crosses T
+//!   on its lightest element, which certifies minimality.
+//!
+//! This produces exactly the Figure 8 signature set while doing work
+//! proportional to the number of distinct prefixes (plus pruned branches).
+
+use crate::hash::{FxHashSet, SigBuilder};
+use crate::set::{ElementId, WeightMap};
+use crate::signature::{Signature, SignatureScheme};
+use std::sync::Arc;
+
+/// Hard cap on take/skip recursion nodes per set. The paper observes the
+/// number of signatures "is usually very small in practice" (Section 7);
+/// the cap turns a pathological weight distribution (thousands of near-zero
+/// weights and a low TH) into a loud failure instead of a hang.
+const NODE_BUDGET: usize = 1 << 22;
+
+/// WtEnum for the intersection predicate `w(r ∩ s) ≥ T` (Figure 8).
+///
+/// ```
+/// use ssj_core::wtenum::WtEnum;
+/// use ssj_core::set::WeightMap;
+/// use ssj_core::signature::SignatureScheme;
+/// use std::sync::Arc;
+///
+/// // The paper's Example 6: T = 17, TH = 14.
+/// let weights = Arc::new(WeightMap::from_pairs(
+///     [(1, 8.0), (2, 4.0), (3, 3.0), (4, 2.0), (5, 1.0), (6, 1.0), (7, 1.0)],
+///     1.0,
+/// ));
+/// let scheme = WtEnum::new(17.0, 14.0, weights);
+/// // Exactly the two prefixes ⟨a,b,c⟩ and ⟨a,b,d⟩ of Figure 9.
+/// assert_eq!(scheme.signatures(&[1, 2, 3, 4, 5, 6, 7]).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WtEnum {
+    /// SSJoin threshold `T`.
+    t: f64,
+    /// Pruning threshold `TH`, clamped to ≤ `T` (a TH above T would ask for
+    /// a prefix longer than some minimal subsets; clamping keeps Figure 8's
+    /// "smallest prefix with weight ≥ TH" well-defined for all of them).
+    th: f64,
+    weights: Arc<WeightMap>,
+    /// Domain-separation tag (weighted-jaccard instances, Section 8.3).
+    tag: u64,
+}
+
+impl WtEnum {
+    /// Creates a scheme with explicit thresholds.
+    ///
+    /// `th` controls the signature/filtering trade-off: higher values give
+    /// longer, more selective prefixes but more of them. See
+    /// [`WtEnum::recommended_th`].
+    pub fn new(t: f64, th: f64, weights: Arc<WeightMap>) -> Self {
+        Self::with_tag(t, th, weights, 0)
+    }
+
+    /// Creates a tagged instance (signatures of different tags never match).
+    pub fn with_tag(t: f64, th: f64, weights: Arc<WeightMap>, tag: u64) -> Self {
+        Self {
+            t,
+            th: th.min(t).max(0.0),
+            weights,
+            tag,
+        }
+    }
+
+    /// The paper's recommended pruning threshold for IDF weights:
+    /// `TH = log(max(|R|, |S|))`, under which a random prefix occurs in one
+    /// input set in expectation, so signature collisions are rare.
+    pub fn recommended_th(max_input_sets: usize) -> f64 {
+        (max_input_sets.max(2) as f64).ln()
+    }
+
+    /// The SSJoin threshold `T`.
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+
+    /// The (clamped) pruning threshold `TH`.
+    pub fn th(&self) -> f64 {
+        self.th
+    }
+}
+
+struct Enumerator<'a> {
+    /// `(weight, element)` sorted by descending weight (ties: ascending id),
+    /// restricted to positive weights.
+    items: Vec<(f64, ElementId)>,
+    /// `suffix[i]` = total weight of `items[i..]`.
+    suffix: Vec<f64>,
+    t: f64,
+    th: f64,
+    seen: FxHashSet<Signature>,
+    out: &'a mut Vec<Signature>,
+    nodes: usize,
+}
+
+impl Enumerator<'_> {
+    /// Take/skip walk from `items[i]`, with `sum` the chosen weight so far,
+    /// `sig` the incrementally hashed chosen prefix, and `lightest` the
+    /// weight of the most recently chosen (lightest) element.
+    fn walk(&mut self, i: usize, sum: f64, sig: SigBuilder, lightest: f64) {
+        self.nodes += 1;
+        assert!(
+            self.nodes <= NODE_BUDGET,
+            "WtEnum enumeration exceeded {NODE_BUDGET} nodes; raise TH or check weights"
+        );
+        // Crossed TH: the candidate prefix is fixed.
+        if sum >= self.th && sum > 0.0 {
+            let signature = sig.finish();
+            if self.seen.insert(signature) {
+                let emit = if sum >= self.t {
+                    // Only s' = chosen can be minimal with this prefix.
+                    sum - lightest < self.t
+                } else {
+                    // Greedy descending completion certifies minimality.
+                    sum + self.suffix.get(i).copied().unwrap_or(0.0) >= self.t
+                };
+                if emit {
+                    self.out.push(signature);
+                }
+            }
+            return;
+        }
+        if i >= self.items.len() {
+            return;
+        }
+        // Prune: even taking everything left cannot reach T (hence not TH
+        // either, since TH ≤ T).
+        if sum + self.suffix[i] < self.t {
+            return;
+        }
+        // Take items[i].
+        let (w, e) = self.items[i];
+        let mut taken = sig;
+        taken.push_u32(e);
+        self.walk(i + 1, sum + w, taken, w);
+        // Skip items[i].
+        self.walk(i + 1, sum, sig, lightest);
+    }
+}
+
+impl SignatureScheme for WtEnum {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        if self.t <= 0.0 {
+            // Degenerate threshold: everything joins everything; a single
+            // constant signature is correct (if useless for filtering).
+            let mut sig = SigBuilder::new(self.tag ^ u64::MAX);
+            sig.push(0);
+            out.push(sig.finish());
+            return;
+        }
+        let mut items: Vec<(f64, ElementId)> = set
+            .iter()
+            .map(|&e| (self.weights.weight(e), e))
+            .filter(|&(w, _)| w > 0.0)
+            .collect();
+        // Descending weight; ties broken by element id so every set orders a
+        // shared subset identically (the consistency Figure 8 relies on).
+        items.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite weights")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut suffix = vec![0.0; items.len() + 1];
+        for i in (0..items.len()).rev() {
+            suffix[i] = suffix[i + 1] + items[i].0;
+        }
+        if suffix[0] < self.t {
+            // w(s) < T: s can join nothing; no signatures (Figure 8 line 2
+            // enumerates no subsets).
+            return;
+        }
+        let mut enumerator = Enumerator {
+            items,
+            suffix,
+            t: self.t,
+            th: self.th,
+            seen: FxHashSet::default(),
+            out,
+            nodes: 0,
+        };
+        enumerator.walk(0, 0.0, SigBuilder::new(self.tag), f64::INFINITY);
+    }
+
+    fn name(&self) -> &'static str {
+        "WEN"
+    }
+}
+
+/// WtEnum adapted to weighted-jaccard SSJoins (Section 8.3) with the
+/// size-based filtering of Section 5 transplanted to *weighted* sizes.
+///
+/// Weighted sizes are cut into geometric intervals with ratio `1/γ`
+/// (mirroring Figure 6's `r_i = l_i/γ`); a set of weighted size in interval
+/// `j` emits instances `j` and `j+1`; instance `j`'s intersection threshold
+/// is the smallest `w(r∩s)` a joining pair routed to it can have:
+/// `wJs ≥ γ ⟹ w(r∩s) ≥ γ/(1+γ)·(w(r)+w(s)) ≥ 2γ/(1+γ)·(lower bound)`.
+#[derive(Debug, Clone)]
+pub struct WtEnumJaccard {
+    gamma: f64,
+    /// Weighted-size base: interval j covers `(base·γ^{-(j-1)}, base·γ^{-j}]`
+    /// — except interval 1, which also absorbs everything below `base`.
+    base: f64,
+    instances: Vec<WtEnum>,
+    weights: Arc<WeightMap>,
+}
+
+impl WtEnumJaccard {
+    /// Builds a scheme for weighted-jaccard threshold `gamma`, covering sets
+    /// of weighted size up to `max_weight`, with pruning threshold `th`.
+    pub fn new(gamma: f64, max_weight: f64, th: f64, weights: Arc<WeightMap>) -> Self {
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "weighted-jaccard gamma must be in (0,1)"
+        );
+        assert!(max_weight > 0.0, "max_weight must be positive");
+        // Base so that interval 1 already needs a nontrivial threshold; 1.0
+        // works for IDF weights (lightest informative token ~ ln 2).
+        let base = 1.0;
+        let ratio = 1.0 / gamma;
+        let mut instances = Vec::new();
+        let mut hi = base;
+        let mut j = 1u64;
+        loop {
+            // Sets routed to instance j have weighted size in
+            // (hi/ratio², hi]; joining pairs here have both weights above
+            // the interval-(j−1) lower bound.
+            let pair_min = if j == 1 { 0.0 } else { hi / (ratio * ratio) };
+            let t_j = 2.0 * gamma / (1.0 + gamma) * pair_min;
+            instances.push(WtEnum::with_tag(t_j, th, Arc::clone(&weights), j));
+            if hi > max_weight {
+                break;
+            }
+            hi *= ratio;
+            j += 1;
+        }
+        Self {
+            gamma,
+            base,
+            instances,
+            weights,
+        }
+    }
+
+    /// The weighted-jaccard threshold.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// 1-based weighted-size interval of a set weight.
+    fn interval_of(&self, w: f64) -> usize {
+        if w <= self.base {
+            return 1;
+        }
+        // smallest j with base·ratio^{j-1} >= w.
+        let ratio = 1.0 / self.gamma;
+        let j = ((w / self.base).ln() / ratio.ln()).ceil() as usize + 1;
+        j.min(self.instances.len())
+    }
+}
+
+impl SignatureScheme for WtEnumJaccard {
+    fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        let w = self.weights.set_weight(set);
+        if w <= 0.0 {
+            // Zero-weight sets are all weighted-jaccard 1 with each other.
+            let mut sig = SigBuilder::new(u64::MAX - 1);
+            sig.push(0);
+            out.push(sig.finish());
+            return;
+        }
+        let j = self.interval_of(w);
+        if let Some(inst) = self.instances.get(j - 1) {
+            inst.signatures_into(set, out);
+        }
+        if let Some(inst) = self.instances.get(j) {
+            inst.signatures_into(set, out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "WEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{weighted_intersection, weighted_jaccard};
+    use rand::prelude::*;
+
+    fn wmap(pairs: &[(u32, f64)]) -> Arc<WeightMap> {
+        Arc::new(WeightMap::from_pairs(pairs.iter().copied(), 1.0))
+    }
+
+    fn share_sig(scheme: &impl SignatureScheme, a: &[u32], b: &[u32]) -> bool {
+        let sa = scheme.signatures(a);
+        let sb = scheme.signatures(b);
+        sa.iter().any(|s| sb.contains(s))
+    }
+
+    /// The paper's Example 6: s = {a8, b4, c3, d2, e1, f1, g1}, T = 17,
+    /// TH = 14 → signatures {⟨a,b,d⟩, ⟨a,b,c⟩}.
+    #[test]
+    fn example6_signature_set() {
+        let (a, b, c, d, e, f, g) = (1u32, 2, 3, 4, 5, 6, 7);
+        let weights = wmap(&[
+            (a, 8.0),
+            (b, 4.0),
+            (c, 3.0),
+            (d, 2.0),
+            (e, 1.0),
+            (f, 1.0),
+            (g, 1.0),
+        ]);
+        let scheme = WtEnum::new(17.0, 14.0, weights);
+        let sigs = scheme.signatures(&[a, b, c, d, e, f, g]);
+        assert_eq!(
+            sigs.len(),
+            2,
+            "expected exactly the two prefixes of Figure 9"
+        );
+
+        // The two prefixes, hashed the same way the scheme hashes them
+        // (descending weight, ties by id): ⟨a,b,c⟩ and ⟨a,b,d⟩.
+        let hash_prefix = |elems: &[u32]| {
+            let mut s = SigBuilder::new(0);
+            for &e in elems {
+                s.push_u32(e);
+            }
+            s.finish()
+        };
+        let expect_abc = hash_prefix(&[a, b, c]);
+        let expect_abd = hash_prefix(&[a, b, d]);
+        assert!(sigs.contains(&expect_abc), "missing ⟨a,b,c⟩");
+        assert!(sigs.contains(&expect_abd), "missing ⟨a,b,d⟩");
+    }
+
+    #[test]
+    fn example6_joining_set_shares_signature() {
+        // "Any set that has a weighted intersection of 17 with s has to
+        // contain both a and b and at least one of c or d."
+        let weights = wmap(&[
+            (1, 8.0),
+            (2, 4.0),
+            (3, 3.0),
+            (4, 2.0),
+            (5, 1.0),
+            (6, 1.0),
+            (7, 1.0),
+        ]);
+        let scheme = WtEnum::new(17.0, 14.0, Arc::clone(&weights));
+        let s = vec![1, 2, 3, 4, 5, 6, 7];
+        let r = vec![1, 2, 3, 4]; // weight 17 exactly
+        assert!(weighted_intersection(&r, &s, &weights) >= 17.0);
+        assert!(share_sig(&scheme, &r, &s));
+    }
+
+    #[test]
+    fn below_threshold_sets_emit_nothing() {
+        let weights = wmap(&[(1, 2.0), (2, 3.0)]);
+        let scheme = WtEnum::new(10.0, 5.0, weights);
+        assert!(scheme.signatures(&[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn completeness_randomized() {
+        // Exactness: any pair with w(r∩s) ≥ T shares a signature.
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..200 {
+            let n_elems = 30u32;
+            let pairs: Vec<(u32, f64)> =
+                (0..n_elems).map(|e| (e, rng.gen_range(0.5..6.0))).collect();
+            let weights = Arc::new(WeightMap::from_pairs(pairs, 1.0));
+            let t = rng.gen_range(5.0..20.0);
+            let th = rng.gen_range(2.0..t);
+            let scheme = WtEnum::new(t, th, Arc::clone(&weights));
+
+            let mut all: Vec<u32> = (0..n_elems).collect();
+            all.shuffle(&mut rng);
+            let shared: Vec<u32> = {
+                let mut v = all[..rng.gen_range(3..15)].to_vec();
+                v.sort_unstable();
+                v
+            };
+            let mut a = shared.clone();
+            let mut b = shared.clone();
+            for &e in &all[20..] {
+                if rng.gen_bool(0.5) {
+                    a.push(e);
+                } else {
+                    b.push(e);
+                }
+            }
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            if weighted_intersection(&a, &b, &weights) >= t {
+                assert!(
+                    share_sig(&scheme, &a, &b),
+                    "trial {trial}: w(∩)={} ≥ T={t} but no shared signature",
+                    weighted_intersection(&a, &b, &weights)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn th_above_t_is_clamped_and_still_exact() {
+        let weights = wmap(&[(1, 5.0), (2, 5.0), (3, 5.0), (4, 5.0)]);
+        let scheme = WtEnum::new(10.0, 99.0, Arc::clone(&weights));
+        assert_eq!(scheme.th(), 10.0);
+        let a = vec![1, 2, 3];
+        let b = vec![1, 2, 4];
+        assert!(weighted_intersection(&a, &b, &weights) >= 10.0);
+        assert!(share_sig(&scheme, &a, &b));
+    }
+
+    #[test]
+    fn degenerate_threshold_matches_everything() {
+        let weights = wmap(&[]);
+        let scheme = WtEnum::new(0.0, 0.0, weights);
+        assert!(share_sig(&scheme, &[1], &[2]));
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_overlap() {
+        // With all weights 1 and T integral, WtEnum must be complete for
+        // |r∩s| ≥ T.
+        let weights = Arc::new(WeightMap::new(1.0));
+        let scheme = WtEnum::new(3.0, 2.0, Arc::clone(&weights));
+        let a = vec![1, 2, 3, 10];
+        let b = vec![1, 2, 3, 20];
+        assert!(share_sig(&scheme, &a, &b));
+        // Disjoint sets can share no prefix at all.
+        let d = vec![50, 51, 52, 53];
+        assert!(!share_sig(&scheme, &a, &d));
+    }
+
+    #[test]
+    fn weighted_jaccard_completeness_randomized() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..150 {
+            let n_elems = 40u32;
+            let pairs: Vec<(u32, f64)> =
+                (0..n_elems).map(|e| (e, rng.gen_range(0.5..5.0))).collect();
+            let weights = Arc::new(WeightMap::from_pairs(pairs, 1.0));
+            let gamma = *[0.7, 0.8, 0.9].choose(&mut rng).expect("non-empty");
+            let scheme = WtEnumJaccard::new(gamma, 250.0, 6.0, Arc::clone(&weights));
+
+            let mut all: Vec<u32> = (0..n_elems).collect();
+            all.shuffle(&mut rng);
+            let m = rng.gen_range(10..30);
+            let mut a: Vec<u32> = all[..m].to_vec();
+            let mut b = a.clone();
+            // A couple of asymmetric extras.
+            if let Some(&e) = all.get(m) {
+                a.push(e);
+            }
+            if let Some(&e) = all.get(m + 1) {
+                b.push(e);
+            }
+            a.sort_unstable();
+            b.sort_unstable();
+            let js = weighted_jaccard(&a, &b, &weights);
+            if js + 1e-9 >= gamma {
+                assert!(
+                    share_sig(&scheme, &a, &b),
+                    "trial {trial}: wJs={js} ≥ γ={gamma} but no shared signature"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_jaccard_zero_weight_sets() {
+        let weights = Arc::new(WeightMap::new(0.0));
+        let scheme = WtEnumJaccard::new(0.8, 10.0, 2.0, Arc::clone(&weights));
+        assert!(share_sig(&scheme, &[1], &[2])); // both weight 0 → wJs = 1
+    }
+
+    #[test]
+    fn recommended_th_grows_with_input() {
+        assert!(WtEnum::recommended_th(1_000_000) > WtEnum::recommended_th(1_000));
+        assert!(WtEnum::recommended_th(0) > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests on the core data structures: collection layout,
+//! combinatorics, hashing, and the join driver's encodings.
+
+use proptest::prelude::*;
+use ssj_core::hash::{mix64, Mix64, SigBuilder};
+use ssj_core::partenum::{binomial, subsets_of_size, PartEnumParams};
+use ssj_core::set::SetCollection;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn set_collection_roundtrips_arbitrary_sets(
+        sets in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..30), 0..40)
+    ) {
+        let collection: SetCollection = sets.iter().cloned().collect();
+        prop_assert_eq!(collection.len(), sets.len());
+        let mut total = 0;
+        for (i, original) in sets.iter().enumerate() {
+            let mut expected = original.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(collection.set(i as u32), expected.as_slice());
+            prop_assert_eq!(collection.set_len(i as u32), expected.len());
+            total += expected.len();
+        }
+        prop_assert_eq!(collection.total_elements(), total);
+        if !sets.is_empty() {
+            let max = (0..sets.len() as u32).map(|i| collection.set_len(i)).max();
+            prop_assert_eq!(Some(collection.max_set_len()), max);
+        }
+    }
+
+    #[test]
+    fn element_frequencies_sum_to_total(
+        sets in prop::collection::vec(prop::collection::vec(0u32..50, 0..15), 1..30)
+    ) {
+        let collection: SetCollection = sets.into_iter().collect();
+        let freq = collection.element_frequencies();
+        let sum: usize = freq.values().map(|&f| f as usize).sum();
+        prop_assert_eq!(sum, collection.total_elements());
+    }
+
+    #[test]
+    fn binomial_pascal_identity(n in 1usize..40, r in 1usize..40) {
+        prop_assume!(r <= n);
+        // C(n, r) = C(n−1, r−1) + C(n−1, r), where not saturated.
+        let lhs = binomial(n, r);
+        let rhs = binomial(n - 1, r - 1).saturating_add(binomial(n - 1, r));
+        if lhs < usize::MAX / 2 {
+            prop_assert_eq!(lhs, rhs);
+        }
+        prop_assert_eq!(binomial(n, r), binomial(n, n - r));
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete(n in 1usize..12, size in 0usize..12) {
+        prop_assume!(size <= n);
+        let subs = subsets_of_size(n, size);
+        prop_assert_eq!(subs.len(), binomial(n, size));
+        let mut sorted = subs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), subs.len(), "no duplicates");
+        for m in subs {
+            prop_assert_eq!(m.count_ones() as usize, size);
+            prop_assert!(m < (1u32 << n) || n == 32);
+        }
+    }
+
+    #[test]
+    fn params_k2_counting_bound(k in 0usize..40, n1_off in 0usize..40) {
+        let n1 = 1 + n1_off % (k + 1);
+        let k2 = (k + 1).div_ceil(n1) - 1;
+        // The Figure 3 counting argument: n1 partitions each holding ≤ k2
+        // differences cannot absorb k+1 of them.
+        prop_assert!(n1 * (k2 + 1) > k);
+        let p = PartEnumParams { n1, n2: k2 + 1 };
+        prop_assert!(p.validate(k).is_ok());
+    }
+
+    #[test]
+    fn mix64_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        // splitmix64 is a bijection: distinct inputs → distinct outputs.
+        prop_assert_eq!(mix64(a) == mix64(b), a == b);
+    }
+
+    #[test]
+    fn keyed_hash_deterministic_and_seed_sensitive(seed in any::<u64>(), x in any::<u32>()) {
+        let h = Mix64::new(seed);
+        prop_assert_eq!(h.hash_u32(x), Mix64::new(seed).hash_u32(x));
+        let other = Mix64::new(seed.wrapping_add(1));
+        // Different seeds virtually never agree (bijective mixing).
+        prop_assert_ne!(h.hash_u32(x), other.hash_u32(x));
+    }
+
+    #[test]
+    fn sig_builder_prefix_sensitivity(
+        words in prop::collection::vec(any::<u64>(), 1..10),
+        extra in any::<u64>(),
+    ) {
+        // Appending a word changes the hash (no trivial absorbing states).
+        let mut a = SigBuilder::new(7);
+        for &w in &words {
+            a.push(w);
+        }
+        let mut b = a;
+        b.push(extra);
+        prop_assert_ne!(a.finish(), b.finish());
+    }
+}

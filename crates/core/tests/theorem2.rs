@@ -1,0 +1,109 @@
+//! Empirical check of Theorem 2: with `n1 = k/ln k` and `n2 = 2·ln k`,
+//! vectors at hamming distance > 7.5k share a signature with probability
+//! o(1), using O(k^2.39) signatures per vector.
+//!
+//! We verify the three testable consequences at laptop scale:
+//! 1. the signature count under the theorem's parameters grows polynomially
+//!    (well under the 2^2k of pure enumeration);
+//! 2. the far-pair collision probability is small and **decreases** with k;
+//! 3. close pairs (≤ k) always collide (Theorem 1, the exactness side).
+
+use rand::prelude::*;
+use ssj_core::partenum::{PartEnumHamming, PartEnumParams};
+use ssj_core::signature::SignatureScheme;
+use ssj_core::similarity::hamming_distance;
+
+/// The Theorem 2 parameter setting, rounded to validity.
+fn theorem2_params(k: usize) -> PartEnumParams {
+    let ln_k = (k as f64).ln();
+    let n1 = ((k as f64 / ln_k).round() as usize).clamp(1, k + 1);
+    let mut n2 = (2.0 * ln_k).round() as usize;
+    // Respect the Figure 3 constraint n1·n2 ≥ k+1.
+    while n1 * n2 < k + 1 {
+        n2 += 1;
+    }
+    PartEnumParams { n1, n2 }
+}
+
+fn random_set(rng: &mut StdRng, len: usize) -> Vec<u32> {
+    let mut s: Vec<u32> = (0..len * 2).map(|_| rng.gen_range(0..50_000_000)).collect();
+    s.sort_unstable();
+    s.dedup();
+    s.truncate(len);
+    s
+}
+
+/// Far-pair collision rate over `trials` random pairs at distance ≫ 7.5k.
+fn far_collision_rate(k: usize, trials: usize, seed: u64) -> f64 {
+    let params = theorem2_params(k);
+    let scheme = PartEnumHamming::new(k, params, seed).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = 10 * k.max(4);
+    let mut collisions = 0usize;
+    for _ in 0..trials {
+        let u = random_set(&mut rng, len);
+        let v = random_set(&mut rng, len);
+        debug_assert!(hamming_distance(&u, &v) > 7 * k);
+        let su = scheme.signatures(&u);
+        let sv = scheme.signatures(&v);
+        if su.iter().any(|s| sv.contains(s)) {
+            collisions += 1;
+        }
+    }
+    collisions as f64 / trials as f64
+}
+
+#[test]
+fn signature_count_is_polynomial_in_k() {
+    for k in [4usize, 8, 16, 32] {
+        let params = theorem2_params(k);
+        let sigs = params.signatures_per_vector(k);
+        // O(k^2.39) with a generous constant; wildly below 2^{2k}.
+        let bound = 32.0 * (k as f64).powf(2.39);
+        assert!(
+            (sigs as f64) < bound,
+            "k={k}: {sigs} signatures exceeds {bound:.0}"
+        );
+    }
+}
+
+#[test]
+fn far_pairs_rarely_collide_and_rate_shrinks_with_k() {
+    let small_k = far_collision_rate(4, 300, 1);
+    let large_k = far_collision_rate(12, 300, 2);
+    assert!(small_k < 0.15, "k=4 far-pair collision rate {small_k}");
+    assert!(large_k < 0.05, "k=12 far-pair collision rate {large_k}");
+    assert!(
+        large_k <= small_k + 0.02,
+        "rate should not grow with k: {small_k} → {large_k}"
+    );
+}
+
+#[test]
+fn close_pairs_always_collide_under_theorem2_params() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for k in [4usize, 8, 12] {
+        let params = theorem2_params(k);
+        let scheme = PartEnumHamming::new(k, params, 7).expect("valid params");
+        for _ in 0..50 {
+            let u = random_set(&mut rng, 10 * k);
+            // Remove k/2 elements and add k/2 fresh ones: Hd = k (or less).
+            let mut v = u.clone();
+            for _ in 0..k / 2 {
+                v.pop();
+            }
+            for j in 0..k / 2 {
+                v.push(3_000_000_000 + j as u32);
+            }
+            v.sort_unstable();
+            assert!(hamming_distance(&u, &v) <= k);
+            let su = scheme.signatures(&u);
+            let sv = scheme.signatures(&v);
+            assert!(
+                su.iter().any(|s| sv.contains(s)),
+                "k={k}: exactness violated at Hd={}",
+                hamming_distance(&u, &v)
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Equivalence of the production WtEnum (prefix-walk enumeration) with a
+//! literal transcription of Figure 8: enumerate *all* minimal subsets
+//! explicitly, take each one's TH-prefix, dedup. The production code must
+//! produce exactly the same signature set on every input where the
+//! reference is tractable.
+
+use ssj_core::hash::SigBuilder;
+use ssj_core::set::{ElementId, WeightMap};
+use ssj_core::signature::SignatureScheme;
+use ssj_core::wtenum::WtEnum;
+use std::sync::Arc;
+
+/// Figure 8, executed literally (exponential; test inputs are small).
+fn reference_signatures(set: &[ElementId], weights: &WeightMap, t: f64, th: f64) -> Vec<u64> {
+    // Production behaviour under test: TH is clamped to ≤ T, zero-or-less
+    // weights drop out, and w(s) < T emits nothing.
+    let th = th.min(t).max(0.0);
+    let mut items: Vec<(f64, ElementId)> = set
+        .iter()
+        .map(|&e| (weights.weight(e), e))
+        .filter(|&(w, _)| w > 0.0)
+        .collect();
+    items.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    let n = items.len();
+    let mut out = Vec::new();
+    if t <= 0.0 {
+        let mut sig = SigBuilder::new(u64::MAX); // matches tag 0 ^ MAX
+        sig.push(0);
+        return vec![sig.finish()];
+    }
+    // Enumerate every subset (by bitmask over the descending-weight order).
+    for mask in 1u32..(1 << n) {
+        let chosen: Vec<(f64, ElementId)> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| items[i])
+            .collect();
+        let total: f64 = chosen.iter().map(|&(w, _)| w).sum();
+        if total < t {
+            continue;
+        }
+        // Minimal ⟺ removing the lightest element drops below T.
+        let lightest = chosen.iter().map(|&(w, _)| w).fold(f64::INFINITY, f64::min);
+        if total - lightest >= t {
+            continue;
+        }
+        // Figure 8 line 3–4: descending-weight order (already), smallest
+        // prefix with weight ≥ TH.
+        let mut sig = SigBuilder::new(0);
+        let mut acc = 0.0;
+        for &(w, e) in &chosen {
+            sig.push_u32(e);
+            acc += w;
+            if acc >= th {
+                break;
+            }
+        }
+        out.push(sig.finish());
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn check(set: &[ElementId], pairs: &[(u32, f64)], t: f64, th: f64) {
+    let weights = Arc::new(WeightMap::from_pairs(pairs.iter().copied(), 1.0));
+    let scheme = WtEnum::new(t, th, Arc::clone(&weights));
+    let mut got = scheme.signatures(set);
+    got.sort_unstable();
+    got.dedup();
+    let expected = reference_signatures(set, &weights, t, th);
+    assert_eq!(got, expected, "set={set:?} t={t} th={th}");
+}
+
+#[test]
+fn matches_reference_on_paper_example6() {
+    let pairs = [
+        (1u32, 8.0),
+        (2, 4.0),
+        (3, 3.0),
+        (4, 2.0),
+        (5, 1.0),
+        (6, 1.0),
+        (7, 1.0),
+    ];
+    check(&[1, 2, 3, 4, 5, 6, 7], &pairs, 17.0, 14.0);
+}
+
+#[test]
+fn matches_reference_on_random_inputs() {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..300 {
+        let n = rng.gen_range(1..12usize);
+        let pairs: Vec<(u32, f64)> = (0..n as u32)
+            .map(|e| {
+                // Mix of integral and fractional weights, including ties.
+                let w = match rng.gen_range(0..4) {
+                    0 => rng.gen_range(1..5) as f64,
+                    1 => rng.gen_range(0.5..4.0),
+                    2 => 2.0,
+                    _ => rng.gen_range(0.1..1.0),
+                };
+                (e, w)
+            })
+            .collect();
+        let set: Vec<u32> = (0..n as u32).collect();
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        let t = rng.gen_range(0.2..total * 1.2);
+        let th = rng.gen_range(0.1..t * 1.5);
+        check(&set, &pairs, t, th);
+        let _ = trial;
+    }
+}
+
+#[test]
+fn matches_reference_with_zero_and_negative_weights() {
+    let pairs = [(1u32, 3.0), (2, 0.0), (3, -1.0), (4, 2.0), (5, 1.5)];
+    check(&[1, 2, 3, 4, 5], &pairs, 4.0, 2.0);
+}
+
+#[test]
+fn matches_reference_when_th_exceeds_t() {
+    let pairs = [(1u32, 5.0), (2, 4.0), (3, 3.0), (4, 2.0)];
+    check(&[1, 2, 3, 4], &pairs, 6.0, 100.0);
+}
+
+#[test]
+fn matches_reference_on_subsets_of_the_set() {
+    // The scheme must behave identically when the set omits elements.
+    let pairs = [(1u32, 4.0), (2, 3.0), (3, 2.0), (4, 1.0)];
+    for set in [vec![1, 3], vec![2, 3, 4], vec![4], vec![1, 2, 3, 4]] {
+        check(&set, &pairs, 5.0, 3.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ssj-datagen — workload generators for the reproduction
+//!
+//! The paper evaluates on a proprietary address corpus, DBLP, and a uniform
+//! synthetic workload. This crate regenerates all three shapes
+//! deterministically (see DESIGN.md "Data substitutions"):
+//!
+//! * [`address`] — US-style org+address strings with typo'd duplicates
+//!   (stand-in for the proprietary 1M-record address data);
+//! * [`dblp`] — author+title bibliography strings (stand-in for DBLP);
+//! * [`uniform`] — the paper's synthetic equi-size workload (50 elements
+//!   from a 10,000-element domain, planted similar pairs);
+//! * [`zipf`] — skewed-element collections for stress tests;
+//! * [`typo`] — the shared error model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod dblp;
+pub mod typo;
+pub mod uniform;
+pub mod zipf;
+
+pub use address::{generate_addresses, AddressConfig};
+pub use dblp::{generate_dblp, DblpConfig};
+pub use typo::{apply_typos, drop_token, random_edit};
+pub use uniform::{generate_uniform, UniformConfig};
+pub use zipf::{generate_zipf, Zipf, ZipfConfig};

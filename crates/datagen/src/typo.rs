@@ -1,0 +1,115 @@
+//! Typo injection: the error model that turns clean records into the
+//! near-duplicates a data-cleaning SSJoin must find ("misspellings caused by
+//! typographic errors", Section 1).
+
+use rand::prelude::*;
+
+/// A single random character edit: substitution, insertion, deletion, or
+/// adjacent transposition (uniformly chosen), over ASCII lowercase/digits.
+pub fn random_edit(s: &str, rng: &mut impl Rng) -> String {
+    let mut bytes: Vec<u8> = s.as_bytes().to_vec();
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    if bytes.is_empty() {
+        return (*alphabet.choose(rng).expect("non-empty") as char).to_string();
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            // substitute
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = *alphabet.choose(rng).expect("non-empty");
+        }
+        1 => {
+            // insert
+            let i = rng.gen_range(0..=bytes.len());
+            bytes.insert(i, *alphabet.choose(rng).expect("non-empty"));
+        }
+        2 => {
+            // delete
+            let i = rng.gen_range(0..bytes.len());
+            bytes.remove(i);
+        }
+        _ => {
+            // transpose adjacent
+            if bytes.len() >= 2 {
+                let i = rng.gen_range(0..bytes.len() - 1);
+                bytes.swap(i, i + 1);
+            } else {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = *alphabet.choose(rng).expect("non-empty");
+            }
+        }
+    }
+    String::from_utf8(bytes).expect("ascii edits preserve utf-8")
+}
+
+/// Applies `n` independent random edits.
+pub fn apply_typos(s: &str, n: usize, rng: &mut impl Rng) -> String {
+    let mut out = s.to_string();
+    for _ in 0..n {
+        out = random_edit(&out, rng);
+    }
+    out
+}
+
+/// Drops one whitespace-separated token (a formatting-convention error —
+/// e.g. a missing unit designator in an address).
+pub fn drop_token(s: &str, rng: &mut impl Rng) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() <= 1 {
+        return s.to_string();
+    }
+    let skip = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != skip)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn single_edit_changes_distance_by_at_most_two() {
+        // One random edit is at Levenshtein distance ≤ 2 from the original
+        // (a transposition counts as up to 2 unit edits).
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "main street 42";
+            let t = random_edit(s, &mut rng);
+            let d = ssj_text::levenshtein(s, &t);
+            assert!(d >= 1 || t == s, "edit should usually change the string");
+            assert!(d <= 2, "edit moved too far: {t:?}");
+        }
+    }
+
+    #[test]
+    fn apply_typos_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 0..4 {
+            let s = "evergreen terrace 742";
+            let t = apply_typos(s, n, &mut rng);
+            assert!(ssj_text::levenshtein(s, &t) <= 2 * n);
+        }
+    }
+
+    #[test]
+    fn drop_token_removes_one_word() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = "one two three";
+        let t = drop_token(s, &mut rng);
+        assert_eq!(t.split_whitespace().count(), 2);
+        assert_eq!(drop_token("single", &mut rng), "single");
+    }
+
+    #[test]
+    fn empty_string_edit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = random_edit("", &mut rng);
+        assert_eq!(t.len(), 1);
+    }
+}

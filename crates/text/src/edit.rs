@@ -1,0 +1,152 @@
+//! Levenshtein edit distance, including the banded variant used to verify
+//! candidate pairs in edit-distance string joins (Section 8.2's
+//! `EDIT(S1.Str, S2.Str)` post-filter).
+
+/// Full Levenshtein distance (unit-cost insert/delete/substitute), O(|a|·|b|)
+/// time, O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &cl) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let cost = usize::from(cl != cs);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Whether `levenshtein(a, b) ≤ k`, in O(k·min(|a|,|b|)) time via the
+/// Ukkonen band: only diagonals within ±k of the main diagonal can
+/// contribute to a distance ≤ k.
+pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    // Length difference alone forces at least that many edits.
+    if long.len() - short.len() > k {
+        return false;
+    }
+    if short.is_empty() {
+        return long.len() <= k;
+    }
+    const INF: usize = usize::MAX / 2;
+    let n = short.len();
+    let mut prev = vec![INF; n + 1];
+    let mut cur = vec![INF; n + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(n) + 1) {
+        *p = j;
+    }
+    for (i, &cl) in long.iter().enumerate() {
+        // Band for row i+1: columns j with |（i+1) − j| ≤ k.
+        let lo = (i + 1).saturating_sub(k);
+        let hi = ((i + 1) + k).min(n);
+        if lo > hi {
+            return false;
+        }
+        cur[lo.saturating_sub(1)] = INF;
+        if lo == 0 {
+            cur[0] = i + 1;
+        } else {
+            cur[lo - 1] = INF;
+        }
+        let start = lo.max(1);
+        let mut row_min = if lo == 0 { i + 1 } else { INF };
+        for j in start..=hi {
+            let cost = usize::from(cl != short[j - 1]);
+            let diag = prev[j - 1].saturating_add(cost);
+            let up = prev[j].saturating_add(1);
+            let left = cur[j - 1].saturating_add(1);
+            let v = diag.min(up).min(left);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        // Early exit: the whole band exceeds k, so the final distance must.
+        if row_min > k {
+            return false;
+        }
+        if hi < n {
+            cur[hi + 1] = INF;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n] <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("washington", "woshington"), 1);
+        assert_eq!(levenshtein("148th Ave", "147th Ave"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
+    }
+
+    #[test]
+    fn banded_agrees_with_full_on_random_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let alphabet = b"abcde";
+        for _ in 0..500 {
+            let la = rng.gen_range(0..15);
+            let lb = rng.gen_range(0..15);
+            let a: String = (0..la)
+                .map(|_| *alphabet.choose(&mut rng).expect("non-empty") as char)
+                .collect();
+            let b: String = (0..lb)
+                .map(|_| *alphabet.choose(&mut rng).expect("non-empty") as char)
+                .collect();
+            let d = levenshtein(&a, &b);
+            for k in 0..6 {
+                assert_eq!(
+                    within_edit_distance(&a, &b, k),
+                    d <= k,
+                    "a={a:?} b={b:?} d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_early_exit_on_length_gap() {
+        assert!(!within_edit_distance("short", "a much longer string", 3));
+        assert!(within_edit_distance("", "ab", 2));
+        assert!(!within_edit_distance("", "abc", 2));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("similarity", "dissimilar", "similar");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn unicode_is_treated_bytewise() {
+        // Multi-byte chars count per byte — fine for the join (a conservative
+        // overestimate never loses pairs at the bag level; verification and
+        // generation use the same convention).
+        assert_eq!(levenshtein("é", "e"), 2);
+    }
+}

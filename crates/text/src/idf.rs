@@ -1,0 +1,48 @@
+//! IDF weighting for weighted SSJoins over text (Section 7: "A well-known
+//! example is the use of weights based on inverse document frequency (IDF)
+//! in Information Retrieval").
+
+use ssj_core::set::{SetCollection, WeightMap};
+use std::sync::Arc;
+
+/// Builds a token [`SetCollection`] from strings (whitespace tokens, hashed)
+/// and the matching IDF [`WeightMap`] in one pass.
+pub fn tokenize_with_idf(strings: &[String], seed: u64) -> (SetCollection, Arc<WeightMap>) {
+    let collection: SetCollection = strings
+        .iter()
+        .map(|s| crate::tokenize::token_set(s, seed))
+        .collect();
+    let weights = Arc::new(WeightMap::idf(&collection));
+    (collection, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_tokens_weigh_more() {
+        let strings: Vec<String> = vec![
+            "seattle washington".into(),
+            "redmond washington".into(),
+            "bellevue washington".into(),
+            "portland oregon".into(),
+        ];
+        let (collection, weights) = tokenize_with_idf(&strings, 7);
+        assert_eq!(collection.len(), 4);
+        let wa = crate::tokenize::token_set("washington", 7)[0];
+        let or = crate::tokenize::token_set("oregon", 7)[0];
+        assert!(
+            weights.weight(or) > weights.weight(wa),
+            "oregon (rare) must outweigh washington (common)"
+        );
+    }
+
+    #[test]
+    fn collection_aligns_with_input_order() {
+        let strings: Vec<String> = vec!["a b".into(), "c".into()];
+        let (collection, _) = tokenize_with_idf(&strings, 0);
+        assert_eq!(collection.set_len(0), 2);
+        assert_eq!(collection.set_len(1), 1);
+    }
+}

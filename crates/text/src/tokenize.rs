@@ -1,0 +1,140 @@
+//! String → set/bag conversion.
+//!
+//! The paper's experiments build sets two ways (Section 8.1–8.2):
+//!
+//! * **word tokens**: split on whitespace and hash each word to a 32-bit
+//!   element ("tokenized the strings based on white space separators, and
+//!   hashed the resulting words into 32 bit integers");
+//! * **n-gram bags**: overlapping character n-grams *with multiplicity*,
+//!   since edit-distance joins bound the hamming distance between n-gram
+//!   bags. Bags are turned into sets with the occurrence-numbering trick —
+//!   the `w`-th copy of gram `g` becomes the element `(g, w)` — under which
+//!   bag symmetric difference equals set hamming distance.
+
+use ssj_core::hash::{hash_bytes, mix64, FxHashMap};
+use ssj_core::set::ElementId;
+
+/// Hashes a whitespace-separated string into a deduplicated, sorted token
+/// set. `seed` keys the hash so different corpora can use disjoint spaces.
+pub fn token_set(s: &str, seed: u64) -> Vec<ElementId> {
+    let mut out: Vec<ElementId> = s
+        .split_whitespace()
+        .map(|tok| hash_bytes(tok.as_bytes(), seed) as ElementId)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The character n-grams of `s` (as byte windows), in order, with
+/// multiplicity. Strings shorter than `n` yield their whole content as a
+/// single gram (so no string maps to an empty bag unless empty itself).
+pub fn qgrams(s: &str, n: usize) -> Vec<u64> {
+    assert!(n >= 1, "gram size must be at least 1");
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    if bytes.len() <= n {
+        return vec![hash_bytes(bytes, n as u64)];
+    }
+    bytes.windows(n).map(|w| hash_bytes(w, n as u64)).collect()
+}
+
+/// Occurrence-encodes a bag of gram hashes into a set: the `w`-th occurrence
+/// of gram `g` becomes element `hash(g, w)`. Sorted and deduplicated.
+///
+/// Under this encoding, `Hd(bag(a), bag(b))` (multiset symmetric difference)
+/// equals the set hamming distance of the encodings: the `w`-th copies match
+/// iff both bags have at least `w` copies.
+pub fn occurrence_encode(grams: &[u64]) -> Vec<ElementId> {
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut out = Vec::with_capacity(grams.len());
+    for &g in grams {
+        let occ = counts.entry(g).or_insert(0);
+        out.push(mix64(g ^ ((*occ as u64) << 48).wrapping_add(0x9e3779b97f4a7c15)) as ElementId);
+        *occ += 1;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `occurrence_encode(qgrams(s, n))`: the set representation the
+/// edit-distance join operates on.
+pub fn qgram_set(s: &str, n: usize) -> Vec<ElementId> {
+    occurrence_encode(&qgrams(s, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::similarity::hamming_distance;
+
+    #[test]
+    fn token_set_dedups_and_sorts() {
+        let a = token_set("the quick the fox", 0);
+        let b = token_set("fox quick the", 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn token_set_is_seeded() {
+        assert_ne!(token_set("hello world", 0), token_set("hello world", 1));
+    }
+
+    #[test]
+    fn qgram_counts() {
+        assert_eq!(qgrams("washington", 3).len(), 8);
+        assert_eq!(qgrams("ab", 3).len(), 1); // short string → whole content
+        assert_eq!(qgrams("", 3).len(), 0);
+        assert_eq!(qgrams("abc", 1).len(), 3);
+    }
+
+    #[test]
+    fn paper_example1_hamming_via_grams() {
+        // Example 1: Hd between the 3-gram sets of washington/woshington is 4.
+        let a = qgram_set("washington", 3);
+        let b = qgram_set("woshington", 3);
+        assert_eq!(hamming_distance(&a, &b), 4);
+    }
+
+    #[test]
+    fn occurrence_encoding_preserves_multiplicity() {
+        // "aaa" has 1-gram bag {a,a,a}; "aa" has {a,a}: bag symmetric
+        // difference 1 → encoded hamming distance 1.
+        let a = qgram_set("aaa", 1);
+        let b = qgram_set("aa", 1);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(hamming_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn repeated_grams_encode_distinctly() {
+        let encoded = occurrence_encode(&[7, 7, 7]);
+        assert_eq!(encoded.len(), 3, "three copies must become three elements");
+    }
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        let a = qgram_set("148th Ave NE", 2);
+        let b = qgram_set("148th Ave NE", 2);
+        assert_eq!(hamming_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn single_substitution_bounded_by_2n() {
+        // One substitution changes ≤ n grams on each side: Hd ≤ 2n.
+        for n in 1..=4 {
+            let a = qgram_set("similarity", n);
+            let b = qgram_set("simularity", n);
+            assert!(
+                hamming_distance(&a, &b) <= 2 * n,
+                "n={n}: Hd = {}",
+                hamming_distance(&a, &b)
+            );
+        }
+    }
+}

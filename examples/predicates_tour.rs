@@ -1,0 +1,88 @@
+//! A tour of the general SSJoin predicate class (Section 6): the same
+//! GeneralPartEnum machinery evaluates jaccard, hamming, dice, cosine, and
+//! the paper's `|r∩s| ≥ γ·max(|r|,|s|)` example — and correctly refuses
+//! plain intersection thresholds, which lack the size/hamming bounds the
+//! construction needs (those go to WtEnum or Probe-Count instead).
+//!
+//! ```text
+//! cargo run --release --example predicates_tour
+//! ```
+
+use ssjoin::baselines::{NaiveJoin, ProbeCount};
+use ssjoin::datagen::{generate_zipf, ZipfConfig};
+use ssjoin::prelude::*;
+
+fn main() {
+    let base = generate_zipf(ZipfConfig {
+        sets: 2_000,
+        mean_size: 12,
+        domain: 3_000,
+        alpha: 1.0,
+        seed: 42,
+    });
+    // Plant near-duplicates so every predicate has output: clone every 10th
+    // set with one element swapped.
+    let mut sets: Vec<Vec<u32>> = base.iter().map(|(_, s)| s.to_vec()).collect();
+    for i in (0..base.len()).step_by(10) {
+        let mut dup = sets[i].clone();
+        if !dup.is_empty() {
+            let last = dup.len() - 1;
+            dup[last] = 5_000 + i as u32; // outside the Zipf domain
+        }
+        sets.push(dup);
+    }
+    let collection: SetCollection = sets.into_iter().collect();
+    println!(
+        "{} Zipf-skewed sets (mean size {:.1})\n",
+        collection.len(),
+        collection.avg_set_len()
+    );
+
+    let predicates = [
+        Predicate::Jaccard { gamma: 0.8 },
+        Predicate::Hamming { k: 2 },
+        Predicate::Dice { gamma: 0.9 },
+        Predicate::Cosine { gamma: 0.9 },
+        Predicate::MaxFraction { gamma: 0.85 },
+    ];
+    println!(
+        "{:<34} {:>8} {:>10} {:>9}",
+        "predicate", "matches", "candidates", "seconds"
+    );
+    for pred in predicates {
+        let scheme = GeneralPartEnum::new(pred, collection.max_set_len(), 7)
+            .expect("all of these are in the Section 6 class");
+        let result = self_join(&scheme, &collection, pred, None, JoinOptions::default());
+        println!(
+            "{:<34} {:>8} {:>10} {:>9.3}",
+            format!("{pred:?}"),
+            result.stats.output_pairs,
+            result.stats.candidate_pairs,
+            result.stats.total_secs()
+        );
+        // Exactness spot-check against the oracle.
+        let mut expected = NaiveJoin::self_join(&collection, pred, None);
+        expected.sort_unstable();
+        let mut got = result.pairs;
+        got.sort_unstable();
+        assert_eq!(got, expected, "{pred:?} must be exact");
+    }
+
+    // Plain overlap thresholds are outside the class...
+    let overlap = Predicate::Overlap { t: 6 };
+    let rejected = GeneralPartEnum::new(overlap, collection.max_set_len(), 7);
+    println!(
+        "\nGeneralPartEnum rejects {overlap:?}: {}",
+        rejected.expect_err("must be rejected")
+    );
+
+    // ...but Probe-Count handles them exactly.
+    let pc = ProbeCount::self_join(&collection, overlap, None);
+    let mut expected = NaiveJoin::self_join(&collection, overlap, None);
+    expected.sort_unstable();
+    assert_eq!(pc.pairs, expected);
+    println!(
+        "Probe-Count handles it instead: {} matches (verified exact).",
+        pc.pairs.len()
+    );
+}

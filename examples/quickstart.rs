@@ -1,0 +1,52 @@
+//! Quickstart: find all pairs of similar sets in a collection, exactly.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ssjoin::prelude::*;
+
+fn main() {
+    // Sets over an arbitrary u32 element domain — in practice, hashed tokens.
+    let collection: SetCollection = vec![
+        vec![1, 2, 3, 4, 5],    // 0
+        vec![1, 2, 3, 4, 5, 6], // 1: jaccard 5/6 ≈ 0.83 with set 0
+        vec![10, 11, 12, 13],   // 2
+        vec![10, 11, 12, 14],   // 3: jaccard 3/5 = 0.6 with set 2
+        vec![100, 200, 300],    // 4: similar to nothing
+    ]
+    .into_iter()
+    .collect();
+
+    let gamma = 0.8;
+
+    // PartEnum is exact: the result is guaranteed complete.
+    let scheme = PartEnumJaccard::new(gamma, collection.max_set_len(), 42).expect("0 < gamma <= 1");
+    let result = self_join(
+        &scheme,
+        &collection,
+        Predicate::Jaccard { gamma },
+        None,
+        JoinOptions::default(),
+    );
+
+    println!("pairs with jaccard >= {gamma}:");
+    for (a, b) in &result.pairs {
+        println!(
+            "  sets {a} and {b}: {:?} ~ {:?}",
+            collection.set(*a),
+            collection.set(*b)
+        );
+    }
+    assert_eq!(result.pairs, vec![(0, 1)]);
+
+    let s = &result.stats;
+    println!(
+        "\nstats: {} signatures, {} candidates, {} output, F2 = {}",
+        s.total_signatures(),
+        s.candidate_pairs,
+        s.output_pairs,
+        s.f2()
+    );
+    println!("exact: {}", !result.approximate);
+}

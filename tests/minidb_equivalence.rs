@@ -1,0 +1,128 @@
+//! The paper's DBMS query plans (Figures 10–11, 16–17), executed on the
+//! mini relational engine, produce exactly the native pipeline's answers —
+//! for every scheme family.
+
+use ssjoin::baselines::{LshJaccard, LshParams, PrefixFilter, PrefixFilterConfig};
+use ssjoin::datagen::{generate_addresses, AddressConfig};
+use ssjoin::minidb;
+use ssjoin::prelude::*;
+use ssjoin::text::token_set;
+
+fn address_tokens(n: usize, seed: u64) -> SetCollection {
+    let strings = generate_addresses(AddressConfig {
+        base_records: n,
+        duplicate_fraction: 0.3,
+        seed,
+        ..Default::default()
+    });
+    strings.iter().map(|s| token_set(s, 0xabc)).collect()
+}
+
+fn native_pairs(
+    scheme: &(impl SignatureScheme + Sync),
+    c: &SetCollection,
+    gamma: f64,
+) -> Vec<(u32, u32)> {
+    let mut pairs = self_join(
+        scheme,
+        c,
+        Predicate::Jaccard { gamma },
+        None,
+        JoinOptions::default(),
+    )
+    .pairs;
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn jaccard_plan_equals_native_for_partenum() {
+    let c = address_tokens(300, 1);
+    for gamma in [0.7, 0.85] {
+        let scheme = PartEnumJaccard::new(gamma, c.max_set_len(), 2).expect("valid gamma");
+        assert_eq!(
+            minidb::jaccard_plan(&c, &scheme, gamma),
+            native_pairs(&scheme, &c, gamma),
+            "gamma={gamma}"
+        );
+    }
+}
+
+#[test]
+fn jaccard_plan_equals_native_for_prefix_filter() {
+    let c = address_tokens(300, 2);
+    let gamma = 0.8;
+    let scheme = PrefixFilter::build(
+        Predicate::Jaccard { gamma },
+        &[&c],
+        None,
+        PrefixFilterConfig::default(),
+    )
+    .expect("unweighted build succeeds");
+    assert_eq!(
+        minidb::jaccard_plan(&c, &scheme, gamma),
+        native_pairs(&scheme, &c, gamma)
+    );
+}
+
+#[test]
+fn jaccard_plan_equals_native_for_lsh() {
+    // Same (seeded) scheme on both paths → identical candidates → identical
+    // output, even though LSH is approximate.
+    let c = address_tokens(300, 3);
+    let gamma = 0.8;
+    let scheme = LshJaccard::new(LshParams { g: 3, l: 6 }, 17);
+    assert_eq!(
+        minidb::jaccard_plan(&c, &scheme, gamma),
+        native_pairs(&scheme, &c, gamma)
+    );
+}
+
+#[test]
+fn string_plan_equals_native_edit_join() {
+    let strings = generate_addresses(AddressConfig {
+        base_records: 250,
+        duplicate_fraction: 0.4,
+        max_typos: 1,
+        drop_token_prob: 0.0,
+        seed: 4,
+    });
+    for k in [1usize, 2] {
+        let cfg = ssjoin::text::EditJoinConfig::partenum(k);
+        let scheme =
+            ssjoin::core::partenum::PartEnumHamming::with_defaults(cfg.hamming_threshold(), 99);
+        let plan = minidb::string_plan(&strings, &scheme, cfg.gram, k);
+        let mut native = ssjoin::text::edit_distance_self_join(&strings, cfg).pairs;
+        native.sort_unstable();
+        assert_eq!(plan, native, "k={k}");
+    }
+}
+
+#[test]
+fn plan_intermediates_have_expected_shapes() {
+    let c: SetCollection = vec![vec![1, 2, 3], vec![1, 2, 3, 4], vec![9, 10]]
+        .into_iter()
+        .collect();
+    let scheme = PartEnumJaccard::new(0.7, c.max_set_len(), 5).expect("valid gamma");
+    let set = minidb::set_table(&c);
+    assert_eq!(set.rows(), 9);
+    let sig = minidb::signature_table(&c, &scheme);
+    assert!(sig.rows() > 0);
+    let cand = minidb::cand_pair(&sig);
+    // id1 < id2 and distinct.
+    let rows = cand.sorted_rows();
+    for w in rows.windows(2) {
+        assert!(w[0] < w[1], "CandPair must be distinct");
+    }
+    for r in &rows {
+        assert!(r[0] < r[1], "CandPair must be ordered");
+    }
+    let inter = minidb::cand_pair_intersect(&cand, &set);
+    for r in 0..inter.rows() {
+        let isize_ = inter.value(2, r);
+        assert!(
+            isize_ >= 1,
+            "intersections in CandPairIntersect are positive"
+        );
+    }
+}

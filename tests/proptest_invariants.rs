@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: similarity-measure laws, interval partition laws, signature
+//! completeness (Theorem 1 and its jaccard / weighted counterparts), and
+//! edit-distance metric laws.
+
+use proptest::prelude::*;
+use ssjoin::baselines::{PrefixFilter, PrefixFilterConfig};
+use ssjoin::core::partenum::{PartEnumParams, SizeIntervals};
+use ssjoin::core::similarity::*;
+use ssjoin::prelude::*;
+use ssjoin::text::{levenshtein, qgram_set, within_edit_distance};
+use std::sync::Arc;
+
+fn sorted_set(max_elem: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..max_elem, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jaccard_laws(a in sorted_set(50, 30), b in sorted_set(50, 30)) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn hamming_is_a_metric(
+        a in sorted_set(40, 25),
+        b in sorted_set(40, 25),
+        c in sorted_set(40, 25),
+    ) {
+        let ab = hamming_distance(&a, &b);
+        prop_assert_eq!(ab, hamming_distance(&b, &a));
+        prop_assert_eq!(hamming_distance(&a, &a), 0);
+        // Triangle inequality (symmetric difference is a metric).
+        prop_assert!(ab <= hamming_distance(&a, &c) + hamming_distance(&c, &b));
+        // Consistency with the intersection identity.
+        prop_assert_eq!(ab, a.len() + b.len() - 2 * intersection_size(&a, &b));
+    }
+
+    #[test]
+    fn intersection_at_least_matches_exact_count(
+        a in sorted_set(30, 20),
+        b in sorted_set(30, 20),
+        t in 0usize..25,
+    ) {
+        prop_assert_eq!(
+            intersection_at_least(&a, &b, t),
+            intersection_size(&a, &b) >= t
+        );
+    }
+
+    #[test]
+    fn weighted_reduces_to_unweighted_under_unit_weights(
+        a in sorted_set(40, 20),
+        b in sorted_set(40, 20),
+    ) {
+        let w = WeightMap::new(1.0);
+        prop_assert!(
+            (weighted_jaccard(&a, &b, &w) - jaccard(&a, &b)).abs() < 1e-9
+        );
+        prop_assert!(
+            (weighted_hamming(&a, &b, &w) - hamming_distance(&a, &b) as f64).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn size_intervals_partition(gamma in 0.5f64..1.0, max in 10usize..300) {
+        let iv = SizeIntervals::new(gamma, max);
+        let mut next = 1usize;
+        for i in 1..=iv.count() {
+            let (l, r) = iv.interval(i);
+            prop_assert_eq!(l, next);
+            prop_assert!(r >= l);
+            next = r + 1;
+        }
+        for size in 1..=max {
+            let i = iv.interval_of(size);
+            let (l, r) = iv.interval(i);
+            prop_assert!(l <= size && size <= r);
+        }
+    }
+
+    #[test]
+    fn partenum_params_always_valid_over_candidates(k in 0usize..20) {
+        for p in PartEnumParams::candidates(k, 128) {
+            prop_assert!(p.validate(k).is_ok());
+            prop_assert!(p.k2(k) < p.n2);
+            prop_assert!(p.signatures_per_vector(k) <= 128);
+        }
+        prop_assert!(PartEnumParams::default_for(k).validate(k).is_ok());
+    }
+
+    #[test]
+    fn partenum_theorem1_completeness(
+        base in sorted_set(100_000, 40),
+        k in 1usize..6,
+        seed in 0u64..1000,
+        dels in 0usize..3,
+    ) {
+        // Derive a partner within hamming distance k.
+        let mut other = base.clone();
+        let dels = dels.min(other.len()).min(k);
+        for _ in 0..dels {
+            other.pop();
+        }
+        for (offset, _) in (0..(k - dels).min(2)).enumerate() {
+            other.push(2_000_000_000u32 + offset as u32);
+        }
+        other.sort_unstable();
+        prop_assume!(hamming_distance(&base, &other) <= k);
+
+        let scheme = ssjoin::core::partenum::PartEnumHamming::with_defaults(k, seed);
+        let sa = scheme.signatures(&base);
+        let sb = scheme.signatures(&other);
+        prop_assert!(sa.iter().any(|s| sb.contains(s)));
+    }
+
+    #[test]
+    fn jaccard_partenum_completeness(
+        shared in sorted_set(10_000, 35),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(shared.len() >= 10);
+        let gamma = 0.8;
+        // Partner adds one element: Js = n/(n+1) ≥ 0.8 for n ≥ 4.
+        let mut bigger = shared.clone();
+        bigger.push(3_000_000_000);
+        let scheme = PartEnumJaccard::new(gamma, bigger.len(), seed).unwrap();
+        let sa = scheme.signatures(&shared);
+        let sb = scheme.signatures(&bigger);
+        prop_assert!(sa.iter().any(|s| sb.contains(s)));
+    }
+
+    #[test]
+    fn wtenum_completeness(
+        set in sorted_set(60, 25),
+        t in 1.0f64..8.0,
+        th in 0.5f64..8.0,
+    ) {
+        // Identical sets with w(s) ≥ T must share a signature.
+        let weights = Arc::new(WeightMap::new(1.0));
+        prop_assume!(set.len() as f64 >= t);
+        let scheme = WtEnum::new(t, th, Arc::clone(&weights));
+        let sigs = scheme.signatures(&set);
+        prop_assert!(!sigs.is_empty());
+        // And a superset shares one too (intersection = set, weight ≥ T).
+        let mut sup = set.clone();
+        sup.push(1_000);
+        sup.sort_unstable();
+        sup.dedup();
+        let sup_sigs = scheme.signatures(&sup);
+        prop_assert!(sigs.iter().any(|s| sup_sigs.contains(s)));
+    }
+
+    #[test]
+    fn edit_distance_metric_laws(
+        a in "[a-d]{0,10}",
+        b in "[a-d]{0,10}",
+        c in "[a-d]{0,10}",
+    ) {
+        let ab = levenshtein(&a, &b);
+        prop_assert_eq!(ab, levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(ab <= levenshtein(&a, &c) + levenshtein(&c, &b));
+        // Banded check agrees with the full computation.
+        for k in 0..4usize {
+            prop_assert_eq!(within_edit_distance(&a, &b, k), ab <= k);
+        }
+    }
+
+    #[test]
+    fn gram_hamming_bounds_edit_distance(
+        a in "[a-c]{1,12}",
+        b in "[a-c]{1,12}",
+        n in 1usize..4,
+    ) {
+        // The join's safety bound: Hd(gram sets) ≤ 2·n·ed(a,b)
+        // (strings of length ≥ n; shorter ones hash whole-string, still
+        // bounded since one edit changes at most one whole-string gram each
+        // side — covered by the same inequality).
+        let d = levenshtein(&a, &b);
+        let ha = qgram_set(&a, n);
+        let hb = qgram_set(&b, n);
+        prop_assert!(
+            hamming_distance(&ha, &hb) <= 2 * n * d + 2 * n,
+            "a={} b={} n={} d={} hd={}", a, b, n, d, hamming_distance(&ha, &hb)
+        );
+    }
+
+    #[test]
+    fn prefix_filter_never_misses(
+        sets in prop::collection::vec(sorted_set(25, 12), 2..25),
+        gamma_pct in 50u32..95,
+    ) {
+        let gamma = gamma_pct as f64 / 100.0;
+        let collection: SetCollection = sets.into_iter().collect();
+        let pred = Predicate::Jaccard { gamma };
+        let scheme = PrefixFilter::build(
+            pred, &[&collection], None, PrefixFilterConfig::default(),
+        ).unwrap();
+        let mut got = self_join(&scheme, &collection, pred, None, JoinOptions::default()).pairs;
+        got.sort_unstable();
+        let mut expected = ssjoin::baselines::NaiveJoin::self_join(&collection, pred, None);
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}
