@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full CI gate. Run locally before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "CI green."

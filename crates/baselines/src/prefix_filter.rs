@@ -240,7 +240,14 @@ impl SignatureScheme for PrefixFilter {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
         // Weighted jaccard: residual-weight prefix with weighted size tags.
         if let Predicate::WeightedJaccard { gamma } = self.pred {
-            let w = self.weights.as_ref().expect("validated at build");
+            let Some(w) = self.weights.as_ref() else {
+                // `build` rejects weighted predicates without a weight map;
+                // if that invariant ever breaks, emit the degenerate
+                // constant signature (correct, filter-free) over aborting.
+                debug_assert!(false, "weighted prefix filter without weights");
+                self.emit_constant(TAG_EMPTY, out);
+                return;
+            };
             let total = w.set_weight(set);
             if total <= 0.0 {
                 // All-zero-weight sets are mutually similar (wJs = 1).

@@ -13,6 +13,7 @@ fn bench_edit(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("PEN_n1", k), &k, |b, &k| {
             b.iter(|| {
                 edit_distance_self_join(&strings, EditJoinConfig::partenum(k))
+                    .unwrap()
                     .pairs
                     .len()
             })
@@ -20,6 +21,7 @@ fn bench_edit(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("PF_n4", k), &k, |b, &k| {
             b.iter(|| {
                 edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, 4))
+                    .unwrap()
                     .pairs
                     .len()
             })

@@ -61,7 +61,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
             // PEN with 1-grams.
             let mut cfg = EditJoinConfig::partenum(k);
             cfg.threads = threads;
-            let pen = edit_distance_self_join(&strings, cfg);
+            let pen = edit_distance_self_join(&strings, cfg).expect("edit join builds");
             records.push(edit_record("PEN(n=1)", n, k, &pen.stats));
 
             // PF with the best gram size in 4..=6 (tracked per run),
@@ -78,7 +78,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
                 }
                 let mut cfg = EditJoinConfig::prefix_filter(k, gram);
                 cfg.threads = threads;
-                let r = edit_distance_self_join(&strings, cfg);
+                let r = edit_distance_self_join(&strings, cfg).expect("edit join builds");
                 let better = best
                     .as_ref()
                     .is_none_or(|(_, b)| r.stats.total_secs() < b.stats.total_secs());

@@ -1,7 +1,6 @@
 //! Shared machinery for the reproduction harness: scales, algorithm
 //! runners, result records, and table/JSON output.
 
-use serde::{Deserialize, Serialize};
 use ssj_baselines::{LshJaccard, PrefixFilter, PrefixFilterConfig};
 use ssj_core::join::{self_join, JoinOptions, JoinResult};
 use ssj_core::partenum::{optimize_jaccard, PartEnumJaccard};
@@ -59,7 +58,7 @@ impl Scale {
 }
 
 /// One measured run: everything needed to print the paper's chart data.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Experiment id ("fig12", "tab1", ...).
     pub experiment: String,
@@ -330,7 +329,7 @@ pub fn write_json(experiment: &str, records: &[RunRecord]) -> std::io::Result<st
     let dir = std::path::Path::new("target").join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{experiment}.json"));
-    let json = serde_json::to_string_pretty(records).expect("records serialize");
+    let json = crate::json::records_to_json(records);
     std::fs::write(&path, json)?;
     Ok(path)
 }

@@ -1,0 +1,488 @@
+//! Hand-rolled JSON encoding/decoding for [`RunRecord`]s.
+//!
+//! The build environment is offline, so instead of `serde_json` the harness
+//! writes and reads its one record shape with this small module: a strict
+//! encoder for `Vec<RunRecord>` and a minimal recursive-descent JSON parser
+//! (objects, arrays, strings, numbers, booleans, null) for reading them
+//! back.
+
+use crate::harness::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (key order normalized).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Number(x) => Ok(*x),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+/// Escapes a string into a JSON string literal (appended to `out`).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` so it parses back exactly (JSON has no NaN/inf; those
+/// are clamped to `null`-safe extremes before writing).
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        // Records never contain non-finite values; clamp defensively.
+        let _ = write!(out, "{}", if x > 0.0 { f64::MAX } else { f64::MIN });
+    }
+}
+
+/// Encodes records as a pretty-printed JSON array (stable field order).
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\n");
+        let field = |out: &mut String, key: &str, last: bool, write: &dyn Fn(&mut String)| {
+            out.push_str("    ");
+            write_escaped(out, key);
+            out.push_str(": ");
+            write(out);
+            out.push_str(if last { "\n" } else { ",\n" });
+        };
+        field(&mut out, "experiment", false, &|o| {
+            write_escaped(o, &r.experiment)
+        });
+        field(&mut out, "dataset", false, &|o| {
+            write_escaped(o, &r.dataset)
+        });
+        field(&mut out, "algo", false, &|o| write_escaped(o, &r.algo));
+        field(&mut out, "input_size", false, &|o| {
+            let _ = write!(o, "{}", r.input_size);
+        });
+        field(&mut out, "param", false, &|o| write_f64(o, r.param));
+        field(&mut out, "sig_gen_secs", false, &|o| {
+            write_f64(o, r.sig_gen_secs)
+        });
+        field(&mut out, "cand_gen_secs", false, &|o| {
+            write_f64(o, r.cand_gen_secs)
+        });
+        field(&mut out, "verify_secs", false, &|o| {
+            write_f64(o, r.verify_secs)
+        });
+        field(&mut out, "total_secs", false, &|o| {
+            write_f64(o, r.total_secs)
+        });
+        field(&mut out, "f2", false, &|o| {
+            let _ = write!(o, "{}", r.f2);
+        });
+        field(&mut out, "signatures", false, &|o| {
+            let _ = write!(o, "{}", r.signatures);
+        });
+        field(&mut out, "collisions", false, &|o| {
+            let _ = write!(o, "{}", r.collisions);
+        });
+        field(&mut out, "candidates", false, &|o| {
+            let _ = write!(o, "{}", r.candidates);
+        });
+        field(&mut out, "output_pairs", false, &|o| {
+            let _ = write!(o, "{}", r.output_pairs);
+        });
+        field(&mut out, "recall", false, &|o| match r.recall {
+            Some(x) => write_f64(o, x),
+            None => o.push_str("null"),
+        });
+        field(&mut out, "notes", true, &|o| write_escaped(o, &r.notes));
+        out.push_str("  }");
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Decodes a JSON array of record objects (as written by
+/// [`records_to_json`] or compatible external tools).
+pub fn records_from_json(data: &str) -> Result<Vec<RunRecord>, String> {
+    let value = parse(data)?;
+    let items = match value {
+        Value::Array(items) => items,
+        other => return Err(format!("expected top-level array, found {other:?}")),
+    };
+    items.into_iter().map(record_from_value).collect()
+}
+
+fn record_from_value(value: Value) -> Result<RunRecord, String> {
+    let obj = match value {
+        Value::Object(map) => map,
+        other => return Err(format!("expected record object, found {other:?}")),
+    };
+    let get = |key: &str| -> Result<&Value, String> {
+        obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let usize_of = |key: &str| -> Result<usize, String> {
+        let x = get(key)?.as_f64()?;
+        Ok(x as usize)
+    };
+    let u64_of = |key: &str| -> Result<u64, String> {
+        let x = get(key)?.as_f64()?;
+        Ok(x as u64)
+    };
+    Ok(RunRecord {
+        experiment: get("experiment")?.as_str()?.to_string(),
+        dataset: get("dataset")?.as_str()?.to_string(),
+        algo: get("algo")?.as_str()?.to_string(),
+        input_size: usize_of("input_size")?,
+        param: get("param")?.as_f64()?,
+        sig_gen_secs: get("sig_gen_secs")?.as_f64()?,
+        cand_gen_secs: get("cand_gen_secs")?.as_f64()?,
+        verify_secs: get("verify_secs")?.as_f64()?,
+        total_secs: get("total_secs")?.as_f64()?,
+        f2: u64_of("f2")?,
+        signatures: u64_of("signatures")?,
+        collisions: u64_of("collisions")?,
+        candidates: u64_of("candidates")?,
+        output_pairs: u64_of("output_pairs")?,
+        recall: match get("recall")? {
+            Value::Null => None,
+            v => Some(v.as_f64()?),
+        },
+        notes: get("notes")?.as_str()?.to_string(),
+    })
+}
+
+/// Parses one JSON document.
+pub fn parse(data: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: data.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Result<u8, String> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek()? as char
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek()?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek()?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+                            let hex = end
+                                .and_then(|e| std::str::from_utf8(&self.bytes[self.pos..e]).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogates are not produced by our encoder;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape {:?} at byte {}",
+                                other as char, self.pos
+                            ))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: pass raw bytes through (input is &str,
+                // so the sequence is valid).
+                b => {
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|bs| std::str::from_utf8(bs).ok())
+                        .ok_or_else(|| format!("invalid utf-8 at byte {start}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(recall: Option<f64>) -> RunRecord {
+        RunRecord {
+            experiment: "fig12".into(),
+            dataset: "address".into(),
+            algo: "PEN".into(),
+            input_size: 10_000,
+            param: 0.85,
+            sig_gen_secs: 0.125,
+            cand_gen_secs: 1.5,
+            verify_secs: 0.25,
+            total_secs: 1.875,
+            f2: 123_456,
+            signatures: 4_000,
+            collisions: 119_456,
+            candidates: 37,
+            output_pairs: 12,
+            recall,
+            notes: "n1=3 \"quoted\"\nline".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_records() {
+        let records = vec![record(None), record(Some(0.97))];
+        let json = records_to_json(&records);
+        let back = records_from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].experiment, "fig12");
+        assert_eq!(back[0].recall, None);
+        assert_eq!(back[1].recall, Some(0.97));
+        assert_eq!(back[1].f2, 123_456);
+        assert_eq!(back[1].notes, "n1=3 \"quoted\"\nline");
+        assert!((back[1].param - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_array_roundtrips() {
+        let json = records_to_json(&[]);
+        assert_eq!(records_from_json(&json).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parser_handles_general_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"nested": true}, "c": null}"#).unwrap();
+        match v {
+            Value::Object(map) => {
+                assert_eq!(
+                    map["a"],
+                    Value::Array(vec![
+                        Value::Number(1.0),
+                        Value::Number(2.5),
+                        Value::Number(-300.0)
+                    ])
+                );
+                assert_eq!(map["c"], Value::Null);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("[1] extra").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = parse(r#""héllo → wörld""#).unwrap();
+        assert_eq!(v, Value::String("héllo → wörld".to_string()));
+        let v = parse(r#""Aé""#).unwrap();
+        assert_eq!(v, Value::String("Aé".to_string()));
+    }
+}

@@ -13,10 +13,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod datasets;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod report;
 
 pub use harness::{JaccardAlgo, RunRecord, Scale};

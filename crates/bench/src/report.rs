@@ -112,7 +112,8 @@ pub fn load_records(name: &str) -> std::io::Result<Vec<RunRecord>> {
         .join("experiments")
         .join(format!("{name}.json"));
     let data = std::fs::read_to_string(path)?;
-    serde_json::from_str(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    crate::json::records_from_json(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

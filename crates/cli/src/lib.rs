@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod args;
 
@@ -160,7 +161,8 @@ pub fn execute(cli: &Cli) -> Result<Outcome, String> {
             _ => unreachable!("parser rejects other algos for edit mode"),
         };
         cfg.threads = cli.threads;
-        let result = ssj_text::edit_distance_self_join(&left_lines, cfg);
+        let result = ssj_text::edit_distance_self_join(&left_lines, cfg)
+            .map_err(|e| format!("edit join failed: {e}"))?;
         let s = &result.stats;
         return Ok(Outcome {
             pairs: result.pairs,

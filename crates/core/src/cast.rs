@@ -1,0 +1,71 @@
+//! Checked narrowing conversions for id-sized integers.
+//!
+//! The repo lint (`cargo xtask lint`, rule `narrowing-cast`) bans bare
+//! `as` narrowing casts in ssj-core: a silent wrap on a set id or arena
+//! offset corrupts join output instead of failing. The conversions that
+//! remain go through these helpers, which debug-assert the value fits and
+//! saturate (never wrap) in release builds.
+//!
+//! Saturation is a defense in depth, not a code path: the values converted
+//! here are bounded at the source — [`crate::set::SetCollection`] rejects
+//! more than `u32::MAX` sets or elements at insertion, encoded candidate
+//! pairs carry 32-bit halves by construction, and second-level partition
+//! indices are ≤ 32.
+
+use crate::set::SetId;
+
+/// Converts a collection index to a [`SetId`].
+#[inline]
+pub fn set_id(i: usize) -> SetId {
+    debug_assert!(SetId::try_from(i).is_ok(), "set id {i} exceeds u32 range");
+    SetId::try_from(i).unwrap_or(SetId::MAX)
+}
+
+/// Extracts a [`SetId`] from one 32-bit half of an encoded candidate pair.
+#[inline]
+pub fn set_id_u64(i: u64) -> SetId {
+    debug_assert!(SetId::try_from(i).is_ok(), "set id {i} exceeds u32 range");
+    SetId::try_from(i).unwrap_or(SetId::MAX)
+}
+
+/// Converts a small index (arena offset, partition number, bitmask) to u32.
+#[inline]
+pub fn u32_of(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "value {i} exceeds u32 range");
+    u32::try_from(i).unwrap_or(u32::MAX)
+}
+
+/// Converts a u64 known to hold a 32-bit value (e.g. a ≤ 32-bit bitmask).
+#[inline]
+pub fn u32_of_u64(i: u64) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "value {i} exceeds u32 range");
+    u32::try_from(i).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(set_id(0), 0);
+        assert_eq!(set_id(123_456), 123_456);
+        assert_eq!(set_id_u64((1u64 << 32) - 1), u32::MAX);
+        assert_eq!(u32_of(31), 31);
+        assert_eq!(u32_of_u64(0xffff_ffff), u32::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_builds_saturate() {
+        assert_eq!(set_id(usize::MAX), SetId::MAX);
+        assert_eq!(u32_of_u64(u64::MAX), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 range")]
+    #[cfg(debug_assertions)]
+    fn debug_builds_catch_overflow() {
+        let _ = set_id(usize::MAX);
+    }
+}

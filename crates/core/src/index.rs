@@ -140,11 +140,7 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
             .into_iter()
             .map(|id| (id, score(&sorted, self.sets.set(id))))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite scores")
-                .then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -210,29 +206,27 @@ impl JaccardIndex {
         if size <= self.max_size {
             return;
         }
-        while self.max_size < size {
-            self.max_size *= 2;
+        let mut target = self.max_size;
+        while target < size {
+            target *= 2;
         }
-        let scheme = crate::partenum::PartEnumJaccard::new(self.gamma, self.max_size, self.seed)
-            .expect("gamma already validated");
+        let Ok(scheme) = crate::partenum::PartEnumJaccard::new(self.gamma, target, self.seed)
+        else {
+            // `gamma` was validated when the index was created, so a failure
+            // here would be a bug; growing coverage is an optimization, so
+            // keep the current scheme rather than abort.
+            debug_assert!(false, "scheme rebuild failed for validated gamma");
+            return;
+        };
+        self.max_size = target;
         // Rebuild: re-sign every live set under the wider scheme.
-        let mut rebuilt =
-            SimilarityIndex::new(scheme, Predicate::Jaccard { gamma: self.gamma }, None);
-        let old = std::mem::replace(
-            &mut self.inner,
-            SimilarityIndex::new(
-                crate::partenum::PartEnumJaccard::new(self.gamma, 16, self.seed)
-                    .expect("gamma already validated"),
-                Predicate::Jaccard { gamma: self.gamma },
-                None,
-            ),
-        );
-        for id in 0..old.sets.len() as SetId {
+        let rebuilt = SimilarityIndex::new(scheme, Predicate::Jaccard { gamma: self.gamma }, None);
+        let old = std::mem::replace(&mut self.inner, rebuilt);
+        for id in 0..crate::cast::set_id(old.sets.len()) {
             if !old.deleted.contains(&id) {
-                rebuilt.insert(old.sets.set(id).to_vec());
+                self.inner.insert(old.sets.set(id).to_vec());
             }
         }
-        self.inner = rebuilt;
     }
 
     /// Inserts a set; returns its (current) id.
@@ -259,7 +253,7 @@ impl JaccardIndex {
             sorted.dedup();
             let pred = Predicate::Jaccard { gamma: self.gamma };
             let (lo, hi) = pred.size_bounds(sorted.len()).unwrap_or((0, usize::MAX));
-            return (0..self.inner.sets.len() as SetId)
+            return (0..crate::cast::set_id(self.inner.sets.len()))
                 .filter(|id| !self.inner.deleted.contains(id))
                 .filter(|&id| {
                     let len = self.inner.sets.set_len(id);
@@ -350,7 +344,7 @@ mod tests {
         let sets: Vec<Vec<u32>> = (0..150)
             .map(|i| {
                 let base = (i % 30) * 50;
-                let len = rng.gen_range(5..15);
+                let len = rng.gen_range(5u32..15);
                 (base..base + len).collect()
             })
             .collect();

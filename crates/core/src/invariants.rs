@@ -1,0 +1,178 @@
+//! Debug-build invariant assertions.
+//!
+//! The paper's correctness argument leans on three structural invariants
+//! that are cheap to state and expensive to violate silently:
+//!
+//! 1. **Canonical sets** — every stored set is strictly sorted and
+//!    deduplicated (Section 2's set model; every similarity kernel assumes
+//!    it).
+//! 2. **Candidate completeness** — a signature scheme claiming exactness
+//!    must produce candidate sets that are supersets of the true join
+//!    result (Section 3's correctness property, Theorem 1 for PartEnum,
+//!    Theorem 5 for WtEnum).
+//! 3. **Interval coverage** — the Figure 6 size intervals partition the
+//!    whole covered size range contiguously, which is what makes the
+//!    Lemma 1 `i−1/i/i+1` routing exhaustive.
+//!
+//! Every check here is gated on `cfg(debug_assertions)` (and, for the
+//! quadratic completeness check, on small inputs), so release builds pay
+//! nothing. Violations panic — these are bugs, not recoverable states.
+
+use crate::predicate::Predicate;
+use crate::set::{ElementId, SetCollection, SetId, WeightMap};
+
+/// Largest collection the O(n²) candidate-completeness check will scan.
+/// Beyond this the check silently does nothing, even in debug builds.
+pub const COMPLETENESS_CHECK_MAX_SETS: usize = 64;
+
+/// Asserts (debug only) that `set` is strictly sorted and deduplicated.
+#[inline]
+pub fn assert_canonical(set: &[ElementId]) {
+    debug_assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "set must be strictly sorted and deduplicated"
+    );
+}
+
+/// Asserts (debug only, small inputs only) that the encoded candidate pairs
+/// of a **self-join** form a superset of the true result under `pred`.
+///
+/// `encoded` holds `(a << 32) | b` pairs with `a < b`, sorted ascending —
+/// exactly what the join driver's candidate generation produces.
+pub fn assert_self_candidates_complete(
+    encoded: &[u64],
+    collection: &SetCollection,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+) {
+    if !cfg!(debug_assertions) || collection.len() > COMPLETENESS_CHECK_MAX_SETS {
+        return;
+    }
+    for a in 0..collection.len() {
+        for b in (a + 1)..collection.len() {
+            let (ia, ib) = (crate::cast::set_id(a), crate::cast::set_id(b));
+            if pred.evaluate(collection.set(ia), collection.set(ib), weights) {
+                let key = (u64::from(ia) << 32) | u64::from(ib);
+                assert!(
+                    encoded.binary_search(&key).is_ok(),
+                    "exact scheme dropped true pair ({ia}, {ib}) under {pred:?}: \
+                     candidate set is not a superset of the result"
+                );
+            }
+        }
+    }
+}
+
+/// Asserts (debug only, small inputs only) that the encoded candidate pairs
+/// of a **binary join** `R ⋈ S` form a superset of the true result.
+pub fn assert_binary_candidates_complete(
+    encoded: &[u64],
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+) {
+    if !cfg!(debug_assertions)
+        || r.len() > COMPLETENESS_CHECK_MAX_SETS
+        || s.len() > COMPLETENESS_CHECK_MAX_SETS
+    {
+        return;
+    }
+    for a in 0..r.len() {
+        for b in 0..s.len() {
+            let (ia, ib) = (crate::cast::set_id(a), crate::cast::set_id(b));
+            if pred.evaluate(r.set(ia), s.set(ib), weights) {
+                let key = (u64::from(ia) << 32) | u64::from(ib);
+                assert!(
+                    encoded.binary_search(&key).is_ok(),
+                    "exact scheme dropped true pair ({ia}, {ib}) under {pred:?}: \
+                     candidate set is not a superset of the result"
+                );
+            }
+        }
+    }
+}
+
+/// Asserts (debug only) that interval bounds `[r_0 = 0, r_1, …, r_m]` cover
+/// the size range `[1, max_size]` contiguously: strictly increasing bounds
+/// with no gaps, last bound at or beyond `max_size` (Figure 6 step (a),
+/// the precondition of Lemma 1's neighbor routing).
+#[inline]
+pub fn assert_interval_cover(bounds: &[usize], max_size: usize) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    debug_assert!(
+        bounds.first() == Some(&0),
+        "interval bounds must start at the r_0 = 0 sentinel"
+    );
+    debug_assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "interval bounds must be strictly increasing (each interval non-empty)"
+    );
+    debug_assert!(
+        bounds.last().copied().unwrap_or(0) >= max_size,
+        "intervals must cover sizes up to {max_size}"
+    );
+}
+
+/// Whether a [`SetId`] range check makes sense for `collection` — used by
+/// callers that want to pre-validate ids arriving from the outside.
+#[inline]
+pub fn id_in_range(collection: &SetCollection, id: SetId) -> bool {
+    (id as usize) < collection.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_accepts_sorted_sets() {
+        assert_canonical(&[]);
+        assert_canonical(&[7]);
+        assert_canonical(&[1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn canonical_rejects_duplicates() {
+        assert_canonical(&[1, 1, 2]);
+    }
+
+    #[test]
+    fn completeness_passes_for_true_superset() {
+        let c = SetCollection::from_sets(vec![vec![1, 2, 3], vec![1, 2, 3, 4], vec![9]]);
+        // (0,1) is the only jaccard-0.7 pair; encode it plus one extra.
+        let encoded = vec![1u64, (2u64 << 32) | 9];
+        assert_self_candidates_complete(&encoded, &c, Predicate::Jaccard { gamma: 0.7 }, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a superset")]
+    #[cfg(debug_assertions)]
+    fn completeness_catches_dropped_pair() {
+        let c = SetCollection::from_sets(vec![vec![1, 2, 3], vec![1, 2, 3, 4], vec![9]]);
+        assert_self_candidates_complete(&[], &c, Predicate::Jaccard { gamma: 0.7 }, None);
+    }
+
+    #[test]
+    fn interval_cover_accepts_contiguous_bounds() {
+        assert_interval_cover(&[0, 1, 2, 4, 8], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn interval_cover_rejects_gapless_violation() {
+        assert_interval_cover(&[0, 3, 3, 8], 8);
+    }
+
+    #[test]
+    fn id_range_checks() {
+        let c = SetCollection::from_sets(vec![vec![1], vec![2]]);
+        assert!(id_in_range(&c, 1));
+        assert!(!id_in_range(&c, 2));
+    }
+}

@@ -67,6 +67,15 @@ pub struct JoinResult {
     pub approximate: bool,
 }
 
+/// Unwraps a scoped worker's result, forwarding a worker panic to the
+/// caller's thread instead of swallowing it.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Flattened per-set signatures: `sigs[offsets[i]..offsets[i+1]]` belong to
 /// set `i`. Signatures are sorted and deduplicated per set, so bucket
 /// membership is unique per (signature, set).
@@ -109,20 +118,19 @@ fn generate_signatures(
     }
 
     let chunk = n.div_ceil(threads);
-    let mut parts: Vec<(Vec<Signature>, Vec<u64>)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let parts: Vec<(Vec<Signature>, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut sigs = Vec::new();
                     // Per-set signature counts within this chunk.
                     let mut counts = Vec::with_capacity(hi.saturating_sub(lo));
                     let mut buf = Vec::new();
                     for id in lo..hi {
                         buf.clear();
-                        scheme.signatures_into(collection.set(id as SetId), &mut buf);
+                        scheme.signatures_into(collection.set(crate::cast::set_id(id)), &mut buf);
                         buf.sort_unstable();
                         buf.dedup();
                         sigs.extend_from_slice(&buf);
@@ -132,19 +140,17 @@ fn generate_signatures(
                 })
             })
             .collect();
-        parts = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
-    })
-    .expect("thread scope failed");
+        handles.into_iter().map(join_worker).collect()
+    });
 
     let mut sigs = Vec::with_capacity(parts.iter().map(|(s, _)| s.len()).sum());
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0);
+    let mut total = 0u64;
     for (part_sigs, counts) in parts {
         for c in counts {
-            offsets.push(offsets.last().expect("non-empty") + c);
+            total += c;
+            offsets.push(total);
         }
         sigs.extend_from_slice(&part_sigs);
     }
@@ -186,22 +192,21 @@ fn self_candidates(table: &SignatureTable, n: usize, threads: usize) -> (Vec<u64
         let mut map: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
         for id in 0..n {
             for &sig in table.of(id) {
-                map.entry(sig).or_default().push(id as SetId);
+                map.entry(sig).or_default().push(crate::cast::set_id(id));
             }
         }
         bucket_pairs(map)
     } else {
         let shards = threads as u64;
-        let mut results: Vec<(Vec<u64>, u64)> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|shard| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut map: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
                         for id in 0..n {
                             for &sig in table.of(id) {
                                 if sig % shards == shard {
-                                    map.entry(sig).or_default().push(id as SetId);
+                                    map.entry(sig).or_default().push(crate::cast::set_id(id));
                                 }
                             }
                         }
@@ -209,12 +214,8 @@ fn self_candidates(table: &SignatureTable, n: usize, threads: usize) -> (Vec<u64
                     })
                 })
                 .collect();
-            results = handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect();
-        })
-        .expect("thread scope failed");
+            handles.into_iter().map(join_worker).collect()
+        });
         let mut pairs = Vec::new();
         let mut collisions = 0;
         for (p, c) in results {
@@ -238,7 +239,7 @@ fn binary_candidates(
     let mut index: FxHashMap<Signature, Vec<SetId>> = FxHashMap::default();
     for id in 0..ns {
         for &sig in table_s.of(id) {
-            index.entry(sig).or_default().push(id as SetId);
+            index.entry(sig).or_default().push(crate::cast::set_id(id));
         }
     }
     let mut pairs: Vec<u64> = Vec::new();
@@ -264,6 +265,15 @@ fn binary_candidates(
     (pairs, collisions)
 }
 
+/// Decodes a `(min << 32) | max` candidate pair into its set ids.
+#[inline]
+fn decode_pair(encoded: u64) -> (SetId, SetId) {
+    (
+        crate::cast::set_id_u64(encoded >> 32),
+        crate::cast::set_id_u64(encoded & 0xffff_ffff),
+    )
+}
+
 /// Post-filters encoded candidate pairs with the predicate.
 fn verify_pairs(
     pairs: &[u64],
@@ -274,8 +284,7 @@ fn verify_pairs(
     threads: usize,
 ) -> Vec<(SetId, SetId)> {
     let check = |encoded: u64| -> Option<(SetId, SetId)> {
-        let a = (encoded >> 32) as SetId;
-        let b = (encoded & 0xffff_ffff) as SetId;
+        let (a, b) = decode_pair(encoded);
         pred.evaluate(left.set(a), right.set(b), weights)
             .then_some((a, b))
     };
@@ -283,21 +292,20 @@ fn verify_pairs(
         return pairs.iter().filter_map(|&p| check(p)).collect();
     }
     let chunk = pairs.len().div_ceil(threads);
-    let mut out = Vec::new();
     let check = &check;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| slice.iter().filter_map(|&p| check(p)).collect::<Vec<_>>())
+                scope.spawn(move || slice.iter().filter_map(|&p| check(p)).collect::<Vec<_>>())
             })
             .collect();
+        let mut out = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("worker panicked"));
+            out.extend(join_worker(h));
         }
+        out
     })
-    .expect("thread scope failed");
-    out
 }
 
 /// Computes a self-SSJoin of `collection` under `pred` using `scheme`
@@ -327,6 +335,12 @@ pub fn self_join(
     stats.candidate_pairs = encoded.len() as u64;
     stats.cand_gen_secs = t1.elapsed().as_secs_f64();
 
+    // Debug builds cross-check Theorem 1 on small inputs: an exact scheme's
+    // candidates must be a superset of the true result.
+    if !scheme.is_approximate() {
+        crate::invariants::assert_self_candidates_complete(&encoded, collection, pred, weights);
+    }
+
     let t2 = Instant::now();
     let pairs = if opts.verify {
         verify_pairs(
@@ -338,10 +352,7 @@ pub fn self_join(
             opts.threads,
         )
     } else {
-        encoded
-            .iter()
-            .map(|&p| ((p >> 32) as SetId, (p & 0xffff_ffff) as SetId))
-            .collect()
+        encoded.iter().map(|&p| decode_pair(p)).collect()
     };
     stats.output_pairs = pairs.len() as u64;
     stats.false_positives = stats.candidate_pairs - stats.output_pairs;
@@ -384,14 +395,16 @@ pub fn join(
     stats.candidate_pairs = encoded.len() as u64;
     stats.cand_gen_secs = t1.elapsed().as_secs_f64();
 
+    // Debug builds cross-check Theorem 1 on small inputs (see self_join).
+    if !scheme.is_approximate() {
+        crate::invariants::assert_binary_candidates_complete(&encoded, r, s, pred, weights);
+    }
+
     let t2 = Instant::now();
     let pairs = if opts.verify {
         verify_pairs(&encoded, r, s, pred, weights, opts.threads)
     } else {
-        encoded
-            .iter()
-            .map(|&p| ((p >> 32) as SetId, (p & 0xffff_ffff) as SetId))
-            .collect()
+        encoded.iter().map(|&p| decode_pair(p)).collect()
     };
     stats.output_pairs = pairs.len() as u64;
     stats.false_positives = stats.candidate_pairs - stats.output_pairs;

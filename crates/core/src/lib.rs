@@ -50,10 +50,13 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+pub mod cast;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod invariants;
 pub mod join;
 pub mod partenum;
 pub mod predicate;

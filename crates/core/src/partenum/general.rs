@@ -94,7 +94,12 @@ impl GeneralPartEnum {
         // partner may be, probed at a reference size (uniform for the
         // supported predicates).
         let probe = max_set_size.max(16);
-        let (_, hi) = pred.size_bounds(probe).expect("checked supports_partenum");
+        let Some((_, hi)) = pred.size_bounds(probe) else {
+            // supports_partenum() implies size bounds exist for every size.
+            return Err(SsjError::UnsupportedPredicate(format!(
+                "{pred:?} has no size bound at probe size {probe}"
+            )));
+        };
         let ratio = (hi as f64 / probe as f64).max(1.0);
         let gamma_eff = (1.0 / ratio).clamp(1e-6, 1.0);
         let intervals = SizeIntervals::new(gamma_eff, max_set_size.max(1) + 1);

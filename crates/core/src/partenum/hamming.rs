@@ -45,8 +45,9 @@ impl PartEnumHamming {
 
     /// Creates an instance with default parameters for `k`.
     pub fn with_defaults(k: usize, seed: u64) -> Self {
-        Self::new(k, PartEnumParams::default_for(k), seed)
-            .expect("default parameters are always valid")
+        // `default_for` always yields parameters that pass `validate`, so
+        // the unvalidated constructor is sound here.
+        Self::build(k, PartEnumParams::default_for(k), seed, 0)
     }
 
     /// Creates an instance whose signatures carry an extra tag, ensuring
@@ -54,15 +55,21 @@ impl PartEnumHamming {
     /// the interval number to signatures for exactly this reason).
     pub fn with_tag(k: usize, params: PartEnumParams, seed: u64, tag: u64) -> Result<Self> {
         params.validate(k)?;
+        Ok(Self::build(k, params, seed, tag))
+    }
+
+    /// Constructs without validation; callers guarantee `params` is valid
+    /// for `k`.
+    fn build(k: usize, params: PartEnumParams, seed: u64, tag: u64) -> Self {
         let k2 = params.k2(k);
-        Ok(Self {
+        Self {
             k,
             params,
             k2,
             subset_masks: subsets_of_size(params.n2, params.n2 - k2),
             partitioner: Mix64::new(seed),
             tag,
-        })
+        }
     }
 
     /// The hamming threshold `k`.
@@ -108,7 +115,7 @@ impl PartEnumHamming {
         let mut groups: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n1];
         for &e in items {
             let (i, j) = self.partition_of(e);
-            groups[i].push((j as u32, e));
+            groups[i].push((crate::cast::u32_of(j), e));
         }
         out.reserve(self.signatures_per_vector());
         for (i, group) in groups.iter().enumerate() {
@@ -181,7 +188,7 @@ mod tests {
         // Randomized check of Theorem 1: if Hd(u,v) ≤ k, Sign(u) ∩ Sign(v) ≠ ∅.
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..200 {
-            let k = rng.gen_range(1..8);
+            let k = rng.gen_range(1usize..8);
             let n1 = rng.gen_range(1..=k + 1);
             let k2 = (k + 1usize).div_ceil(n1) - 1;
             let n2 = rng.gen_range(k2 + 1..k2 + 4);

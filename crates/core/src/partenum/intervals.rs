@@ -24,13 +24,16 @@ impl SizeIntervals {
     pub fn new(gamma: f64, max_size: usize) -> Self {
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
         let mut bounds = vec![0usize];
-        while *bounds.last().expect("non-empty") < max_size {
-            let l = bounds.last().expect("non-empty") + 1;
+        let mut last = 0usize;
+        while last < max_size {
+            let l = last + 1;
             // r_i = floor(l_i / γ), but never below l_i (γ ≤ 1 guarantees
             // this mathematically; the max is fp-noise armor).
             let r = floor_tol(l as f64 / gamma).max(l);
             bounds.push(r);
+            last = r;
         }
+        crate::invariants::assert_interval_cover(&bounds, max_size);
         Self { gamma, bounds }
     }
 
@@ -50,12 +53,8 @@ impl SizeIntervals {
     /// Panics if `size` is 0 or beyond the covered range.
     pub fn interval_of(&self, size: usize) -> usize {
         assert!(size >= 1, "interval_of is defined on positive sizes");
-        assert!(
-            size <= *self.bounds.last().expect("non-empty"),
-            "size {} beyond covered range {}",
-            size,
-            self.bounds.last().expect("non-empty")
-        );
+        let max = self.bounds.last().copied().unwrap_or(0);
+        assert!(size <= max, "size {size} beyond covered range {max}");
         // bounds is strictly increasing; find the first r_i >= size.
         self.bounds.partition_point(|&r| r < size)
     }

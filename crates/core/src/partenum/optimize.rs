@@ -96,7 +96,7 @@ pub fn optimize_jaccard(
     // (interval i and i+1, mirroring Figure 6).
     let mut routed: FxHashMap<usize, Vec<&[ElementId]>> = FxHashMap::default();
     for id in (0..n).step_by(step) {
-        let set = collection.set(id as u32);
+        let set = collection.set(crate::cast::set_id(id));
         if set.is_empty() {
             continue;
         }

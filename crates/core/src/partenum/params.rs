@@ -130,7 +130,7 @@ pub fn subsets_of_size(n: usize, size: usize) -> Vec<u32> {
     let mut mask: u64 = (1u64 << size) - 1;
     let limit: u64 = 1u64 << n;
     while mask < limit {
-        out.push(mask as u32);
+        out.push(crate::cast::u32_of_u64(mask));
         let c = mask & mask.wrapping_neg();
         let r = mask + c;
         mask = (((r ^ mask) >> 2) / c) | r;

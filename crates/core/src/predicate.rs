@@ -94,10 +94,9 @@ impl Predicate {
     }
 
     /// Evaluates the predicate on a pair of sorted sets. Weighted predicates
-    /// require `weights`.
-    ///
-    /// # Panics
-    /// Panics if a weighted predicate is evaluated without a weight map.
+    /// require `weights`: evaluating one without a weight map is a caller
+    /// bug — it panics in debug builds and conservatively returns `false`
+    /// (no match) in release builds.
     pub fn evaluate(&self, r: &[ElementId], s: &[ElementId], weights: Option<&WeightMap>) -> bool {
         match *self {
             Predicate::Jaccard { gamma } => similarity::jaccard(r, s) + EPS >= gamma,
@@ -110,12 +109,18 @@ impl Predicate {
             Predicate::Dice { gamma } => similarity::dice(r, s) + EPS >= gamma,
             Predicate::Cosine { gamma } => similarity::cosine(r, s) + EPS >= gamma,
             Predicate::WeightedJaccard { gamma } => {
-                let w = weights.expect("weighted predicate needs a WeightMap");
-                similarity::weighted_jaccard(r, s, w) + EPS >= gamma
+                debug_assert!(weights.is_some(), "weighted predicate needs a WeightMap");
+                match weights {
+                    Some(w) => similarity::weighted_jaccard(r, s, w) + EPS >= gamma,
+                    None => false,
+                }
             }
             Predicate::WeightedOverlap { t } => {
-                let w = weights.expect("weighted predicate needs a WeightMap");
-                similarity::weighted_intersection(r, s, w) + EPS >= t
+                debug_assert!(weights.is_some(), "weighted predicate needs a WeightMap");
+                match weights {
+                    Some(w) => similarity::weighted_intersection(r, s, w) + EPS >= t,
+                    None => false,
+                }
             }
         }
     }

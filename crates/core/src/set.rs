@@ -59,14 +59,22 @@ impl SetCollection {
     ///
     /// # Panics
     /// In debug builds, panics if `elems` is not strictly increasing.
+    /// In all builds, panics if the collection would exceed `u32::MAX` sets
+    /// or stored elements — ids and arena offsets are 32-bit, and every
+    /// downstream narrowing conversion relies on this insertion-time bound.
     pub fn push_sorted(&mut self, elems: &[ElementId]) -> SetId {
-        debug_assert!(
-            elems.windows(2).all(|w| w[0] < w[1]),
-            "set must be strictly sorted"
+        crate::invariants::assert_canonical(elems);
+        assert!(
+            self.len() < SetId::MAX as usize,
+            "SetCollection overflow: set ids are u32"
         );
-        let id = self.len() as SetId;
+        assert!(
+            u32::try_from(self.elems.len() + elems.len()).is_ok(),
+            "SetCollection overflow: arena offsets are u32"
+        );
+        let id = crate::cast::set_id(self.len());
         self.elems.extend_from_slice(elems);
-        self.offsets.push(self.elems.len() as u32);
+        self.offsets.push(crate::cast::u32_of(self.elems.len()));
         id
     }
 
@@ -110,7 +118,7 @@ impl SetCollection {
 
     /// Iterates `(id, elements)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SetId, &[ElementId])> + '_ {
-        (0..self.len() as SetId).map(move |id| (id, self.set(id)))
+        (0..crate::cast::set_id(self.len())).map(move |id| (id, self.set(id)))
     }
 
     /// Total number of stored elements (with multiplicity across sets).
@@ -121,7 +129,7 @@ impl SetCollection {
 
     /// Largest set size, or 0 if empty.
     pub fn max_set_len(&self) -> usize {
-        (0..self.len() as SetId)
+        (0..crate::cast::set_id(self.len()))
             .map(|id| self.set_len(id))
             .max()
             .unwrap_or(0)

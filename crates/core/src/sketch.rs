@@ -90,7 +90,7 @@ impl F2Sketch {
                 row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / self.cols as f64
             })
             .collect();
-        row_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        row_means.sort_by(f64::total_cmp);
         let mid = row_means.len() / 2;
         if row_means.len() % 2 == 1 {
             row_means[mid]

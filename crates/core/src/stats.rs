@@ -7,10 +7,8 @@
 //! yields). [`JoinStats`] records both, plus the per-phase wall-clock split
 //! the paper's charts stack (SigGen / CandPair / PostFilter).
 
-use serde::Serialize;
-
 /// Counters and timings collected by one join execution.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JoinStats {
     /// Sets in the left input (equals right for self-joins).
     pub num_sets_r: usize,

@@ -179,11 +179,7 @@ impl SignatureScheme for WtEnum {
             .collect();
         // Descending weight; ties broken by element id so every set orders a
         // shared subset identically (the consistency Figure 8 relies on).
-        items.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("finite weights")
-                .then(a.1.cmp(&b.1))
-        });
+        items.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut suffix = vec![0.0; items.len() + 1];
         for i in (0..items.len()).rev() {
             suffix[i] = suffix[i + 1] + items[i].0;

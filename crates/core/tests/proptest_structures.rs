@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use ssj_core::hash::{mix64, Mix64, SigBuilder};
-use ssj_core::partenum::{binomial, subsets_of_size, PartEnumParams};
+use ssj_core::partenum::{binomial, subsets_of_size, PartEnumParams, SizeIntervals};
 use ssj_core::set::SetCollection;
 
 proptest! {
@@ -77,6 +77,55 @@ proptest! {
         prop_assert!(n1 * (k2 + 1) > k);
         let p = PartEnumParams { n1, n2: k2 + 1 };
         prop_assert!(p.validate(k).is_ok());
+    }
+
+    #[test]
+    fn size_intervals_cover_the_whole_range(
+        gamma_pct in 1u32..101,
+        max_size in 1usize..2000,
+    ) {
+        // Figure 6 step (a): for any γ ∈ (0, 1] the derived intervals
+        // [l_i, r_i] partition [1, max_size] contiguously — every size in
+        // the range lands in exactly one interval, with no gaps between
+        // consecutive intervals.
+        let gamma = f64::from(gamma_pct) / 100.0;
+        let iv = SizeIntervals::new(gamma, max_size);
+        let mut expected_l = 1usize;
+        for i in 1..=iv.count() {
+            let (l, r) = iv.interval(i);
+            prop_assert_eq!(l, expected_l, "gap before interval {}", i);
+            prop_assert!(r >= l, "empty interval {}", i);
+            expected_l = r + 1;
+        }
+        prop_assert!(expected_l > max_size, "intervals stop short of max_size");
+        for size in 1..=max_size {
+            let i = iv.interval_of(size);
+            let (l, r) = iv.interval(i);
+            prop_assert!(l <= size && size <= r, "size {} not inside its interval", size);
+        }
+    }
+
+    #[test]
+    fn size_intervals_lemma1_routing(
+        gamma_pct in 50u32..100,
+        s_size in 1usize..500,
+    ) {
+        // Lemma 1: if Js(r, s) ≥ γ then γ·|s| ≤ |r| ≤ |s|/γ, and those
+        // extreme sizes fall in interval i−1, i, or i+1 of |s|'s interval —
+        // the property that makes routing each set to two consecutive
+        // PartEnum instances exhaustive.
+        let gamma = f64::from(gamma_pct) / 100.0;
+        let iv = SizeIntervals::new(gamma, 2000);
+        let i = iv.interval_of(s_size);
+        let lo = ((gamma * s_size as f64).ceil() as usize).max(1);
+        let hi = (s_size as f64 / gamma).floor() as usize;
+        for r_size in [lo, hi] {
+            let j = iv.interval_of(r_size);
+            prop_assert!(
+                j + 1 >= i && j <= i + 1,
+                "|s|={} in I{} but |r|={} in I{}", s_size, i, r_size, j
+            );
+        }
     }
 
     #[test]

@@ -231,7 +231,7 @@ fn base_record(rng: &mut impl Rng) -> String {
     let city_idx = rng.gen_range(0..CITIES.len());
     let (city, state) = CITIES[city_idx];
     // Zip coherent with the city, with some within-city spread.
-    let zip = 10_000 + city_idx * 1_000 + rng.gen_range(0..40) * 7;
+    let zip = 10_000 + city_idx * 1_000 + rng.gen_range(0..40usize) * 7;
     format!("{org} {number} {street} {city} {state} {zip}")
 }
 

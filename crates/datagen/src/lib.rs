@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod address;
 pub mod dblp;

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod varint;
 

@@ -262,7 +262,8 @@ mod tests {
         let scheme = PartEnumHamming::with_defaults(2 * gram * k, 5);
         let pairs = string_plan(&strings, &scheme, gram, k);
         let native =
-            ssj_text::edit_distance_self_join(&strings, ssj_text::EditJoinConfig::partenum(k));
+            ssj_text::edit_distance_self_join(&strings, ssj_text::EditJoinConfig::partenum(k))
+                .unwrap();
         let mut native_pairs = native.pairs;
         native_pairs.sort_unstable();
         assert_eq!(pairs, native_pairs);

@@ -83,10 +83,9 @@ impl Table {
     /// # Panics
     /// Panics when the column does not exist (schema errors are bugs).
     pub fn col_index(&self, name: &str) -> usize {
-        self.columns
-            .iter()
-            .position(|c| c.name == name)
-            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+        let idx = self.columns.iter().position(|c| c.name == name);
+        assert!(idx.is_some(), "table {} has no column {name}", self.name);
+        idx.unwrap_or(0)
     }
 
     /// The values of a column.

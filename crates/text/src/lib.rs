@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod edit;
 pub mod idf;

@@ -18,6 +18,7 @@
 use crate::edit::within_edit_distance;
 use crate::tokenize::qgram_set;
 use ssj_baselines::{PrefixFilter, PrefixFilterConfig};
+use ssj_core::error::Result;
 use ssj_core::join::{self_join, JoinOptions};
 use ssj_core::partenum::{optimize_hamming, PartEnumHamming, PartEnumParams};
 use ssj_core::predicate::Predicate;
@@ -104,10 +105,14 @@ pub struct EditJoinResult {
 ///     "147th ave ne".into(),
 ///     "totally different".into(),
 /// ];
-/// let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(1));
+/// let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(1)).unwrap();
 /// assert_eq!(result.pairs, vec![(0, 1)]);
 /// ```
-pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> EditJoinResult {
+///
+/// # Errors
+/// Propagates scheme-construction failures (invalid PartEnum parameters
+/// from the optimizer, prefix-filter build errors).
+pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> Result<EditJoinResult> {
     let collection: SetCollection = strings.iter().map(|s| qgram_set(s, cfg.gram)).collect();
     let k = cfg.hamming_threshold();
     let pred = Predicate::Hamming { k };
@@ -121,8 +126,7 @@ pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> EditJ
     let mut result = match cfg.scheme {
         EditJoinScheme::PartEnum => {
             let params = optimize_partenum_params(&collection, k, cfg.seed);
-            let scheme = PartEnumHamming::new(k, params, cfg.seed)
-                .expect("optimizer returns valid parameters");
+            let scheme = PartEnumHamming::new(k, params, cfg.seed)?;
             self_join(&scheme, &collection, pred, None, opts)
         }
         EditJoinScheme::PrefixFilter => {
@@ -131,8 +135,7 @@ pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> EditJ
                 &[&collection],
                 None,
                 PrefixFilterConfig { size_filter: false },
-            )
-            .expect("unweighted build cannot fail");
+            )?;
             self_join(&scheme, &collection, pred, None, opts)
         }
     };
@@ -147,10 +150,10 @@ pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> EditJ
     result.stats.verify_secs = t.elapsed().as_secs_f64();
     result.stats.output_pairs = pairs.len() as u64;
     result.stats.false_positives = result.stats.candidate_pairs - result.stats.output_pairs;
-    EditJoinResult {
+    Ok(EditJoinResult {
         pairs,
         stats: result.stats,
-    }
+    })
 }
 
 /// Picks PartEnum parameters for the gram-set collection by F2 estimation on
@@ -236,7 +239,7 @@ mod tests {
     fn partenum_edit_join_matches_naive() {
         let strings = corpus(1, 40);
         for k in [1, 2, 3] {
-            let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(k));
+            let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(k)).unwrap();
             let mut got = result.pairs.clone();
             got.sort_unstable();
             let mut expected = naive_edit_pairs(&strings, k);
@@ -249,7 +252,8 @@ mod tests {
     fn prefix_filter_edit_join_matches_naive() {
         let strings = corpus(2, 40);
         for (k, gram) in [(1, 4), (2, 5), (3, 4)] {
-            let result = edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, gram));
+            let result =
+                edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, gram)).unwrap();
             let mut got = result.pairs.clone();
             got.sort_unstable();
             let mut expected = naive_edit_pairs(&strings, k);
@@ -261,7 +265,7 @@ mod tests {
     #[test]
     fn stats_reflect_string_level_truth() {
         let strings = corpus(3, 30);
-        let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(2));
+        let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(2)).unwrap();
         let s = &result.stats;
         assert_eq!(s.output_pairs as usize, result.pairs.len());
         assert_eq!(s.output_pairs + s.false_positives, s.candidate_pairs);
@@ -275,7 +279,7 @@ mod tests {
             "hello world".into(),
             "different".into(),
         ];
-        let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(1));
+        let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(1)).unwrap();
         assert!(result.pairs.contains(&(0, 1)));
         assert_eq!(result.pairs.len(), 1);
     }
@@ -284,7 +288,7 @@ mod tests {
     fn empty_and_tiny_strings() {
         let strings: Vec<String> = vec!["".into(), "a".into(), "ab".into(), "xyz".into()];
         for k in [1, 2] {
-            let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(k));
+            let result = edit_distance_self_join(&strings, EditJoinConfig::partenum(k)).unwrap();
             let mut got = result.pairs.clone();
             got.sort_unstable();
             let mut expected = naive_edit_pairs(&strings, k);

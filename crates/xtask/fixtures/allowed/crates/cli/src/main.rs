@@ -1,0 +1,5 @@
+// A no-panic violation that the tree's lint_allow.toml suppresses.
+fn main() {
+    let arg = std::env::args().nth(1).expect("usage: tool <arg>");
+    println!("{arg}");
+}

@@ -1,0 +1,10 @@
+// Seeded default-hasher violation in a hot-path module.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn lookup(m: &std::collections::HashSet<u32>, k: u32) -> bool {
+    m.contains(&k)
+}

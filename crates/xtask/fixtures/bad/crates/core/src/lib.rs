@@ -1,0 +1,15 @@
+// Seeded-violation fixture: every rule class must fire on this tree.
+// (Deliberately missing #![forbid(unsafe_code)] and
+// #![deny(rust_2018_idioms)] — that is the crate-hygiene violation.)
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn narrow(x: usize) -> u32 {
+    x as u32
+}
+
+pub fn unfinished() {
+    todo!("never")
+}

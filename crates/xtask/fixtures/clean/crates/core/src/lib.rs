@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+// Clean fixture: nothing here should trip any rule. Tests live in a
+// #[cfg(test)] module and may panic freely.
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn safe_first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let x = 70_000usize;
+        let _ = x as u32;
+    }
+}

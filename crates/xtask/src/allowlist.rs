@@ -1,0 +1,210 @@
+//! The per-rule suppression file `crates/xtask/lint_allow.toml`.
+//!
+//! A deliberately tiny TOML subset — `[[allow]]` tables of string
+//! key/values — parsed by hand so the xtask crate stays dependency-free:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic"
+//! path = "crates/cli/src/**"
+//! reason = "binary crates may abort at the top level"
+//! ```
+//!
+//! `path` is a glob over repo-relative paths: `*` matches within one path
+//! segment, `**` matches across segments. Every entry must carry a
+//! non-empty `reason` — suppressions are documentation, not magic.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (e.g. `no-panic`).
+    pub rule: String,
+    /// Repo-relative path glob.
+    pub path: String,
+    /// Human rationale; required.
+    pub reason: String,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint_allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the TOML-subset allowlist format.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(usize, AllowEntry)> = None;
+
+        fn finish(
+            entries: &mut Vec<AllowEntry>,
+            current: Option<(usize, AllowEntry)>,
+        ) -> Result<(), ParseError> {
+            if let Some((line, entry)) = current {
+                if entry.rule.is_empty() || entry.path.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: "entry needs both `rule` and `path`".to_string(),
+                    });
+                }
+                if entry.reason.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: "entry needs a non-empty `reason`".to_string(),
+                    });
+                }
+                entries.push(entry);
+            }
+            Ok(())
+        }
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut entries, current.take())?;
+                current = Some((
+                    lineno,
+                    AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        reason: String::new(),
+                    },
+                ));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("value for `{key}` must be a double-quoted string"),
+                });
+            };
+            let Some((_, entry)) = current.as_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key/value outside an [[allow]] table".to_string(),
+                });
+            };
+            match key {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path = value.to_string(),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` (expected rule/path/reason)"),
+                    });
+                }
+            }
+        }
+        finish(&mut entries, current)?;
+        Ok(Self { entries })
+    }
+
+    /// Does any entry suppress `rule` at `path`?
+    pub fn permits(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && glob_match(&e.path, path))
+    }
+}
+
+/// Glob matcher: `*` matches any run of non-`/` characters, `**` matches
+/// anything (including `/`), everything else is literal.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    fn inner(pat: &[u8], s: &[u8]) -> bool {
+        match pat {
+            [] => s.is_empty(),
+            [b'*', b'*', rest @ ..] => {
+                // `**` may swallow any suffix prefix of `s`.
+                let rest = rest.strip_prefix(b"/").unwrap_or(rest);
+                (0..=s.len()).any(|i| inner(rest, &s[i..]))
+            }
+            [b'*', rest @ ..] => (0..=s.len())
+                .take_while(|&i| i == 0 || s[i - 1] != b'/')
+                .any(|i| inner(rest, &s[i..])),
+            [p, rest @ ..] => s.first() == Some(p) && inner(rest, &s[1..]),
+        }
+    }
+    inner(pattern.as_bytes(), path.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments_and_blank_lines() {
+        let text = "# header comment\n\n[[allow]]\nrule = \"no-panic\"\npath = \"crates/cli/src/**\"\nreason = \"cli\"\n\n[[allow]]\nrule = \"default-hasher\"\npath = \"crates/bench/src/*.rs\"\nreason = \"bench\"\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].rule, "no-panic");
+        assert_eq!(a.entries[1].path, "crates/bench/src/*.rs");
+    }
+
+    #[test]
+    fn rejects_entry_without_reason() {
+        let text = "[[allow]]\nrule = \"no-panic\"\npath = \"x\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn rejects_stray_keys_and_bad_values() {
+        assert!(Allowlist::parse("rule = \"x\"\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\nrule = unquoted\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\nbogus = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn permits_matches_rule_and_glob() {
+        let a = Allowlist::parse(
+            "[[allow]]\nrule = \"no-panic\"\npath = \"crates/cli/src/**\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        assert!(a.permits("no-panic", "crates/cli/src/main.rs"));
+        assert!(a.permits("no-panic", "crates/cli/src/sub/deep.rs"));
+        assert!(!a.permits("no-panic", "crates/core/src/join.rs"));
+        assert!(!a.permits("default-hasher", "crates/cli/src/main.rs"));
+    }
+
+    #[test]
+    fn glob_star_does_not_cross_segments() {
+        assert!(glob_match("crates/*/src/lib.rs", "crates/core/src/lib.rs"));
+        assert!(!glob_match("crates/*/lib.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match("crates/**/lib.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("a/*.rs", "a/b.rs"));
+        assert!(!glob_match("a/*.rs", "a/b/c.rs"));
+    }
+}

@@ -1,0 +1,106 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! Wired up through the repo-level `.cargo/config.toml` alias:
+//! `xtask = "run --quiet --package xtask --"`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--root <dir>]   run the repo-specific static-analysis pass
+                        (exit 0 = clean, 1 = violations, 2 = engine error)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown lint option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(err) => {
+                    eprintln!("error: cannot determine working directory: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match xtask::find_repo_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    if !root.is_dir() {
+        eprintln!("error: lint root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "error: {} has no crates/ directory — not a lintable workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match xtask::run_lint(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::from(1)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

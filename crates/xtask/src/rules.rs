@@ -1,0 +1,252 @@
+//! The four repo-specific lint rules (L1–L4) plus the allowlist-scope guard.
+//!
+//! Each rule is a pure function over `(repo-relative path, prepared lines)`
+//! so the unit tests can drive them on synthetic sources without touching
+//! the filesystem.
+
+use crate::Violation;
+
+/// L1: no panicking escape hatches in non-test library code.
+pub const NO_PANIC: &str = "no-panic";
+/// L2: no default-hasher `HashMap`/`HashSet` in hot-path modules.
+pub const DEFAULT_HASHER: &str = "default-hasher";
+/// L3: crate roots must carry the hygiene attributes.
+pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// L4: no bare `as` narrowing casts on id-sized integers in ssj-core.
+pub const NARROWING_CAST: &str = "narrowing-cast";
+/// Guard: the allowlist must never exempt ssj-core.
+pub const ALLOWLIST_SCOPE: &str = "allowlist-scope";
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `line[at..]` starts the token `token` on a word boundary
+/// (the byte before `at` is not an identifier byte).
+fn on_boundary(line: &str, at: usize) -> bool {
+    at == 0 || !is_ident(line.as_bytes()[at - 1])
+}
+
+/// Byte offsets of every word-boundary occurrence of `needle` in `line`.
+fn boundary_matches<'a>(line: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    line.match_indices(needle)
+        .filter(|(at, _)| on_boundary(line, *at))
+        .map(|(at, _)| at)
+}
+
+/// L1 scan: flags `.unwrap()`, `.expect(`, `panic!`, and `todo!`.
+///
+/// `assert!`/`debug_assert!` stay legal — they are the sanctioned way to
+/// state invariants (and the invariant layer is built on them).
+pub fn check_no_panic(path: &str, lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut flag = |message: String| {
+            out.push(Violation {
+                rule: NO_PANIC,
+                path: path.to_string(),
+                line: idx + 1,
+                message,
+            });
+        };
+        for (at, _) in line.match_indices(".unwrap") {
+            if line[at + ".unwrap".len()..].starts_with("()") {
+                flag("`.unwrap()` in library code; return `Result` instead".to_string());
+            }
+        }
+        for (at, _) in line.match_indices(".expect") {
+            if line[at + ".expect".len()..].starts_with('(') {
+                flag("`.expect(..)` in library code; return `Result` instead".to_string());
+            }
+        }
+        for macro_name in ["panic", "todo"] {
+            for at in boundary_matches(line, macro_name) {
+                if line[at + macro_name.len()..].starts_with('!') {
+                    flag(format!(
+                        "`{macro_name}!` in library code; surface an `SsjError` instead"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L2 scan: flags bare `HashMap`/`HashSet` tokens.
+///
+/// `FxHashMap`/`FxHashSet` (the seeded, deterministic hashers from
+/// `ssj_core::hash`) do not match — the `Fx` prefix breaks the word
+/// boundary. Qualified uses like `std::collections::HashMap` DO match,
+/// which is the point.
+pub fn check_default_hasher(path: &str, lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for token in ["HashMap", "HashSet"] {
+            for at in boundary_matches(line, token) {
+                // Reject trailing identifier bytes too (`HashMapLike`).
+                let end = at + token.len();
+                if line.as_bytes().get(end).copied().is_some_and(is_ident) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: DEFAULT_HASHER,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "default-hasher `{token}` in a hot-path module; use \
+                         `Fx{token}` from `ssj_core::hash` for deterministic, \
+                         seeded hashing"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L3 scan: a crate root must carry both hygiene attributes.
+///
+/// Operates on masked (but not test-stripped) source; matching is
+/// whitespace-insensitive so `#![forbid(unsafe_code)]` and
+/// `#! [ forbid ( unsafe_code ) ]` both count.
+pub fn check_crate_hygiene(path: &str, masked_source: &str) -> Vec<Violation> {
+    let compact: String = masked_source
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    let mut out = Vec::new();
+    for needle in ["#![forbid(unsafe_code)]", "#![deny(rust_2018_idioms)]"] {
+        if !compact.contains(needle) {
+            out.push(Violation {
+                rule: CRATE_HYGIENE,
+                path: path.to_string(),
+                line: 1,
+                message: format!("crate root is missing `{needle}`"),
+            });
+        }
+    }
+    out
+}
+
+/// Integer types whose `as` casts L4 treats as narrowing, plus the id
+/// aliases from `ssj_core::set` (both are u32, but the alias names are what
+/// the code actually writes).
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "SetId", "ElementId"];
+
+/// L4 scan: flags `<expr> as <narrow type>` in ssj-core.
+///
+/// Widening casts (`as u64`, `as usize`, `as f64`) are fine; narrowing must
+/// go through `try_from` (or the checked helpers in `ssj_core::cast`) so
+/// overflow is an error, not a silent wrap.
+pub fn check_narrowing_cast(path: &str, lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for at in boundary_matches(line, "as") {
+            let rest = &line[at + 2..];
+            // The cast target is the next identifier after whitespace.
+            let trimmed = rest.trim_start();
+            if trimmed.len() == rest.len() {
+                continue; // `as` glued to something: not the keyword
+            }
+            let target: String = trimmed
+                .bytes()
+                .take_while(|&b| is_ident(b))
+                .map(char::from)
+                .collect();
+            if NARROW_TARGETS.contains(&target.as_str()) {
+                out.push(Violation {
+                    rule: NARROWING_CAST,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "bare `as {target}` narrowing cast; use `{target}::try_from` \
+                         or the checked helpers in `ssj_core::cast`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::rule_lines;
+
+    fn lines(src: &str) -> Vec<String> {
+        rule_lines(src)
+    }
+
+    #[test]
+    fn no_panic_flags_all_four_forms() {
+        let src = "fn f() {\n  a.unwrap();\n  b.expect(\"msg\");\n  panic!(\"x\");\n  todo!()\n}\n";
+        let v = check_no_panic("x.rs", &lines(src));
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[3].line, 5);
+        assert!(v.iter().all(|v| v.rule == NO_PANIC));
+    }
+
+    #[test]
+    fn no_panic_ignores_non_panicking_lookalikes() {
+        let src = "fn f() {\n  a.unwrap_or(0);\n  a.unwrap_or_default();\n  c.unwrap_or_else(|| 1);\n  debug_assert!(x);\n  assert_eq!(a, b);\n  my_panic_free();\n}\n";
+        assert!(check_no_panic("x.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn no_panic_skips_tests_comments_and_strings() {
+        let src = "fn f() { /* a.unwrap() */ let s = \"panic!\"; }\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); panic!(); }\n}\n";
+        assert!(check_no_panic("x.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn default_hasher_flags_bare_and_qualified_names() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); let s = std::collections::HashSet::<u32>::new(); }\n";
+        let v = check_default_hasher("x.rs", &lines(src));
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|v| v.rule == DEFAULT_HASHER));
+    }
+
+    #[test]
+    fn default_hasher_permits_fx_variants() {
+        let src = "use crate::hash::{FxHashMap, FxHashSet};\nfn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); let s = FxHashSet::<u32>::default(); }\n";
+        assert!(check_default_hasher("x.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn crate_hygiene_requires_both_attributes() {
+        let both = "#![forbid(unsafe_code)]\n#![deny(rust_2018_idioms)]\npub fn f() {}\n";
+        assert!(check_crate_hygiene("lib.rs", both).is_empty());
+
+        let one = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        let v = check_crate_hygiene("lib.rs", one);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("rust_2018_idioms"));
+
+        let none = "pub fn f() {}\n";
+        assert_eq!(check_crate_hygiene("lib.rs", none).len(), 2);
+    }
+
+    #[test]
+    fn crate_hygiene_ignores_attributes_in_comments() {
+        let src = "// #![forbid(unsafe_code)]\n// #![deny(rust_2018_idioms)]\npub fn f() {}\n";
+        let masked = crate::scan::mask_non_code(src);
+        assert_eq!(check_crate_hygiene("lib.rs", &masked).len(), 2);
+    }
+
+    #[test]
+    fn narrowing_cast_flags_narrow_targets_only() {
+        let src = "fn f(x: usize) {\n  let a = x as u32;\n  let b = x as u64;\n  let c = x as SetId;\n  let d = x as usize;\n  let e = x as f64;\n  let g = x as ElementId;\n  let h = x as i16;\n}\n";
+        let v = check_narrowing_cast("x.rs", &lines(src));
+        assert_eq!(v.len(), 4, "{v:?}");
+        let lines_hit: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines_hit, vec![2, 4, 7, 8]);
+    }
+
+    #[test]
+    fn narrowing_cast_ignores_identifiers_containing_as() {
+        let src = "fn f() { let alias = baseline_as_u32; let basis = has_u32(); }\n";
+        assert!(check_narrowing_cast("x.rs", &lines(src)).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests for `cargo xtask lint`: engine-level assertions on the
+//! fixture trees plus exit-code checks on the compiled binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace two levels up")
+        .to_path_buf()
+}
+
+fn lint_exit(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("xtask binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().unwrap_or(-1), stdout)
+}
+
+#[test]
+fn bad_fixture_trips_every_rule_class() {
+    let violations = xtask::run_lint(&fixture("bad")).expect("engine runs");
+    let rules_hit: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for rule in [
+        xtask::rules::NO_PANIC,
+        xtask::rules::DEFAULT_HASHER,
+        xtask::rules::CRATE_HYGIENE,
+        xtask::rules::NARROWING_CAST,
+    ] {
+        assert!(
+            rules_hit.contains(&rule),
+            "rule {rule} did not fire: {violations:?}"
+        );
+    }
+    // Spot-check locations: unwrap at lib.rs:6, cast at lib.rs:10,
+    // todo! at lib.rs:14, three HashMap + one HashSet token in index.rs.
+    let at = |path: &str, rule: &str| -> Vec<usize> {
+        violations
+            .iter()
+            .filter(|v| v.path.ends_with(path) && v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(at("core/src/lib.rs", xtask::rules::NO_PANIC), vec![6, 14]);
+    assert_eq!(
+        at("core/src/lib.rs", xtask::rules::NARROWING_CAST),
+        vec![10]
+    );
+    assert_eq!(at("core/src/lib.rs", xtask::rules::CRATE_HYGIENE).len(), 2);
+    assert_eq!(
+        at("core/src/index.rs", xtask::rules::DEFAULT_HASHER).len(),
+        4
+    );
+}
+
+#[test]
+fn bad_fixture_exits_nonzero() {
+    let (code, stdout) = lint_exit(&fixture("bad"));
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    for rule in [
+        "no-panic",
+        "default-hasher",
+        "crate-hygiene",
+        "narrowing-cast",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let (code, stdout) = lint_exit(&fixture("clean"));
+    assert_eq!(code, 0, "stdout:\n{stdout}");
+}
+
+#[test]
+fn allowlist_suppresses_cli_violation() {
+    // Without the allowlist the cli fixture would flag `.expect(`; the
+    // tree's lint_allow.toml entry must suppress it end to end.
+    let (code, stdout) = lint_exit(&fixture("allowed"));
+    assert_eq!(code, 0, "stdout:\n{stdout}");
+}
+
+#[test]
+fn allowlist_cannot_exempt_core() {
+    let violations = xtask::run_lint(&fixture("corescope")).expect("engine runs");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == xtask::rules::ALLOWLIST_SCOPE),
+        "{violations:?}"
+    );
+    let (code, stdout) = lint_exit(&fixture("corescope"));
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("allowlist-scope"));
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The acceptance gate: the real repo passes its own lint.
+    let violations = xtask::run_lint(&repo_root()).expect("engine runs");
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn workspace_allowlist_has_no_core_entries() {
+    let allow = xtask::load_allowlist(&repo_root()).expect("allowlist parses");
+    assert!(
+        allow
+            .entries
+            .iter()
+            .all(|e| !e.path.contains("crates/core")),
+        "ssj-core must not appear in lint_allow.toml"
+    );
+    // And every entry carries a reason (the parser enforces it; assert the
+    // invariant holds for the checked-in file too).
+    assert!(allow.entries.iter().all(|e| !e.reason.is_empty()));
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -20,7 +20,7 @@ fn main() {
     let k = 2;
     println!("{} strings, edit threshold k = {k}\n", strings.len());
 
-    let pen = edit_distance_self_join(&strings, EditJoinConfig::partenum(k));
+    let pen = edit_distance_self_join(&strings, EditJoinConfig::partenum(k)).unwrap();
     println!(
         "PEN (1-grams):   {:>8} candidates  {:>6} matches  {:.2}s",
         pen.stats.candidate_pairs,
@@ -28,7 +28,7 @@ fn main() {
         pen.stats.total_secs()
     );
 
-    let pf = edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, 4));
+    let pf = edit_distance_self_join(&strings, EditJoinConfig::prefix_filter(k, 4)).unwrap();
     println!(
         "PF  (4-grams):   {:>8} candidates  {:>6} matches  {:.2}s",
         pf.stats.candidate_pairs,

@@ -92,7 +92,9 @@ fn string_plan_equals_native_edit_join() {
         let scheme =
             ssjoin::core::partenum::PartEnumHamming::with_defaults(cfg.hamming_threshold(), 99);
         let plan = minidb::string_plan(&strings, &scheme, cfg.gram, k);
-        let mut native = ssjoin::text::edit_distance_self_join(&strings, cfg).pairs;
+        let mut native = ssjoin::text::edit_distance_self_join(&strings, cfg)
+            .unwrap()
+            .pairs;
         native.sort_unstable();
         assert_eq!(plan, native, "k={k}");
     }
