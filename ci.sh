@@ -15,4 +15,7 @@ cargo xtask lint
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> server smoke test"
+scripts/serve_smoke.sh
+
 echo "CI green."

@@ -97,6 +97,78 @@ pub struct Map<S, F> {
     f: F,
 }
 
+/// A type-erased strategy: wraps any generation closure. The building
+/// block of [`prop_oneof!`], whose arms generally have distinct types.
+pub struct FnStrategy<T> {
+    f: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T: std::fmt::Debug> FnStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for FnStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Weighted union over same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, FnStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, FnStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("pick is below the weight total")
+    }
+}
+
+/// Chooses among strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($weight:expr => $strat:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $((
+                $weight as u32,
+                $crate::FnStrategy::new({
+                    let s = $strat;
+                    move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng)
+                }),
+            )),+
+        ])
+    };
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::prop_oneof![ $(1 => $strat),+ ]
+    };
+}
+
 impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
 
@@ -430,8 +502,8 @@ macro_rules! __proptest_fns {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 
@@ -483,6 +555,23 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
             prop_assert_ne!(n % 2, 1);
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(picks in prop::collection::vec(
+            prop_oneof![
+                2 => (0u32..10).prop_map(|x| (0u8, x)),
+                1 => (10u32..20).prop_map(|x| (1u8, x)),
+            ],
+            200..201,
+        )) {
+            prop_assert!(picks.iter().all(|&(tag, x)| match tag {
+                0 => x < 10,
+                _ => (10..20).contains(&x),
+            }));
+            // With weights 2:1 over 200 draws, both arms must appear.
+            prop_assert!(picks.iter().any(|&(tag, _)| tag == 0));
+            prop_assert!(picks.iter().any(|&(tag, _)| tag == 1));
         }
     }
 

@@ -1,0 +1,99 @@
+//! `serve_bench` — throughput/latency benchmark for the ssj-serve service.
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin serve_bench            # full: 100k sets
+//! cargo run --release -p ssj-bench --bin serve_bench -- --quick # CI-sized
+//! ```
+
+use ssj_bench::serving::{run_serving_bench, ServingBenchConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+serve_bench — closed-loop benchmark of the ssj-serve service
+
+OPTIONS:
+  --quick             CI-sized run (2k sets) instead of the full 100k
+  --sets N            preloaded synthetic sets (default 100000)
+  --clients N         closed-loop client threads (default 4)
+  --ops N             measured requests per client (default 2000)
+  --shards N          server shards (default 4)
+  --workers N         server workers (default 0 = auto-detect cores)
+  --threshold G       jaccard threshold served (default 0.8)
+  --seed N            rng/signature seed
+";
+
+fn parse_args(args: &[String]) -> Result<ServingBenchConfig, String> {
+    let mut cfg = ServingBenchConfig::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, String> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg.sets = 2_000;
+                cfg.ops_per_client = 200;
+            }
+            "--sets" => {
+                cfg.sets = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --sets".to_string())?
+            }
+            "--clients" => {
+                cfg.clients = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --clients".to_string())?
+            }
+            "--ops" => {
+                cfg.ops_per_client = next(&mut i)?.parse().map_err(|_| "bad --ops".to_string())?
+            }
+            "--shards" => {
+                cfg.shards = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?
+            }
+            "--workers" => {
+                cfg.workers = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?
+            }
+            "--threshold" => {
+                cfg.gamma = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --threshold".to_string())?
+            }
+            "--seed" => {
+                cfg.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if cfg.clients == 0 || cfg.ops_per_client == 0 || cfg.sets == 0 {
+        return Err("--sets, --clients, and --ops must be positive".into());
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve_bench: preloading {} sets, then {} clients x {} ops...",
+        cfg.sets, cfg.clients, cfg.ops_per_client
+    );
+    let report = run_serving_bench(&cfg);
+    println!("{}", report.render(&cfg));
+    ExitCode::SUCCESS
+}

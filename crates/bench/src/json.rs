@@ -1,77 +1,15 @@
-//! Hand-rolled JSON encoding/decoding for [`RunRecord`]s.
+//! JSON encoding/decoding for [`RunRecord`]s.
 //!
-//! The build environment is offline, so instead of `serde_json` the harness
-//! writes and reads its one record shape with this small module: a strict
-//! encoder for `Vec<RunRecord>` and a minimal recursive-descent JSON parser
-//! (objects, arrays, strings, numbers, booleans, null) for reading them
-//! back.
+//! The generic JSON machinery (value model, parser, writer helpers) lives
+//! in [`ssj_io::json`] so the serving layer's wire protocol can share it;
+//! this module keeps only the harness's record shape: a strict encoder for
+//! `Vec<RunRecord>` and the matching field-by-field decoder.
 
 use crate::harness::RunRecord;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Value>),
-    /// An object (key order normalized).
-    Object(BTreeMap<String, Value>),
-}
-
-impl Value {
-    fn as_f64(&self) -> Result<f64, String> {
-        match self {
-            Value::Number(x) => Ok(*x),
-            other => Err(format!("expected number, found {other:?}")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str, String> {
-        match self {
-            Value::String(s) => Ok(s),
-            other => Err(format!("expected string, found {other:?}")),
-        }
-    }
-}
-
-/// Escapes a string into a JSON string literal (appended to `out`).
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Formats an `f64` so it parses back exactly (JSON has no NaN/inf; those
-/// are clamped to `null`-safe extremes before writing).
-fn write_f64(out: &mut String, x: f64) {
-    if x.is_finite() {
-        let _ = write!(out, "{x}");
-    } else {
-        // Records never contain non-finite values; clamp defensively.
-        let _ = write!(out, "{}", if x > 0.0 { f64::MAX } else { f64::MIN });
-    }
-}
+pub use ssj_io::json::{parse, Value};
+use ssj_io::json::{write_escaped, write_f64};
 
 /// Encodes records as a pretty-printed JSON array (stable field order).
 pub fn records_to_json(records: &[RunRecord]) -> String {
@@ -185,227 +123,6 @@ fn record_from_value(value: Value) -> Result<RunRecord, String> {
     })
 }
 
-/// Parses one JSON document.
-pub fn parse(data: &str) -> Result<Value, String> {
-    let mut p = Parser {
-        bytes: data.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Result<u8, String> {
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek()? as char
-            ))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Value::String(self.string()?)),
-            b't' => self.literal("true", Value::Bool(true)),
-            b'f' => self.literal("false", Value::Bool(false)),
-            b'n' => self.literal("null", Value::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!(
-                "unexpected character {:?} at byte {}",
-                other as char, self.pos
-            )),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Value::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Value::Object(map));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos, other as char
-                    ))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos, other as char
-                    ))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = self.peek()?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = self.peek()?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
-                            let hex = end
-                                .and_then(|e| std::str::from_utf8(&self.bytes[self.pos..e]).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-                            // Surrogates are not produced by our encoder;
-                            // map unpaired ones to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => {
-                            return Err(format!(
-                                "unknown escape {:?} at byte {}",
-                                other as char, self.pos
-                            ))
-                        }
-                    }
-                }
-                // Multi-byte UTF-8: pass raw bytes through (input is &str,
-                // so the sequence is valid).
-                b => {
-                    let start = self.pos - 1;
-                    let len = utf8_len(b);
-                    let end = start + len;
-                    let s = self
-                        .bytes
-                        .get(start..end)
-                        .and_then(|bs| std::str::from_utf8(bs).ok())
-                        .ok_or_else(|| format!("invalid utf-8 at byte {start}"))?;
-                    out.push_str(s);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        while let Some(b) = self.bytes.get(self.pos) {
-            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| format!("invalid number at byte {start}"))?;
-        text.parse::<f64>()
-            .map(Value::Number)
-            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,37 +169,9 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_general_documents() {
-        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"nested": true}, "c": null}"#).unwrap();
-        match v {
-            Value::Object(map) => {
-                assert_eq!(
-                    map["a"],
-                    Value::Array(vec![
-                        Value::Number(1.0),
-                        Value::Number(2.5),
-                        Value::Number(-300.0)
-                    ])
-                );
-                assert_eq!(map["c"], Value::Null);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn parser_rejects_garbage() {
-        assert!(parse("{").is_err());
-        assert!(parse("[1,]").is_err());
-        assert!(parse("[1] extra").is_err());
-        assert!(parse("nope").is_err());
-    }
-
-    #[test]
-    fn unicode_strings_roundtrip() {
-        let v = parse(r#""héllo → wörld""#).unwrap();
-        assert_eq!(v, Value::String("héllo → wörld".to_string()));
-        let v = parse(r#""Aé""#).unwrap();
-        assert_eq!(v, Value::String("Aé".to_string()));
+    fn malformed_documents_rejected() {
+        assert!(records_from_json("{}").is_err());
+        assert!(records_from_json("[{}]").is_err());
+        assert!(records_from_json("[1]").is_err());
     }
 }

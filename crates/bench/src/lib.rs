@@ -20,5 +20,6 @@ pub mod experiments;
 pub mod harness;
 pub mod json;
 pub mod report;
+pub mod serving;
 
 pub use harness::{JaccardAlgo, RunRecord, Scale};

@@ -1,0 +1,399 @@
+//! Closed-loop throughput/latency benchmark for the `ssj-serve` service.
+//!
+//! Preloads a synthetic collection through the wire-facing [`Handle`]
+//! (`ssj_serve::Handle`), then runs N closed-loop client threads — each
+//! issues its next request only after the previous response arrives — over
+//! a query/insert/query-insert mix, and reports aggregate throughput plus
+//! p50/p95/p99 client-observed latency.
+
+use rand::prelude::*;
+use ssj_core::set::SetCollection;
+use ssj_datagen::{generate_uniform, UniformConfig};
+use ssj_serve::{Request, Response, Server, ServerConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Knobs for one serving-benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServingBenchConfig {
+    /// Sets preloaded into the index before measurement.
+    pub sets: usize,
+    /// Elements per synthetic set.
+    pub set_size: usize,
+    /// Element domain for the synthetic collection.
+    pub domain: u32,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues during measurement.
+    pub ops_per_client: usize,
+    /// Fraction of measured ops that are pure queries; the rest split
+    /// evenly between insert and query-insert.
+    pub query_fraction: f64,
+    /// Jaccard threshold served.
+    pub gamma: f64,
+    /// Server shards.
+    pub shards: usize,
+    /// Server workers (0 = auto).
+    pub workers: usize,
+    /// Request queue bound.
+    pub queue_capacity: usize,
+    /// RNG / signature seed.
+    pub seed: u64,
+}
+
+impl Default for ServingBenchConfig {
+    fn default() -> Self {
+        Self {
+            sets: 100_000,
+            set_size: 10,
+            domain: 50_000,
+            clients: 4,
+            ops_per_client: 2_000,
+            query_fraction: 0.7,
+            gamma: 0.8,
+            shards: 4,
+            workers: 0,
+            queue_capacity: 1024,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+/// Latency distribution summary in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst sample.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a batch of microsecond samples (sorts in place).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        if count == 0 {
+            return Self {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let q = |f: f64| -> u64 {
+            let rank = ((f * count as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        Self {
+            count,
+            mean_us: samples.iter().sum::<u64>() as f64 / count as f64,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+            max_us: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// Everything one serving-benchmark run produced.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Sets preloaded before measurement.
+    pub preload_sets: usize,
+    /// Wall-clock seconds the preload took.
+    pub preload_secs: f64,
+    /// Preload inserts per second.
+    pub preload_throughput: f64,
+    /// Requests answered during the measured phase.
+    pub measured_ops: u64,
+    /// Wall-clock seconds of the measured phase.
+    pub wall_secs: f64,
+    /// Measured requests per second (all clients combined).
+    pub throughput: f64,
+    /// Client-observed latency over all measured requests.
+    pub latency: LatencySummary,
+    /// Latency of pure queries only.
+    pub query_latency: LatencySummary,
+    /// Latency of writes (insert + query-insert) only.
+    pub write_latency: LatencySummary,
+    /// Total matches returned across all queries.
+    pub total_matches: u64,
+    /// Overloaded responses during measurement.
+    pub overloaded: u64,
+    /// Timeout responses during measurement.
+    pub timeouts: u64,
+    /// Live sets at the end, per shard.
+    pub live_sets: Vec<u64>,
+}
+
+impl ServingReport {
+    /// Renders the human-readable report block.
+    pub fn render(&self, cfg: &ServingBenchConfig) -> String {
+        let mut rows = Vec::new();
+        let row = |label: &str, s: &LatencySummary| {
+            vec![
+                label.to_string(),
+                s.count.to_string(),
+                format!("{:.0}", s.mean_us),
+                s.p50_us.to_string(),
+                s.p95_us.to_string(),
+                s.p99_us.to_string(),
+                s.max_us.to_string(),
+            ]
+        };
+        rows.push(row("all", &self.latency));
+        rows.push(row("query", &self.query_latency));
+        rows.push(row("write", &self.write_latency));
+        let table = crate::harness::render_table(
+            &[
+                "op", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+            ],
+            &rows,
+        );
+        format!(
+            "serving benchmark: {} preloaded sets, {} clients x {} ops\n\
+             preload: {:.2}s ({:.0} inserts/s)\n\
+             measured: {} ops in {:.2}s -> {:.0} req/s \
+             (overloaded={}, timeouts={}, matches={})\n{}",
+            self.preload_sets,
+            cfg.clients,
+            cfg.ops_per_client,
+            self.preload_secs,
+            self.preload_throughput,
+            self.measured_ops,
+            self.wall_secs,
+            self.throughput,
+            self.overloaded,
+            self.timeouts,
+            self.total_matches,
+            table,
+        )
+    }
+}
+
+fn preload(server: &Server, collection: &SetCollection, clients: usize) -> (f64, usize) {
+    let n = collection.len();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients.max(1) {
+            let handle = server.handle();
+            scope.spawn(move || {
+                let mut id = c;
+                while id < n {
+                    let resp = handle.call(Request::Insert {
+                        elems: collection.set(id as u32).to_vec(),
+                    });
+                    assert!(
+                        matches!(resp, Response::Inserted { .. }),
+                        "preload insert answered {resp:?}"
+                    );
+                    id += clients.max(1);
+                }
+            });
+        }
+    });
+    (start.elapsed().as_secs_f64(), n)
+}
+
+/// One client's measured tallies.
+struct ClientTally {
+    all: Vec<u64>,
+    query: Vec<u64>,
+    write: Vec<u64>,
+    matches: u64,
+    overloaded: u64,
+    timeouts: u64,
+}
+
+fn client_loop(
+    handle: &ssj_serve::Handle,
+    collection: &SetCollection,
+    cfg: &ServingBenchConfig,
+    client_idx: usize,
+) -> ClientTally {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xC11E27 + client_idx as u64));
+    let mut tally = ClientTally {
+        all: Vec::with_capacity(cfg.ops_per_client),
+        query: Vec::new(),
+        write: Vec::new(),
+        matches: 0,
+        overloaded: 0,
+        timeouts: 0,
+    };
+    let n = collection.len();
+    for _ in 0..cfg.ops_per_client {
+        // Probe with a preloaded set perturbed by one element: similar
+        // enough to produce matches, distinct enough to exercise
+        // verification.
+        let mut elems = collection.set(rng.gen_range(0..n) as u32).to_vec();
+        if !elems.is_empty() {
+            let slot = rng.gen_range(0..elems.len());
+            elems[slot] = rng.gen_range(0..cfg.domain);
+        }
+        let r = rng.gen_range(0.0..1.0);
+        let (req, is_query) = if r < cfg.query_fraction {
+            (Request::Query { elems }, true)
+        } else if r < cfg.query_fraction + (1.0 - cfg.query_fraction) / 2.0 {
+            (Request::Insert { elems }, false)
+        } else {
+            (Request::QueryInsert { elems }, false)
+        };
+        let start = Instant::now();
+        let resp = handle.call(req);
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        tally.all.push(us);
+        if is_query {
+            tally.query.push(us);
+        } else {
+            tally.write.push(us);
+        }
+        match resp {
+            Response::Matches { ids, .. } | Response::QueryInserted { ids, .. } => {
+                tally.matches += ids.len() as u64;
+            }
+            Response::Inserted { .. } | Response::Removed { .. } | Response::Stats(_) => {}
+            Response::Overloaded => tally.overloaded += 1,
+            Response::Timeout => tally.timeouts += 1,
+            other => panic!("benchmark request answered {other:?}"),
+        }
+    }
+    tally
+}
+
+/// Runs the full benchmark: generate, preload, measure, summarise.
+pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingReport {
+    let collection = Arc::new(generate_uniform(UniformConfig {
+        base_sets: cfg.sets,
+        set_size: cfg.set_size,
+        domain: cfg.domain,
+        similar_fraction: 0.0,
+        planted_similarity: 0.9,
+        seed: cfg.seed,
+    }));
+    let server = Server::start(ServerConfig {
+        gamma: cfg.gamma,
+        shards: cfg.shards,
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        seed: cfg.seed,
+        initial_max_size: cfg.set_size.max(1),
+        ..ServerConfig::default()
+    })
+    .expect("benchmark server config must be valid");
+
+    let (preload_secs, preload_sets) = preload(&server, &collection, cfg.clients);
+
+    let barrier = Arc::new(Barrier::new(cfg.clients));
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let handle = server.handle();
+                let collection = Arc::clone(&collection);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    client_loop(&handle, &collection, cfg, c)
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    server.shutdown();
+
+    let mut all = Vec::new();
+    let mut query = Vec::new();
+    let mut write = Vec::new();
+    let mut matches = 0;
+    let mut overloaded = 0;
+    let mut timeouts = 0;
+    for t in tallies {
+        all.extend(t.all);
+        query.extend(t.query);
+        write.extend(t.write);
+        matches += t.matches;
+        overloaded += t.overloaded;
+        timeouts += t.timeouts;
+    }
+    let measured_ops = all.len() as u64;
+    ServingReport {
+        preload_sets,
+        preload_secs,
+        preload_throughput: preload_sets as f64 / preload_secs.max(1e-9),
+        measured_ops,
+        wall_secs,
+        throughput: measured_ops as f64 / wall_secs.max(1e-9),
+        latency: LatencySummary::from_samples(&mut all),
+        query_latency: LatencySummary::from_samples(&mut query),
+        write_latency: LatencySummary::from_samples(&mut write),
+        total_matches: matches,
+        overloaded,
+        timeouts,
+        live_sets: stats.live_sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        let s = LatencySummary::from_samples(&mut []);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn tiny_benchmark_run_is_consistent() {
+        let cfg = ServingBenchConfig {
+            sets: 300,
+            clients: 2,
+            ops_per_client: 40,
+            shards: 2,
+            workers: 2,
+            ..ServingBenchConfig::default()
+        };
+        let report = run_serving_bench(&cfg);
+        assert_eq!(report.preload_sets, 300);
+        assert_eq!(report.measured_ops, 80);
+        assert_eq!(report.latency.count, 80);
+        assert_eq!(
+            report.latency.count,
+            report.query_latency.count + report.write_latency.count
+        );
+        assert!(report.throughput > 0.0);
+        // Preload + measured writes all land in the index (big queue, no
+        // deadline → nothing is shed).
+        assert_eq!(report.overloaded + report.timeouts, 0);
+        let live: u64 = report.live_sets.iter().sum();
+        assert_eq!(live, 300 + report.write_latency.count);
+        let rendered = report.render(&cfg);
+        assert!(rendered.contains("p99_us"), "{rendered}");
+        assert!(rendered.contains("300 preloaded sets"), "{rendered}");
+    }
+}

@@ -60,6 +60,47 @@ pub enum Mode {
     },
 }
 
+/// A fully parsed top-level invocation: a batch join, or one of the
+/// serving-layer subcommands.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Batch similarity join (the classic modes).
+    Join(Cli),
+    /// Run the long-lived similarity-search service.
+    Serve(ServeOpts),
+    /// One-shot client request against a running service.
+    Query(QueryOpts),
+}
+
+/// Options for `ssjoin serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// TCP listen address (ignored with `--stdio`).
+    pub addr: String,
+    /// Serve a single session over stdin/stdout instead of TCP.
+    pub stdio: bool,
+    /// Jaccard threshold the service answers queries for.
+    pub gamma: f64,
+    /// Number of index shards.
+    pub shards: usize,
+    /// Worker threads (0 = auto-detect cores).
+    pub workers: usize,
+    /// Bound on the request queue.
+    pub queue_capacity: usize,
+    /// Signature/router seed.
+    pub seed: u64,
+}
+
+/// Options for `ssjoin query`: a pre-encoded request line plus the address
+/// to deliver it to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// Server address.
+    pub addr: String,
+    /// The NDJSON request line to send.
+    pub line: String,
+}
+
 /// Fully parsed invocation.
 #[derive(Debug, Clone)]
 pub struct Cli {
@@ -99,6 +140,8 @@ ssjoin — exact set-similarity joins (VLDB 2006 reproduction)
 
 USAGE:
   ssjoin <jaccard|hamming|edit|weighted|dice|cosine> --input FILE [OPTIONS]
+  ssjoin serve [SERVE OPTIONS]
+  ssjoin query --addr HOST:PORT <QUERY OPTIONS>
 
 MODES:
   jaccard   --threshold G     pairs with jaccard similarity >= G
@@ -113,9 +156,26 @@ OPTIONS:
   --input2 FILE       second input: binary join instead of self-join
   --algo A            pen (default) | pf[:gram] | lsh[:recall] | wen
   --tokenizer T       words (default) | qgrams:N
-  --threads N         worker threads (default 1)
+  --threads N         worker threads (default 1; 0 = auto-detect cores)
   --output FILE       write pairs here instead of stdout
   --stats             print phase timings and counters to stderr
+
+SERVE OPTIONS (long-running similarity-search service, NDJSON protocol):
+  --addr HOST:PORT    listen address (default 127.0.0.1:7878)
+  --stdio             serve one session on stdin/stdout instead of TCP
+  --threshold G       jaccard threshold served (default 0.8)
+  --shards N          index shards (default 4)
+  --workers N         worker threads (default 0 = auto-detect cores)
+  --queue-cap N       request queue bound (default 128)
+  --seed N            signature/router seed (default 42)
+
+QUERY OPTIONS (one-shot client; prints the JSON response line):
+  --set E1,E2,...     query for similar sets (with --op to change verb)
+  --op OP             query (default) | insert | query_insert
+  --remove ID         remove a set by id
+  --get-stats         fetch server counters
+  --shutdown          drain and stop the server
+  --deadline-ms N     per-request queue deadline
 ";
 
 fn parse_algo(s: &str) -> Result<Algo, ParseError> {
@@ -164,6 +224,173 @@ fn parse_tokenizer(s: &str) -> Result<Tokenizer, ParseError> {
         return Ok(Tokenizer::Qgrams(n));
     }
     Err(ParseError(format!("unknown tokenizer {s:?}")))
+}
+
+/// Parses the top-level argument vector (without the program name),
+/// dispatching between batch joins and the serving subcommands.
+pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
+    match args.first().map(String::as_str) {
+        Some("serve") => parse_serve(&args[1..]).map(Command::Serve),
+        Some("query") => parse_query(&args[1..]).map(Command::Query),
+        _ => parse(args).map(Command::Join),
+    }
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOpts, ParseError> {
+    let mut opts = ServeOpts {
+        addr: "127.0.0.1:7878".to_string(),
+        stdio: false,
+        gamma: 0.8,
+        shards: 4,
+        workers: 0,
+        queue_capacity: 128,
+        seed: 42,
+    };
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| ParseError(format!("{} needs a value", args[*i - 1])))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => opts.addr = next(&mut i)?.clone(),
+            "--stdio" => opts.stdio = true,
+            "--threshold" => {
+                opts.gamma = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --threshold".into()))?
+            }
+            "--shards" => {
+                opts.shards = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --shards".into()))?
+            }
+            "--workers" => {
+                opts.workers = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --workers".into()))?
+            }
+            "--queue-cap" => {
+                opts.queue_capacity = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --queue-cap".into()))?
+            }
+            "--seed" => {
+                opts.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed".into()))?
+            }
+            "--help" | "-h" => return Err(ParseError(USAGE.into())),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown serve option {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if !(0.0 < opts.gamma && opts.gamma <= 1.0) {
+        return Err(ParseError("--threshold must be in (0, 1]".into()));
+    }
+    if opts.shards == 0 {
+        return Err(ParseError("--shards must be positive".into()));
+    }
+    if opts.queue_capacity == 0 {
+        return Err(ParseError("--queue-cap must be positive".into()));
+    }
+    Ok(opts)
+}
+
+fn parse_set_list(s: &str) -> Result<Vec<u32>, ParseError> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| ParseError(format!("bad set element {t:?}")))
+        })
+        .collect()
+}
+
+fn parse_query(args: &[String]) -> Result<QueryOpts, ParseError> {
+    let mut addr: Option<String> = None;
+    let mut set: Option<Vec<u32>> = None;
+    let mut op = "query".to_string();
+    let mut remove: Option<u64> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut deadline_ms: Option<u64> = None;
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| ParseError(format!("{} needs a value", args[*i - 1])))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(next(&mut i)?.clone()),
+            "--set" => set = Some(parse_set_list(next(&mut i)?)?),
+            "--op" => op = next(&mut i)?.clone(),
+            "--remove" => {
+                remove = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --remove id".into()))?,
+                )
+            }
+            "--get-stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --deadline-ms".into()))?,
+                )
+            }
+            "--help" | "-h" => return Err(ParseError(USAGE.into())),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown query option {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or_else(|| ParseError("query requires --addr HOST:PORT".into()))?;
+    if !matches!(op.as_str(), "query" | "insert" | "query_insert") {
+        return Err(ParseError(format!(
+            "--op must be query, insert, or query_insert (got {op:?})"
+        )));
+    }
+    let chosen = usize::from(set.is_some())
+        + usize::from(remove.is_some())
+        + usize::from(stats)
+        + usize::from(shutdown);
+    if chosen != 1 {
+        return Err(ParseError(
+            "query needs exactly one of --set, --remove, --get-stats, --shutdown".into(),
+        ));
+    }
+    let deadline_suffix = deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default();
+    let line = if let Some(elems) = set {
+        let joined = elems
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"op\":{op:?},\"set\":[{joined}]{deadline_suffix}}}")
+    } else if let Some(id) = remove {
+        format!("{{\"op\":\"remove\",\"id\":{id}{deadline_suffix}}}")
+    } else if stats {
+        format!("{{\"op\":\"stats\"{deadline_suffix}}}")
+    } else {
+        "{\"op\":\"shutdown\"}".to_string()
+    };
+    Ok(QueryOpts { addr, line })
 }
 
 /// Parses the argument vector (without the program name).
@@ -282,7 +509,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         input2,
         algo,
         tokenizer,
-        threads: threads.max(1),
+        threads: ssj_serve::resolve_workers(threads),
         output,
         stats,
     })
@@ -335,6 +562,86 @@ mod tests {
         assert!(parse(&args("edit --input a --k 2 --algo lsh")).is_err());
         assert!(parse(&args("jaccard --input a --threshold 0.8 --algo wen")).is_err());
         assert!(parse(&args("hamming --input a --k 2 --algo lsh")).is_err());
+    }
+
+    #[test]
+    fn threads_zero_auto_detects_cores() {
+        let cli = parse(&args("jaccard --input a.txt --threshold 0.8 --threads 0")).unwrap();
+        let auto = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        assert_eq!(cli.threads, auto);
+        assert!(cli.threads >= 1);
+        // An explicit count is passed through untouched.
+        let cli = parse(&args("jaccard --input a.txt --threshold 0.8 --threads 3")).unwrap();
+        assert_eq!(cli.threads, 3);
+    }
+
+    #[test]
+    fn parses_serve_subcommand() {
+        let cmd = parse_command(&args(
+            "serve --addr 0.0.0.0:9000 --threshold 0.6 --shards 2 --workers 3 --queue-cap 16 --seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(o) => {
+                assert_eq!(o.addr, "0.0.0.0:9000");
+                assert!(!o.stdio);
+                assert_eq!(o.gamma, 0.6);
+                assert_eq!(o.shards, 2);
+                assert_eq!(o.workers, 3);
+                assert_eq!(o.queue_capacity, 16);
+                assert_eq!(o.seed, 9);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&args("serve --stdio")),
+            Ok(Command::Serve(ServeOpts { stdio: true, .. }))
+        ));
+        assert!(parse_command(&args("serve --shards 0")).is_err());
+        assert!(parse_command(&args("serve --threshold 1.5")).is_err());
+        assert!(parse_command(&args("serve --queue-cap 0")).is_err());
+        assert!(parse_command(&args("serve --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_query_subcommand_into_wire_lines() {
+        let q = |s: &str| match parse_command(&args(s)) {
+            Ok(Command::Query(o)) => o,
+            other => panic!("expected query, got {other:?}"),
+        };
+        let o = q("query --addr 127.0.0.1:7878 --set 3,1,2");
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert_eq!(o.line, r#"{"op":"query","set":[3,1,2]}"#);
+        assert_eq!(
+            q("query --addr h:1 --set 7 --op insert --deadline-ms 50").line,
+            r#"{"op":"insert","set":[7],"deadline_ms":50}"#
+        );
+        assert_eq!(
+            q("query --addr h:1 --remove 12").line,
+            r#"{"op":"remove","id":12}"#
+        );
+        assert_eq!(q("query --addr h:1 --get-stats").line, r#"{"op":"stats"}"#);
+        assert_eq!(
+            q("query --addr h:1 --shutdown").line,
+            r#"{"op":"shutdown"}"#
+        );
+
+        assert!(parse_command(&args("query --set 1")).is_err()); // no addr
+        assert!(parse_command(&args("query --addr h:1")).is_err()); // no op chosen
+        assert!(parse_command(&args("query --addr h:1 --set 1 --shutdown")).is_err());
+        assert!(parse_command(&args("query --addr h:1 --set 1 --op warp")).is_err());
+        assert!(parse_command(&args("query --addr h:1 --set x")).is_err());
+    }
+
+    #[test]
+    fn plain_modes_still_route_through_parse_command() {
+        assert!(matches!(
+            parse_command(&args("jaccard --input a.txt --threshold 0.8")),
+            Ok(Command::Join(_))
+        ));
+        assert!(parse_command(&[]).is_err());
     }
 
     #[test]

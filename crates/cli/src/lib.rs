@@ -200,6 +200,46 @@ pub fn execute(cli: &Cli) -> Result<Outcome, String> {
     })
 }
 
+/// Runs `ssjoin serve`: starts the service and blocks until a client sends
+/// `{"op":"shutdown"}` (or, with `--stdio`, until stdin closes).
+pub fn run_serve(opts: &args::ServeOpts) -> Result<(), String> {
+    let cfg = ssj_serve::ServerConfig {
+        gamma: opts.gamma,
+        shards: opts.shards,
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        seed: opts.seed,
+        ..ssj_serve::ServerConfig::default()
+    };
+    let workers = cfg.effective_workers();
+    let server = ssj_serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    if opts.stdio {
+        ssj_serve::net::serve_stdio(server).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let listener = std::net::TcpListener::bind(&opts.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("ssjoin serve: listening on {local} ({workers} workers)");
+    ssj_serve::net::serve_tcp(server, listener).map_err(|e| e.to_string())
+}
+
+/// Runs `ssjoin query`: delivers one request line and returns the server's
+/// response line, plus whether the server reported success.
+pub fn run_query(opts: &args::QueryOpts) -> Result<(String, bool), String> {
+    let reply = ssj_serve::net::client_call(&opts.addr, &opts.line)
+        .map_err(|e| format!("{}: {e}", opts.addr))?;
+    let ok = ssj_io::json::parse(&reply)
+        .and_then(|v| {
+            Ok(matches!(
+                v.as_object()?.get("ok"),
+                Some(ssj_io::json::Value::Bool(true))
+            ))
+        })
+        .unwrap_or(false);
+    Ok((reply, ok))
+}
+
 /// Writes pairs to the configured destination.
 pub fn write_output(cli: &Cli, outcome: &Outcome) -> std::io::Result<()> {
     let mut sink: Box<dyn Write> = match &cli.output {

@@ -1,32 +1,58 @@
 //! `ssjoin` binary entry point.
 
+use ssj_cli::args::Command;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match ssj_cli::args::parse(&args) {
-        Ok(cli) => cli,
+    let cmd = match ssj_cli::args::parse_command(&args) {
+        Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match ssj_cli::execute(&cli) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if cli.stats {
-        eprintln!("{}", outcome.stats_line);
-        if !outcome.exact {
-            eprintln!("note: LSH is approximate; the pair list may be incomplete");
+    match cmd {
+        Command::Serve(opts) => match ssj_cli::run_serve(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Query(opts) => match ssj_cli::run_query(&opts) {
+            Ok((reply, ok)) => {
+                println!("{reply}");
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Join(cli) => {
+            let outcome = match ssj_cli::execute(&cli) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cli.stats {
+                eprintln!("{}", outcome.stats_line);
+                if !outcome.exact {
+                    eprintln!("note: LSH is approximate; the pair list may be incomplete");
+                }
+            }
+            if let Err(e) = ssj_cli::write_output(&cli, &outcome) {
+                eprintln!("error writing output: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
     }
-    if let Err(e) = ssj_cli::write_output(&cli, &outcome) {
-        eprintln!("error writing output: {e}");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
 }

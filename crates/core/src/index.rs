@@ -89,6 +89,16 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
         self.deleted.insert(id);
     }
 
+    /// Like [`Self::remove`], but returns `false` for unknown or
+    /// already-deleted ids instead of panicking — the form the serving
+    /// layer uses, where ids arrive from untrusted clients.
+    pub fn try_remove(&mut self, id: SetId) -> bool {
+        if (id as usize) >= self.sets.len() {
+            return false;
+        }
+        self.deleted.insert(id)
+    }
+
     /// Ids of indexed sets sharing at least one signature with `query`
     /// (unverified candidates), deduplicated and sorted.
     pub fn query_candidates(&self, query: &[ElementId]) -> Vec<SetId> {
@@ -109,16 +119,27 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
 
     /// Ids of indexed sets actually satisfying the predicate against `query`.
     pub fn query(&self, query: &[ElementId]) -> Vec<SetId> {
+        self.query_counted(query).0
+    }
+
+    /// Verified lookup that also reports work done: the matching ids plus
+    /// the number of candidates probed (sets sharing a signature with the
+    /// query, before verification). Feeds the serving layer's per-shard
+    /// `candidates_probed` counter.
+    pub fn query_counted(&self, query: &[ElementId]) -> (Vec<SetId>, usize) {
         let mut sorted: Vec<ElementId> = query.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        self.query_candidates(&sorted)
+        let candidates = self.query_candidates(&sorted);
+        let probed = candidates.len();
+        let matches = candidates
             .into_iter()
             .filter(|&id| {
                 self.pred
                     .evaluate(&sorted, self.sets.set(id), self.weights.as_deref())
             })
-            .collect()
+            .collect();
+        (matches, probed)
     }
 
     /// Verified lookup, ranked: matches sorted by a caller-supplied score
@@ -162,6 +183,11 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
 /// scheme is rebuilt with doubled capacity and all live sets are re-signed
 /// (amortized O(1) rebuilds per insert, like vector growth).
 ///
+/// Ids returned by [`Self::insert`] / [`Self::query_insert`] are **stable**:
+/// they survive capacity rebuilds and removals, so callers (the serving
+/// layer in particular) can hold them indefinitely. Internally a slot table
+/// maps each stable id to the current position in the rebuilt index.
+///
 /// ```
 /// use ssj_core::index::JaccardIndex;
 ///
@@ -176,6 +202,10 @@ pub struct JaccardIndex {
     seed: u64,
     max_size: usize,
     inner: SimilarityIndex<crate::partenum::PartEnumJaccard>,
+    /// Inner (collection) id → stable external id; aligned with `inner.sets`.
+    externals: Vec<SetId>,
+    /// Stable external id → current inner id; `None` once removed.
+    slots: Vec<Option<SetId>>,
 }
 
 impl JaccardIndex {
@@ -189,6 +219,8 @@ impl JaccardIndex {
             seed,
             max_size,
             inner: SimilarityIndex::new(scheme, Predicate::Jaccard { gamma }, None),
+            externals: Vec::new(),
+            slots: Vec::new(),
         })
     }
 
@@ -219,31 +251,64 @@ impl JaccardIndex {
             return;
         };
         self.max_size = target;
-        // Rebuild: re-sign every live set under the wider scheme.
+        // Rebuild: re-sign every live set under the wider scheme. Stable
+        // external ids are preserved — each live set keeps its id and only
+        // its slot (inner position) changes.
         let rebuilt = SimilarityIndex::new(scheme, Predicate::Jaccard { gamma: self.gamma }, None);
         let old = std::mem::replace(&mut self.inner, rebuilt);
+        let old_externals = std::mem::take(&mut self.externals);
         for id in 0..crate::cast::set_id(old.sets.len()) {
-            if !old.deleted.contains(&id) {
-                self.inner.insert(old.sets.set(id).to_vec());
+            if old.deleted.contains(&id) {
+                continue;
             }
+            let ext = old_externals[id as usize];
+            let new_inner = self.inner.insert(old.sets.set(id).to_vec());
+            self.slots[ext as usize] = Some(new_inner);
+            self.externals.push(ext);
         }
     }
 
-    /// Inserts a set; returns its (current) id.
-    ///
-    /// Note: ids are invalidated by capacity rebuilds — treat them as valid
-    /// only until the next insert of a larger-than-covered set, or pre-size
-    /// the index generously.
+    /// Inserts a set; returns its stable id (valid across rebuilds, until
+    /// removed).
     pub fn insert(&mut self, elems: Vec<ElementId>) -> SetId {
         let mut sorted = elems;
         sorted.sort_unstable();
         sorted.dedup();
         self.ensure_capacity(sorted.len());
-        self.inner.insert(sorted)
+        let inner_id = self.inner.insert(sorted);
+        let ext = crate::cast::set_id(self.slots.len());
+        self.slots.push(Some(inner_id));
+        self.externals.push(ext);
+        debug_assert_eq!(self.externals.len(), self.inner.sets.len());
+        ext
+    }
+
+    /// Removes a set by stable id; returns `false` for unknown or
+    /// already-removed ids. Removed ids are never reused.
+    pub fn try_remove(&mut self, id: SetId) -> bool {
+        let Some(slot) = self.slots.get_mut(id as usize) else {
+            return false;
+        };
+        let Some(inner_id) = slot.take() else {
+            return false;
+        };
+        self.inner.remove(inner_id);
+        true
+    }
+
+    /// Removes a set by stable id; panics on unknown or already-removed
+    /// ids (see [`Self::try_remove`] for the non-panicking form).
+    pub fn remove(&mut self, id: SetId) {
+        assert!(self.try_remove(id), "unknown or removed id {id}");
     }
 
     /// Verified lookup.
     pub fn query(&self, query: &[ElementId]) -> Vec<SetId> {
+        self.query_counted(query).0
+    }
+
+    /// Verified lookup that also reports the number of candidates probed.
+    pub fn query_counted(&self, query: &[ElementId]) -> (Vec<SetId>, usize) {
         if query.len() > self.max_size {
             // The scheme cannot sign a query beyond its covered size range
             // consistently; fall back to a size-bounded linear scan (rare —
@@ -253,31 +318,77 @@ impl JaccardIndex {
             sorted.dedup();
             let pred = Predicate::Jaccard { gamma: self.gamma };
             let (lo, hi) = pred.size_bounds(sorted.len()).unwrap_or((0, usize::MAX));
-            return (0..crate::cast::set_id(self.inner.sets.len()))
-                .filter(|id| !self.inner.deleted.contains(id))
-                .filter(|&id| {
-                    let len = self.inner.sets.set_len(id);
-                    len >= lo && len <= hi
-                })
-                .filter(|&id| pred.evaluate(&sorted, self.inner.sets.set(id), None))
-                .collect();
+            let mut probed = 0usize;
+            let mut matches: Vec<SetId> = Vec::new();
+            for id in 0..crate::cast::set_id(self.inner.sets.len()) {
+                if self.inner.deleted.contains(&id) {
+                    continue;
+                }
+                let len = self.inner.sets.set_len(id);
+                if len < lo || len > hi {
+                    continue;
+                }
+                probed += 1;
+                if pred.evaluate(&sorted, self.inner.sets.set(id), None) {
+                    matches.push(self.externals[id as usize]);
+                }
+            }
+            matches.sort_unstable();
+            return (matches, probed);
         }
-        self.inner.query(query)
+        let (inner_matches, probed) = self.inner.query_counted(query);
+        let mut matches: Vec<SetId> = inner_matches
+            .into_iter()
+            .map(|id| self.externals[id as usize])
+            .collect();
+        matches.sort_unstable();
+        (matches, probed)
     }
 
     /// Streaming dedup: query then insert.
     pub fn query_insert(&mut self, elems: Vec<ElementId>) -> (Vec<SetId>, SetId) {
+        let (matches, id, _) = self.query_insert_counted(elems);
+        (matches, id)
+    }
+
+    /// [`Self::query_insert`] that also reports the number of candidates
+    /// probed by the query half.
+    pub fn query_insert_counted(&mut self, elems: Vec<ElementId>) -> (Vec<SetId>, SetId, usize) {
         let mut sorted = elems;
         sorted.sort_unstable();
         sorted.dedup();
         self.ensure_capacity(sorted.len());
-        self.inner.query_insert(sorted)
+        let (matches, probed) = self.query_counted(&sorted);
+        let id = self.insert(sorted);
+        (matches, id, probed)
     }
 
-    /// The indexed set for an id.
-    pub fn set(&self, id: SetId) -> &[ElementId] {
-        self.inner.set(id)
+    /// The indexed set for a live stable id (`None` once removed, or for
+    /// ids never issued).
+    pub fn set(&self, id: SetId) -> Option<&[ElementId]> {
+        let inner_id = (*self.slots.get(id as usize)?)?;
+        Some(self.inner.set(inner_id))
     }
+}
+
+/// Routes a canonical (sorted, deduplicated) set to one of `shards` buckets
+/// by content hash.
+///
+/// The serving layer uses this to pick the shard that owns a set: the same
+/// content always routes to the same shard regardless of insertion order or
+/// shard-local state, and the mixed hash keeps shards balanced. `shards`
+/// must be non-zero.
+pub fn shard_of(set: &[ElementId], shards: usize, seed: u64) -> usize {
+    assert!(shards > 0, "shard count must be non-zero");
+    debug_assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "shard_of input must be sorted and deduplicated"
+    );
+    let mut b = crate::hash::SigBuilder::new(seed ^ 0x5ead_0f5e_7b10_c4e1);
+    for &e in set {
+        b.push_u32(e);
+    }
+    (b.finish() % (shards as u64)) as usize
 }
 
 #[cfg(test)]
@@ -384,6 +495,78 @@ mod tests {
         assert_eq!(hits.len(), 1);
         let small_hits = idx.query(&(0..10).collect::<Vec<_>>());
         assert_eq!(small_hits.len(), 1);
+    }
+
+    #[test]
+    fn jaccard_ids_stable_across_rebuilds() {
+        let mut idx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        let a = idx.insert((0..10).collect());
+        let b = idx.insert((100..110).collect());
+        assert_eq!(idx.set(a), Some(&(0..10).collect::<Vec<_>>()[..]));
+        // Trigger a capacity rebuild; previously-issued ids must survive.
+        let big = idx.insert((0..500).collect());
+        assert_eq!(idx.query(&(0..10).collect::<Vec<_>>()), vec![a]);
+        assert_eq!(idx.query(&(100..110).collect::<Vec<_>>()), vec![b]);
+        assert_eq!(idx.set(a), Some(&(0..10).collect::<Vec<_>>()[..]));
+        assert_eq!(idx.set(b), Some(&(100..110).collect::<Vec<_>>()[..]));
+        assert!(idx.set(big).is_some());
+        assert!(a != b && b != big && a != big);
+    }
+
+    #[test]
+    fn jaccard_remove_tombstones_across_rebuilds() {
+        let mut idx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        let a = idx.insert((0..10).collect());
+        assert!(idx.try_remove(a));
+        assert!(!idx.try_remove(a), "second remove is a no-op");
+        assert!(!idx.try_remove(9999), "unknown id is a no-op");
+        assert_eq!(idx.set(a), None);
+        assert!(idx.query(&(0..10).collect::<Vec<_>>()).is_empty());
+        // A rebuild must not resurrect the removed set or reuse its id.
+        let big = idx.insert((0..500).collect());
+        assert_ne!(big, a);
+        assert_eq!(idx.set(a), None);
+        assert!(idx.query(&(0..10).collect::<Vec<_>>()).is_empty());
+        // Re-inserting the same content yields a fresh, queryable id.
+        let a2 = idx.insert((0..10).collect());
+        assert_ne!(a2, a);
+        assert_eq!(idx.query(&(0..10).collect::<Vec<_>>()), vec![a2]);
+    }
+
+    #[test]
+    fn query_counted_reports_probed_candidates() {
+        let mut idx = index(0.8);
+        let a = idx.insert(vec![1, 2, 3, 4, 5]);
+        idx.insert(vec![10, 11, 12]);
+        let (matches, probed) = idx.query_counted(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(matches, vec![a]);
+        assert!(probed >= matches.len());
+        let mut jidx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        let ja = jidx.insert(vec![1, 2, 3, 4, 5]);
+        let (jm, jp) = jidx.query_counted(&[1, 2, 3, 4, 5]);
+        assert_eq!(jm, vec![ja]);
+        assert!(jp >= 1);
+        // Oversized query exercises the linear-scan fallback path.
+        let (fm, fp) = jidx.query_counted(&(0..200).collect::<Vec<_>>());
+        assert!(fm.is_empty());
+        assert_eq!(fp, 0, "size filter excludes the only indexed set");
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_balanced() {
+        let set: Vec<u32> = vec![3, 9, 27];
+        let s = shard_of(&set, 8, 42);
+        assert!(s < 8);
+        assert_eq!(s, shard_of(&set, 8, 42), "same content, same shard");
+        assert_eq!(shard_of(&[], 5, 0), shard_of(&[], 5, 0));
+        // Rough balance: 1000 singleton sets over 8 shards, each shard
+        // should see a reasonable share (binomial tails make <50 per
+        // shard astronomically unlikely).
+        let mut counts = [0usize; 8];
+        for e in 0..1000u32 {
+            counts[shard_of(&[e], 8, 7)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl SignatureTable {
 
 /// Generates signatures for every set, in parallel chunks.
 fn generate_signatures(
-    scheme: &(impl SignatureScheme + Sync),
+    scheme: &impl SignatureScheme,
     collection: &SetCollection,
     threads: usize,
 ) -> SignatureTable {
@@ -312,7 +312,7 @@ fn verify_pairs(
 /// (Figure 2 with `R = S`). Returns all pairs `(a, b)`, `a < b`, satisfying
 /// the predicate — plus every candidate pair when `opts.verify` is off.
 pub fn self_join(
-    scheme: &(impl SignatureScheme + Sync),
+    scheme: &impl SignatureScheme,
     collection: &SetCollection,
     pred: Predicate,
     weights: Option<&WeightMap>,
@@ -369,7 +369,7 @@ pub fn self_join(
 /// (the same hidden parameters must generate both sides' signatures —
 /// Section 3.1).
 pub fn join(
-    scheme: &(impl SignatureScheme + Sync),
+    scheme: &impl SignatureScheme,
     r: &SetCollection,
     s: &SetCollection,
     pred: Predicate,

@@ -21,7 +21,11 @@ pub type Signature = u64;
 /// threshold, collection statistics like element frequencies, and random
 /// seeds — fixed at construction time so that the *same* parameters generate
 /// the signatures of every input set.
-pub trait SignatureScheme {
+///
+/// Schemes are required to be `Send + Sync`: their parameters are immutable
+/// after construction, and both the parallel join driver and the serving
+/// layer (`ssj-serve`) share one scheme across worker threads.
+pub trait SignatureScheme: Send + Sync {
     /// Appends the signatures of `set` (sorted, deduplicated) to `out`.
     ///
     /// `out` is a reusable buffer: callers clear it between sets. Duplicate

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod json;
 pub mod varint;
 
 use ssj_core::set::{SetCollection, WeightMap};

@@ -1,0 +1,95 @@
+//! Property tests for the LEB128 varint codec: round-trips over the full
+//! u64 domain (and sequences thereof), plus systematic truncated-input and
+//! overlong-encoding error cases.
+
+use proptest::prelude::*;
+use ssj_io::varint::{read_varint, write_varint};
+use std::io::ErrorKind;
+
+fn encode(v: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// Values biased toward encoding-length boundaries, mixed with uniform
+/// draws over the whole domain.
+fn interesting_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        2 => any::<u64>(),
+        1 => (0u32..64).prop_map(|shift| 1u64 << shift),
+        1 => (0u32..64).prop_map(|shift| (1u64 << shift).wrapping_sub(1)),
+        1 => (0u32..64).prop_map(|shift| u64::MAX >> shift),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip_preserves_value(v in interesting_u64()) {
+        let buf = encode(v);
+        // LEB128 length: ceil(bits/7), one byte minimum, ten maximum.
+        let expected_len = (64 - v.leading_zeros()).div_ceil(7).max(1) as usize;
+        prop_assert_eq!(buf.len(), expected_len);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(read_varint(&mut slice).expect("round-trip"), v);
+        prop_assert!(slice.is_empty(), "decoder must consume the whole encoding");
+    }
+
+    #[test]
+    fn concatenated_sequences_roundtrip(vs in prop::collection::vec(interesting_u64(), 0..40)) {
+        let mut buf = Vec::new();
+        for &v in &vs {
+            write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+        }
+        let mut slice = buf.as_slice();
+        for &v in &vs {
+            prop_assert_eq!(read_varint(&mut slice).expect("decode in order"), v);
+        }
+        prop_assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_unexpected_eof(v in interesting_u64()) {
+        let buf = encode(v);
+        for cut in 0..buf.len() {
+            // Dropping the terminator byte leaves a dangling continuation
+            // bit, so every strict prefix must fail with UnexpectedEof.
+            let err = read_varint(&mut &buf[..cut]).expect_err("truncated");
+            prop_assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn overlong_padding_is_invalid_data(v in interesting_u64(), pad in 1usize..4) {
+        // Re-encode with redundant continuation bytes (a non-canonical,
+        // semantically identical encoding). Reaching byte 11 — or a tenth
+        // byte carrying bits beyond 2^64 — must be rejected, never wrapped.
+        let mut buf = encode(v);
+        let last = buf.len() - 1;
+        buf[last] |= 0x80;
+        buf.extend(std::iter::repeat_n(0x80, pad - 1));
+        buf.push(0x00);
+        match read_varint(&mut buf.as_slice()) {
+            Ok(decoded) => prop_assert_eq!(decoded, v, "padded encoding changed the value"),
+            Err(err) => prop_assert_eq!(err.kind(), ErrorKind::InvalidData),
+        }
+    }
+}
+
+#[test]
+fn eleven_byte_encodings_are_rejected() {
+    let buf = [0x80u8; 11];
+    let err = read_varint(&mut buf.as_slice()).expect_err("overlong");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+}
+
+#[test]
+fn tenth_byte_overflow_is_rejected() {
+    // Nine continuation bytes then 0x02: sets bit 64, one past u64::MAX.
+    let mut buf = vec![0x80u8; 9];
+    buf.push(0x02);
+    let err = read_varint(&mut buf.as_slice()).expect_err("overflow");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+}

@@ -1,0 +1,86 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// Tunables for a [`crate::service::Server`].
+///
+/// The defaults suit an interactive instance on a developer machine; the
+/// bench harness and the CLI override most of them.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Jaccard similarity threshold `γ` served by the index.
+    pub gamma: f64,
+    /// Number of index shards. Sets are routed to a shard by content hash;
+    /// more shards mean finer-grained write locking.
+    pub shards: usize,
+    /// Number of worker threads executing requests. `0` auto-detects the
+    /// machine's parallelism.
+    pub workers: usize,
+    /// Bound on the request queue. When the queue is full new requests are
+    /// rejected with an `Overloaded` response instead of waiting.
+    pub queue_capacity: usize,
+    /// Initial set-size coverage of each shard's signature scheme; grown
+    /// automatically on demand.
+    pub initial_max_size: usize,
+    /// Seed for the signature schemes and the shard router.
+    pub seed: u64,
+    /// Deadline applied to requests that don't carry their own: a request
+    /// that waited in the queue longer than this is answered `Timeout`
+    /// without being executed.
+    pub default_deadline: Duration,
+    /// Artificial pause a worker takes before executing each request.
+    /// Fault-injection knob for tests (deterministic overload/timeout on
+    /// any machine); keep at zero in production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.8,
+            shards: 4,
+            workers: 0,
+            queue_capacity: 128,
+            initial_max_size: 64,
+            seed: 42,
+            default_deadline: Duration::from_secs(5),
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker count with `0` resolved to the machine's parallelism.
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+}
+
+/// Resolves a `--threads`-style count: `0` means auto-detect via
+/// [`std::thread::available_parallelism`] (falling back to 1 if the
+/// platform can't say), anything else is taken as-is.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_auto_detects() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+        let cfg = ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        };
+        assert!(cfg.effective_workers() >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Network and stdio frontends for the wire protocol.
+//!
+//! [`serve_connection`] runs one newline-delimited JSON session over any
+//! `BufRead`/`Write` pair; [`serve_tcp`] accepts TCP clients and runs each
+//! on its own thread; [`serve_stdio`] runs a single session over the
+//! process's stdin/stdout. A `{"op":"shutdown"}` line from any session
+//! triggers a graceful drain of the whole server.
+
+use crate::service::{Handle, Response, Server};
+use crate::wire::{encode_response, parse_request, WireRequest};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Why a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client closed its end of the connection.
+    Eof,
+    /// The client sent `{"op":"shutdown"}`.
+    Shutdown,
+}
+
+/// Runs one wire-protocol session: one response line per request line.
+///
+/// Malformed lines are answered with a `bad_request` response and the
+/// session continues; only I/O failures and shutdown end it.
+pub fn serve_connection<R: BufRead, W: Write>(
+    handle: &Handle,
+    input: R,
+    mut output: W,
+) -> io::Result<SessionEnd> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(&line) {
+            Err(msg) => encode_response(&Response::Error(msg)),
+            Ok(WireRequest::Call { req, deadline }) => {
+                encode_response(&handle.call_with_deadline(req, deadline))
+            }
+            Ok(WireRequest::Shutdown) => {
+                output.write_all(b"{\"ok\":true,\"op\":\"shutdown\"}\n")?;
+                output.flush()?;
+                return Ok(SessionEnd::Shutdown);
+            }
+        };
+        output.write_all(reply.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(SessionEnd::Eof)
+}
+
+/// Serves TCP clients on `listener` until one of them sends
+/// `{"op":"shutdown"}`, then drains the server and returns.
+///
+/// Each connection runs on its own thread with a cloned [`Handle`]. Once a
+/// shutdown arrives, the accept loop is woken by a loop-back connection,
+/// in-queue requests are answered, and still-connected clients receive
+/// `shutting_down` responses to any further calls.
+pub fn serve_tcp(server: Server, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let handle = server.handle();
+        let stop = Arc::clone(&stop);
+        // Detached on purpose: a lingering client cannot block shutdown —
+        // its future calls answer `shutting_down`, and the thread dies
+        // with the process.
+        let _ = std::thread::Builder::new()
+            .name("ssj-serve-conn".to_string())
+            .spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let outcome = serve_connection(&handle, BufReader::new(read_half), &stream);
+                if matches!(outcome, Ok(SessionEnd::Shutdown)) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Runs one session over the process's stdin/stdout, then drains the
+/// server (whether the session ended by EOF or an explicit shutdown).
+pub fn serve_stdio(server: Server) -> io::Result<SessionEnd> {
+    let handle = server.handle();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let end = serve_connection(&handle, stdin.lock(), stdout.lock())?;
+    server.shutdown();
+    Ok(end)
+}
+
+/// One-shot client: sends `line` to a wire-protocol server at `addr` and
+/// returns the single response line.
+pub fn client_call(addr: &str, line: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::service::Server;
+
+    fn test_server() -> Server {
+        Server::start(ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn scripted_stdio_style_session() {
+        let server = test_server();
+        let handle = server.handle();
+        let script = concat!(
+            "{\"op\":\"insert\",\"set\":[1,2,3,4,5]}\n",
+            "\n", // blank lines are ignored
+            "{\"op\":\"query\",\"set\":[1,2,3,4,5]}\n",
+            "not json\n",
+            "{\"op\":\"stats\"}\n",
+        );
+        let mut out = Vec::new();
+        let end = serve_connection(&handle, script.as_bytes(), &mut out).expect("io ok");
+        assert_eq!(end, SessionEnd::Eof);
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"op\":\"insert\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"ids\":["), "{}", lines[1]);
+        assert!(lines[2].contains("bad_request"), "{}", lines[2]);
+        assert!(lines[3].contains("\"op\":\"stats\""), "{}", lines[3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_with_shutdown() {
+        let server = test_server();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let srv = std::thread::spawn(move || serve_tcp(server, listener));
+        let insert = client_call(&addr, "{\"op\":\"insert\",\"set\":[9,8,7]}").expect("insert");
+        assert!(insert.contains("\"ok\":true"), "{insert}");
+        let query = client_call(&addr, "{\"op\":\"query\",\"set\":[7,8,9]}").expect("query");
+        assert!(query.contains("\"ids\":["), "{query}");
+        let bye = client_call(&addr, "{\"op\":\"shutdown\"}").expect("shutdown");
+        assert!(bye.contains("\"op\":\"shutdown\""), "{bye}");
+        srv.join().expect("server thread").expect("serve_tcp io");
+    }
+}

@@ -1,0 +1,674 @@
+//! The concurrent service core: a sharded similarity index behind a
+//! bounded worker pool.
+//!
+//! # Sharding and snapshot consistency
+//!
+//! The state is `shards` independent [`JaccardIndex`]es, each behind its
+//! own `parking_lot::RwLock`. A set is owned by the shard
+//! [`ssj_core::index::shard_of`] routes it to, so writes (insert, remove)
+//! take exactly one write lock; queries take **all** shard read locks (in
+//! ascending shard order — every multi-lock acquisition uses that order,
+//! so no deadlock is possible) and merge the per-shard answers.
+//!
+//! A global sequence counter makes the interleaving observable and exactly
+//! checkable: every write increments `seq` *inside* its shard's write
+//! critical section, and every query loads `seq` *after* acquiring all
+//! read locks. Because a write's increment happens while it excludes
+//! readers from its shard, a query that observed `seq = S` sees exactly
+//! the writes with sequence number `< S`: a write with a smaller number
+//! finished its critical section before the query locked that shard, and
+//! a write with a larger number could not have touched any shard until the
+//! query released it. Responses carry these numbers (`seq` on writes,
+//! `seen_seq` on queries), which is what lets the concurrency tests replay
+//! any N-thread run against a single-threaded oracle and demand equality.
+//!
+//! # Stable global ids
+//!
+//! Shard-local stable ids (see [`JaccardIndex`]) are encoded as
+//! `global = local * shards + shard_index`, so the owning shard is
+//! recoverable from any id (`global % shards`) and ids remain valid across
+//! shard-internal rebuilds and removals.
+//!
+//! # Admission control
+//!
+//! Requests flow through one bounded crossbeam channel. [`Handle::call`]
+//! uses `try_send`: a full queue answers [`Response::Overloaded`]
+//! immediately rather than blocking the client. Workers check the
+//! per-request deadline at dequeue and answer [`Response::Timeout`]
+//! without executing expired work. Shutdown flips a draining flag (new
+//! calls answer [`Response::ShuttingDown`]), lets queued work finish,
+//! then parks one `Stop` sentinel per worker and joins them.
+
+use crate::config::ServerConfig;
+use crate::metrics::{ServerMetrics, ShardCounters, ShardCountersSnapshot, StatsSnapshot};
+use crossbeam::channel::{self, TrySendError};
+use parking_lot::RwLock;
+use ssj_core::error::Result as CoreResult;
+use ssj_core::index::{shard_of, JaccardIndex};
+use ssj_core::set::ElementId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An operation accepted by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Index a set; answers [`Response::Inserted`].
+    Insert {
+        /// The set's elements (any order, duplicates tolerated).
+        elems: Vec<ElementId>,
+    },
+    /// Remove a set by global id; answers [`Response::Removed`].
+    Remove {
+        /// A global id previously returned by an insert.
+        id: u64,
+    },
+    /// Find indexed sets within the similarity threshold; answers
+    /// [`Response::Matches`].
+    Query {
+        /// The probe set.
+        elems: Vec<ElementId>,
+    },
+    /// Atomically query then insert (streaming dedup); answers
+    /// [`Response::QueryInserted`]. The probe never matches itself.
+    QueryInsert {
+        /// The set to look up and then index.
+        elems: Vec<ElementId>,
+    },
+    /// Fetch counters; answers [`Response::Stats`].
+    Stats,
+}
+
+/// The service's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The set was indexed under `id` as write number `seq`.
+    Inserted {
+        /// Stable global id of the new set.
+        id: u64,
+        /// This write's global sequence number.
+        seq: u64,
+    },
+    /// The removal executed as write number `seq`.
+    Removed {
+        /// Whether the id named a live set (false: unknown or already
+        /// removed — a no-op, not an error).
+        found: bool,
+        /// This write's global sequence number.
+        seq: u64,
+    },
+    /// Query results against the snapshot of writes `< seen_seq`.
+    Matches {
+        /// Global ids of matching sets, ascending.
+        ids: Vec<u64>,
+        /// The query saw exactly the writes numbered below this.
+        seen_seq: u64,
+        /// Candidates probed across all shards before verification.
+        probed: u64,
+    },
+    /// Combined answer to [`Request::QueryInsert`].
+    QueryInserted {
+        /// Global ids of sets matching the probe (excluding itself).
+        ids: Vec<u64>,
+        /// Stable global id of the newly inserted set.
+        id: u64,
+        /// This write's sequence number; the query half saw writes `< seq`.
+        seq: u64,
+        /// Candidates probed across all shards before verification.
+        probed: u64,
+    },
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// The request queue was full; nothing was executed. Retry later.
+    Overloaded,
+    /// The request's deadline expired while it waited in the queue;
+    /// nothing was executed.
+    Timeout,
+    /// The server is draining; nothing was executed.
+    ShuttingDown,
+    /// The request was malformed (wire-layer parse or validation failure).
+    Error(String),
+}
+
+struct Shard {
+    index: RwLock<JaccardIndex>,
+    counters: ShardCounters,
+}
+
+/// The sharded, concurrently usable index facade.
+///
+/// Usable directly (every method takes `&self`) or behind the worker pool
+/// via [`Server`] / [`Handle`].
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    seed: u64,
+    seq: AtomicU64,
+}
+
+impl ShardedIndex {
+    /// Creates `cfg.shards` empty shards (clamped to at least one).
+    pub fn new(cfg: &ServerConfig) -> CoreResult<Self> {
+        let n = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            shards.push(Shard {
+                index: RwLock::new(JaccardIndex::new(
+                    cfg.gamma,
+                    cfg.initial_max_size,
+                    // Independent scheme seeds per shard; derived from the
+                    // configured master seed so runs stay reproducible.
+                    cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                )?),
+                counters: ShardCounters::default(),
+            });
+        }
+        Ok(Self {
+            shards,
+            seed: cfg.seed,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total writes admitted so far.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    fn canonical(elems: Vec<ElementId>) -> Vec<ElementId> {
+        let mut sorted = elems;
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted
+    }
+
+    fn encode_id(&self, local: u32, shard: usize) -> u64 {
+        u64::from(local) * self.shards.len() as u64 + shard as u64
+    }
+
+    /// Splits a global id into `(shard, local)`; `None` if the local part
+    /// exceeds the id domain (such an id was never issued).
+    fn decode_id(&self, global: u64) -> Option<(usize, u32)> {
+        let n = self.shards.len() as u64;
+        let shard = (global % n) as usize;
+        let local = u32::try_from(global / n).ok()?;
+        Some((shard, local))
+    }
+
+    /// Indexes a set; returns its stable global id and write number.
+    pub fn insert(&self, elems: Vec<ElementId>) -> (u64, u64) {
+        let set = Self::canonical(elems);
+        let owner = shard_of(&set, self.shards.len(), self.seed);
+        let shard = &self.shards[owner];
+        let mut index = shard.index.write();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let local = index.insert(set);
+        drop(index);
+        shard.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        (self.encode_id(local, owner), seq)
+    }
+
+    /// Removes a set by global id; returns whether it was live, and the
+    /// write number.
+    pub fn remove(&self, global: u64) -> (bool, u64) {
+        let Some((owner, local)) = self.decode_id(global) else {
+            // Out-of-domain id: provably never issued, so this is a no-op
+            // that needs no lock and changes no state.
+            return (false, self.seq.load(Ordering::SeqCst));
+        };
+        let shard = &self.shards[owner];
+        let mut index = shard.index.write();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let found = index.try_remove(local);
+        drop(index);
+        shard.counters.removes.fetch_add(1, Ordering::Relaxed);
+        (found, seq)
+    }
+
+    /// Queries all shards against one consistent snapshot; returns the
+    /// matching global ids (ascending), the snapshot's sequence number,
+    /// and the candidates probed.
+    pub fn query(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64) {
+        let set = Self::canonical(elems);
+        // Ascending shard order (see module docs: deadlock freedom).
+        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let seen_seq = self.seq.load(Ordering::SeqCst);
+        let mut ids = Vec::new();
+        let mut probed = 0u64;
+        for (i, (shard, guard)) in self.shards.iter().zip(&guards).enumerate() {
+            let (matches, shard_probed) = guard.query_counted(&set);
+            probed += shard_probed as u64;
+            shard.counters.queries.fetch_add(1, Ordering::Relaxed);
+            shard
+                .counters
+                .candidates_probed
+                .fetch_add(shard_probed as u64, Ordering::Relaxed);
+            shard
+                .counters
+                .verified_hits
+                .fetch_add(matches.len() as u64, Ordering::Relaxed);
+            ids.extend(matches.into_iter().map(|local| self.encode_id(local, i)));
+        }
+        drop(guards);
+        ids.sort_unstable();
+        (ids, seen_seq, probed)
+    }
+
+    /// Atomically queries then inserts: the returned matches are exactly
+    /// the writes numbered below the returned `seq`, and the insert *is*
+    /// write `seq`. Returns `(matching ids, new id, seq, probed)`.
+    pub fn query_insert(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64, u64) {
+        let set = Self::canonical(elems);
+        let owner = shard_of(&set, self.shards.len(), self.seed);
+        // Write-lock the owner, read-lock the rest, in ascending order.
+        let mut write_guard = None;
+        let mut read_guards = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == owner {
+                write_guard = Some(shard.index.write());
+                read_guards.push(None);
+            } else {
+                read_guards.push(Some(shard.index.read()));
+            }
+        }
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let mut ids = Vec::new();
+        let mut probed = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let result = if i == owner {
+                write_guard.as_deref().map(|g| g.query_counted(&set))
+            } else {
+                read_guards[i].as_deref().map(|g| g.query_counted(&set))
+            };
+            let (matches, shard_probed) = result.unwrap_or_default();
+            probed += shard_probed as u64;
+            shard.counters.queries.fetch_add(1, Ordering::Relaxed);
+            shard
+                .counters
+                .candidates_probed
+                .fetch_add(shard_probed as u64, Ordering::Relaxed);
+            shard
+                .counters
+                .verified_hits
+                .fetch_add(matches.len() as u64, Ordering::Relaxed);
+            ids.extend(matches.into_iter().map(|local| self.encode_id(local, i)));
+        }
+        let id = match &mut write_guard {
+            Some(g) => {
+                let local = g.insert(set);
+                self.encode_id(local, owner)
+            }
+            // Unreachable: `owner < shards.len()` always populates it; keep
+            // a harmless fallback rather than panic in the service path.
+            None => u64::MAX,
+        };
+        drop(write_guard);
+        drop(read_guards);
+        self.shards[owner]
+            .counters
+            .inserts
+            .fetch_add(1, Ordering::Relaxed);
+        ids.sort_unstable();
+        (ids, id, seq, probed)
+    }
+
+    /// Per-shard live-set counts, counter snapshots, and the current
+    /// sequence number.
+    pub fn shard_stats(&self) -> (Vec<u64>, Vec<ShardCountersSnapshot>, u64) {
+        let live: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.index.read().len() as u64)
+            .collect();
+        let counters = self.shards.iter().map(|s| s.counters.snapshot()).collect();
+        (live, counters, self.seq())
+    }
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: std::sync::mpsc::SyncSender<Response>,
+}
+
+enum Msg {
+    Job(Job),
+    Stop,
+}
+
+struct Inner {
+    index: ShardedIndex,
+    metrics: ServerMetrics,
+    cfg: ServerConfig,
+    draining: AtomicBool,
+}
+
+impl Inner {
+    fn execute(&self, req: Request) -> Response {
+        match req {
+            Request::Insert { elems } => {
+                let (id, seq) = self.index.insert(elems);
+                Response::Inserted { id, seq }
+            }
+            Request::Remove { id } => {
+                let (found, seq) = self.index.remove(id);
+                Response::Removed { found, seq }
+            }
+            Request::Query { elems } => {
+                let (ids, seen_seq, probed) = self.index.query(elems);
+                Response::Matches {
+                    ids,
+                    seen_seq,
+                    probed,
+                }
+            }
+            Request::QueryInsert { elems } => {
+                let (ids, id, seq, probed) = self.index.query_insert(elems);
+                Response::QueryInserted {
+                    ids,
+                    id,
+                    seq,
+                    probed,
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        let (live_sets, shards, seq) = self.index.shard_stats();
+        StatsSnapshot {
+            live_sets,
+            shards,
+            seq,
+            accepted: self.metrics.accepted.load(Ordering::Relaxed),
+            overloaded: self.metrics.overloaded.load(Ordering::Relaxed),
+            timeouts: self.metrics.timeouts.load(Ordering::Relaxed),
+            queue_wait: self.metrics.queue_wait.snapshot(),
+            service_time: self.metrics.service_time.snapshot(),
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, rx: channel::Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        let job = match msg {
+            Msg::Stop => break,
+            Msg::Job(job) => job,
+        };
+        let waited = job.enqueued.elapsed();
+        inner.metrics.queue_wait.record(waited);
+        if waited > job.deadline {
+            inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Response::Timeout);
+            continue;
+        }
+        if !inner.cfg.worker_delay.is_zero() {
+            // Fault-injection pause (tests); see ServerConfig::worker_delay.
+            std::thread::sleep(inner.cfg.worker_delay);
+        }
+        let start = Instant::now();
+        let resp = inner.execute(job.req);
+        inner.metrics.service_time.record(start.elapsed());
+        // A requester that gave up is not an error; drop the response.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// A running service instance: the sharded index plus its worker pool.
+///
+/// Obtain [`Handle`]s with [`Server::handle`] and submit requests from any
+/// number of threads; call [`Server::shutdown`] (or drop the server) for a
+/// graceful drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    tx: channel::Sender<Msg>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the index and spawns the worker pool.
+    pub fn start(cfg: ServerConfig) -> CoreResult<Self> {
+        let index = ShardedIndex::new(&cfg)?;
+        let workers = cfg.effective_workers().max(1);
+        let (tx, rx) = channel::bounded::<Msg>(cfg.queue_capacity.max(1));
+        let inner = Arc::new(Inner {
+            index,
+            metrics: ServerMetrics::default(),
+            cfg,
+            draining: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("ssj-serve-worker-{i}"))
+                    .spawn(move || worker_loop(inner, rx))
+            })
+            .collect::<std::io::Result<Vec<_>>>()
+            .map_err(|e| {
+                ssj_core::error::SsjError::InvalidParams(format!(
+                    "failed to spawn worker threads: {e}"
+                ))
+            })?;
+        Ok(Self {
+            inner,
+            tx,
+            workers: handles,
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: Arc::clone(&self.inner),
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Current counters (without going through the request queue).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Graceful drain: stop admitting, finish queued work, join workers.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.inner.draining.store(true, Ordering::SeqCst);
+        // One Stop sentinel per worker, queued *behind* all admitted work
+        // (FIFO), so every in-flight request is answered before exit.
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Msg::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// A cheap, cloneable client handle to a [`Server`].
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<Inner>,
+    tx: channel::Sender<Msg>,
+}
+
+impl Handle {
+    /// Submits a request with the server's default deadline and waits for
+    /// the response. Never blocks on a full queue and never panics: queue
+    /// pressure, expiry, and shutdown surface as the corresponding
+    /// [`Response`] variants.
+    pub fn call(&self, req: Request) -> Response {
+        self.call_with_deadline(req, None)
+    }
+
+    /// [`Handle::call`] with an explicit queue deadline.
+    pub fn call_with_deadline(&self, req: Request, deadline: Option<Duration>) -> Response {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return Response::ShuttingDown;
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+            deadline: deadline.unwrap_or(self.inner.cfg.default_deadline),
+            reply: reply_tx,
+        };
+        // Count admission optimistically so a stats request never observes
+        // itself missing; rolled back on rejection.
+        self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(Msg::Job(job)) {
+            // A worker always answers; an error means the pool is gone
+            // (drain raced the admission check above).
+            Ok(()) => reply_rx.recv().unwrap_or(Response::ShuttingDown),
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.accepted.fetch_sub(1, Ordering::Relaxed);
+                self.inner
+                    .metrics
+                    .overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Overloaded
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.metrics.accepted.fetch_sub(1, Ordering::Relaxed);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Whether the server has begun draining.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current counters (without going through the request queue).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize) -> ServerConfig {
+        ServerConfig {
+            shards,
+            workers: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_index_basic_operations() {
+        let idx = ShardedIndex::new(&cfg(4)).expect("valid config");
+        let (a, seq_a) = idx.insert(vec![1, 2, 3, 4, 5]);
+        let (_b, seq_b) = idx.insert(vec![100, 200, 300]);
+        assert_ne!(seq_a, seq_b);
+        let (ids, seen, probed) = idx.query(vec![1, 2, 3, 4, 5]);
+        assert_eq!(ids, vec![a]);
+        assert_eq!(seen, 2);
+        assert!(probed >= 1);
+        let (found, _) = idx.remove(a);
+        assert!(found);
+        let (found_again, _) = idx.remove(a);
+        assert!(!found_again);
+        let (ids, _, _) = idx.query(vec![1, 2, 3, 4, 5]);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn global_ids_round_trip_through_shards() {
+        let idx = ShardedIndex::new(&cfg(3)).expect("valid config");
+        let mut ids = Vec::new();
+        for i in 0..50u32 {
+            let base = i * 100;
+            let (id, _) = idx.insert((base..base + 10).collect());
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50, "global ids must be unique");
+        for (i, &id) in ids.iter().enumerate() {
+            let _ = i;
+            let (found, _) = idx.remove(id);
+            assert!(found, "id {id} must decode back to its set");
+        }
+    }
+
+    #[test]
+    fn query_insert_excludes_self_and_finds_duplicates() {
+        let idx = ShardedIndex::new(&cfg(4)).expect("valid config");
+        let (ids, first, seq0, _) = idx.query_insert(vec![1, 2, 3, 4, 5]);
+        assert!(ids.is_empty());
+        assert_eq!(seq0, 0);
+        let (ids, second, seq1, _) = idx.query_insert(vec![1, 2, 3, 4, 5]);
+        assert_eq!(ids, vec![first]);
+        assert_ne!(second, first);
+        assert_eq!(seq1, 1);
+    }
+
+    #[test]
+    fn out_of_domain_remove_is_a_no_op() {
+        let idx = ShardedIndex::new(&cfg(2)).expect("valid config");
+        let (found, _) = idx.remove(u64::MAX - 1);
+        assert!(!found);
+        assert_eq!(idx.seq(), 0, "no write number consumed");
+    }
+
+    #[test]
+    fn server_round_trip_and_stats() {
+        let server = Server::start(cfg(2)).expect("valid config");
+        let h = server.handle();
+        let resp = h.call(Request::Insert {
+            elems: vec![1, 2, 3],
+        });
+        let id = match resp {
+            Response::Inserted { id, .. } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        match h.call(Request::Query {
+            elems: vec![1, 2, 3],
+        }) {
+            Response::Matches { ids, .. } => assert_eq!(ids, vec![id]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.live_sets.iter().sum::<u64>(), 1);
+                assert_eq!(s.accepted, 3);
+                assert_eq!(s.overloaded, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_answer_shutting_down() {
+        let server = Server::start(cfg(2)).expect("valid config");
+        let h = server.handle();
+        server.shutdown();
+        assert!(h.is_draining());
+        assert_eq!(h.call(Request::Stats), Response::ShuttingDown);
+    }
+}

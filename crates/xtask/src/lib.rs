@@ -15,7 +15,7 @@
 //! | `default-hasher`  | hot-path modules                        | bare `HashMap`/`HashSet` (use `FxHashMap`/`FxHashSet`) |
 //! | `crate-hygiene`   | every crate root                        | missing `#![forbid(unsafe_code)]` / `#![deny(rust_2018_idioms)]` |
 //! | `narrowing-cast`  | ssj-core                                | bare `as` narrowing casts on id-sized ints |
-//! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core |
+//! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core or ssj-serve |
 //!
 //! Suppressions live in `crates/xtask/lint_allow.toml`.
 
@@ -77,8 +77,9 @@ impl std::error::Error for LintError {}
 ///
 /// `cli` and `bench` are scanned too, but ship with allowlist entries —
 /// the ISSUE-level policy is "library crates must not panic; binaries may,
-/// with a recorded reason". `ssj-core` must never appear in the allowlist.
-const NO_PANIC_DIRS: [&str; 7] = [
+/// with a recorded reason". Neither `ssj-core` nor `ssj-serve` may ever
+/// appear in the allowlist.
+const NO_PANIC_DIRS: [&str; 8] = [
     "crates/core/src",
     "crates/baselines/src",
     "crates/io/src",
@@ -86,15 +87,17 @@ const NO_PANIC_DIRS: [&str; 7] = [
     "crates/minidb/src",
     "crates/cli/src",
     "crates/bench/src",
+    "crates/server/src",
 ];
 
 /// Hot-path modules where default hashers are banned (`default-hasher`).
-const HOT_PATH_FILES: [&str; 5] = [
+const HOT_PATH_FILES: [&str; 6] = [
     "crates/core/src/index.rs",
     "crates/core/src/join.rs",
     "crates/core/src/sketch.rs",
     "crates/baselines/src/prefix_filter.rs",
     "crates/baselines/src/probe_count.rs",
+    "crates/server/src/service.rs",
 ];
 
 /// Directories holding crate roots for the `crate-hygiene` rule: the
@@ -147,19 +150,22 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, LintError> {
     let allow = load_allowlist(root)?;
     let mut violations = Vec::new();
 
-    // Guard: the allowlist must not carve holes in ssj-core.
+    // Guard: the allowlist must not carve holes in ssj-core or ssj-serve
+    // (the serving layer was added with a zero-exemption policy).
     for entry in &allow.entries {
-        if entry.path.starts_with("crates/core") {
-            violations.push(Violation {
-                rule: rules::ALLOWLIST_SCOPE,
-                path: ALLOWLIST_PATH.to_string(),
-                line: 1,
-                message: format!(
-                    "allowlist entry `{}` exempts ssj-core; core must satisfy \
-                     every rule outright",
-                    entry.path
-                ),
-            });
+        for (dir, name) in [("crates/core", "ssj-core"), ("crates/server", "ssj-serve")] {
+            if entry.path.starts_with(dir) {
+                violations.push(Violation {
+                    rule: rules::ALLOWLIST_SCOPE,
+                    path: ALLOWLIST_PATH.to_string(),
+                    line: 1,
+                    message: format!(
+                        "allowlist entry `{}` exempts {name}; {name} must satisfy \
+                         every rule outright",
+                        entry.path
+                    ),
+                });
+            }
         }
     }
 

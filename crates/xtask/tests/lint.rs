@@ -107,6 +107,20 @@ fn allowlist_cannot_exempt_core() {
 }
 
 #[test]
+fn allowlist_cannot_exempt_server() {
+    let violations = xtask::run_lint(&fixture("servescope")).expect("engine runs");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == xtask::rules::ALLOWLIST_SCOPE && v.message.contains("ssj-serve")),
+        "{violations:?}"
+    );
+    let (code, stdout) = lint_exit(&fixture("servescope"));
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("allowlist-scope"));
+}
+
+#[test]
 fn workspace_is_clean() {
     // The acceptance gate: the real repo passes its own lint.
     let violations = xtask::run_lint(&repo_root()).expect("engine runs");
@@ -117,14 +131,14 @@ fn workspace_is_clean() {
 }
 
 #[test]
-fn workspace_allowlist_has_no_core_entries() {
+fn workspace_allowlist_has_no_core_or_server_entries() {
     let allow = xtask::load_allowlist(&repo_root()).expect("allowlist parses");
     assert!(
         allow
             .entries
             .iter()
-            .all(|e| !e.path.contains("crates/core")),
-        "ssj-core must not appear in lint_allow.toml"
+            .all(|e| !e.path.contains("crates/core") && !e.path.contains("crates/server")),
+        "neither ssj-core nor ssj-serve may appear in lint_allow.toml"
     );
     // And every entry carries a reason (the parser enforces it; assert the
     // invariant holds for the checked-in file too).

@@ -18,11 +18,7 @@ fn address_tokens(n: usize, seed: u64) -> SetCollection {
     strings.iter().map(|s| token_set(s, 0xabc)).collect()
 }
 
-fn native_pairs(
-    scheme: &(impl SignatureScheme + Sync),
-    c: &SetCollection,
-    gamma: f64,
-) -> Vec<(u32, u32)> {
+fn native_pairs(scheme: &impl SignatureScheme, c: &SetCollection, gamma: f64) -> Vec<(u32, u32)> {
     let mut pairs = self_join(
         scheme,
         c,
