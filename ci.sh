@@ -15,6 +15,9 @@ cargo xtask lint
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo xtask difftest --seeds 25"
+cargo xtask difftest --seeds 25
+
 echo "==> server smoke test"
 scripts/serve_smoke.sh
 

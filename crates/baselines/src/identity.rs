@@ -16,6 +16,16 @@ pub struct IdentityScheme;
 
 impl SignatureScheme for IdentityScheme {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        if set.is_empty() {
+            // Js(∅, ∅) = 1 (likewise dice): a pair of empty sets can
+            // satisfy a similarity predicate despite sharing no element,
+            // so empty sets must collide with each other. Elements are
+            // u32s, so a sentinel above u32::MAX can never collide with a
+            // real element's signature; for intersection predicates the
+            // spurious ∅/∅ candidates are discarded by verification.
+            out.push(Signature::MAX);
+            return;
+        }
         out.extend(set.iter().map(|&e| e as Signature));
     }
 
@@ -34,7 +44,25 @@ mod tests {
     #[test]
     fn signatures_are_elements() {
         assert_eq!(IdentityScheme.signatures(&[3, 7, 11]), vec![3, 7, 11]);
-        assert!(IdentityScheme.signatures(&[]).is_empty());
+    }
+
+    // Minimized from `cargo xtask difftest --replay 1 --schemes identity`:
+    // Js(∅, ∅) = 1 ≥ γ, but the scheme emitted no signatures for empty
+    // sets, so every (∅, ∅) pair was silently dropped.
+    #[test]
+    fn empty_sets_join_each_other_under_jaccard() {
+        assert_eq!(IdentityScheme.signatures(&[]), vec![Signature::MAX]);
+        let c: SetCollection = vec![vec![], vec![1, 2], vec![]].into_iter().collect();
+        for threads in [1, 2, 8] {
+            let result = self_join(
+                &IdentityScheme,
+                &c,
+                Predicate::Jaccard { gamma: 0.05 },
+                None,
+                JoinOptions::parallel(threads),
+            );
+            assert_eq!(result.pairs, vec![(0, 2)], "threads = {threads}");
+        }
     }
 
     #[test]

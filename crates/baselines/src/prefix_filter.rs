@@ -162,7 +162,12 @@ impl PrefixFilter {
         match &self.tagging {
             SizeTagging::None => (TAG_UNTAGGED, None),
             SizeTagging::Intervals(iv) => {
-                let i = iv.interval_of(len) as u64;
+                // Intervals were sized from the build-time collections, so
+                // every indexed length is covered; clamp defensively (the
+                // fallback is unreachable for in-collection sets).
+                let i = iv
+                    .interval_of(len.clamp(1, iv.max_size()))
+                    .unwrap_or(iv.count()) as u64;
                 (i, Some(i + 1))
             }
             SizeTagging::Weighted { ratio } => {

@@ -25,12 +25,13 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
     // Candidate (n1, n2) settings, from fewest signatures to most — the
     // paper's x-axis runs (11,1), (10,3), ..., (2,7).
     let mut candidates = PartEnumParams::candidates(k, 256);
-    candidates.sort_by_key(|p| p.signatures_per_vector(k));
+    // `candidates` already filtered overflowing cost points; MAX is dead.
+    candidates.sort_by_key(|p| p.signatures_per_vector(k).unwrap_or(usize::MAX));
     // Thin out near-duplicate signature counts to keep the table readable.
     let mut sweep: Vec<PartEnumParams> = Vec::new();
     let mut last = 0usize;
     for p in candidates {
-        let s = p.signatures_per_vector(k);
+        let s = p.signatures_per_vector(k).unwrap_or(usize::MAX);
         if s > last {
             sweep.push(p);
             last = s;

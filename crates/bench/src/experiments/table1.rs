@@ -26,7 +26,8 @@ pub fn run(scale: Scale, _threads: usize) -> Vec<RunRecord> {
     let mut rows = Vec::new();
     for &n in &scale.sweep() {
         let params = optimize_hamming(k, &sample, n, 256, 0x7a1);
-        let sigs = params.signatures_per_vector(k);
+        // The optimizer only returns points with finite cost.
+        let sigs = params.signatures_per_vector(k).unwrap_or(0);
         rows.push(vec![
             n.to_string(),
             format!("({},{})", params.n1, params.n2),

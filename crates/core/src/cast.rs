@@ -42,6 +42,14 @@ pub fn u32_of_u64(i: u64) -> u32 {
     u32::try_from(i).unwrap_or(u32::MAX)
 }
 
+/// Converts a u64 known to hold a platform-word value (e.g. a signature
+/// arena offset bounded by the arena's length).
+#[inline]
+pub fn usize_of_u64(i: u64) -> usize {
+    debug_assert!(usize::try_from(i).is_ok(), "value {i} exceeds usize range");
+    usize::try_from(i).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +61,8 @@ mod tests {
         assert_eq!(set_id_u64((1u64 << 32) - 1), u32::MAX);
         assert_eq!(u32_of(31), 31);
         assert_eq!(u32_of_u64(0xffff_ffff), u32::MAX);
+        assert_eq!(usize_of_u64(0), 0);
+        assert_eq!(usize_of_u64(1 << 40), 1usize << 40);
     }
 
     #[test]

@@ -10,6 +10,14 @@ pub enum SsjError {
     InvalidParams(String),
     /// The predicate is outside the class a scheme supports (Section 6).
     UnsupportedPredicate(String),
+    /// A set size fell outside the range a size-partitioned structure was
+    /// built to cover (e.g. a query larger than `SizeIntervals::max_size`).
+    SizeOutOfRange {
+        /// The offending set size.
+        size: usize,
+        /// The largest size the structure covers.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SsjError {
@@ -17,6 +25,9 @@ impl fmt::Display for SsjError {
         match self {
             SsjError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             SsjError::UnsupportedPredicate(msg) => write!(f, "unsupported predicate: {msg}"),
+            SsjError::SizeOutOfRange { size, max } => {
+                write!(f, "set size {size} beyond covered range {max}")
+            }
         }
     }
 }
@@ -36,5 +47,7 @@ mod tests {
         assert_eq!(e.to_string(), "invalid parameters: n1 too big");
         let e = SsjError::UnsupportedPredicate("overlap".into());
         assert!(e.to_string().contains("unsupported predicate"));
+        let e = SsjError::SizeOutOfRange { size: 99, max: 10 };
+        assert_eq!(e.to_string(), "set size 99 beyond covered range 10");
     }
 }

@@ -90,7 +90,9 @@ impl SignatureTable {
     }
 
     fn of(&self, id: usize) -> &[Signature] {
-        &self.sigs[self.offsets[id] as usize..self.offsets[id + 1] as usize]
+        let lo = crate::cast::usize_of_u64(self.offsets[id]);
+        let hi = crate::cast::usize_of_u64(self.offsets[id + 1]);
+        &self.sigs[lo..hi]
     }
 }
 

@@ -106,11 +106,11 @@ impl GeneralPartEnum {
 
         // Verify the i/i+1 routing is exhaustive for this predicate.
         for len in 1..=max_set_size {
-            let i = intervals.interval_of(len);
+            let i = intervals.interval_of(len)?;
             if let Some((_, hi)) = pred.size_bounds(len) {
                 let hi = hi.min(max_set_size);
                 if hi >= 1 {
-                    let j = intervals.interval_of(hi);
+                    let j = intervals.interval_of(hi)?;
                     if j > i + 1 {
                         return Err(SsjError::UnsupportedPredicate(format!(
                             "partner size {hi} for size {len} escapes interval {i}+1 (lands in {j})"
@@ -178,7 +178,11 @@ impl SignatureScheme for GeneralPartEnum {
                     out.push(sig.finish());
                     return;
                 }
-                let i = intervals.interval_of(set.len());
+                // Uncovered sizes emit nothing (see PartEnumJaccard): the
+                // fallible index entry points surface the error instead.
+                let Ok(i) = intervals.interval_of(set.len()) else {
+                    return;
+                };
                 if let Some(pe) = instances.get(i - 1) {
                     pe.signatures_into(set, out);
                 }
@@ -186,6 +190,14 @@ impl SignatureScheme for GeneralPartEnum {
                     pe.signatures_into(set, out);
                 }
             }
+        }
+    }
+
+    fn max_signable_len(&self) -> Option<usize> {
+        match &self.structure {
+            // The single-instance hamming structure signs any size.
+            Structure::Single(_) => None,
+            Structure::Intervals { intervals, .. } => Some(intervals.max_size()),
         }
     }
 

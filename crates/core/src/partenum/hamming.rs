@@ -55,6 +55,12 @@ impl PartEnumHamming {
     /// the interval number to signatures for exactly this reason).
     pub fn with_tag(k: usize, params: PartEnumParams, seed: u64, tag: u64) -> Result<Self> {
         params.validate(k)?;
+        if params.n2 > 32 {
+            return Err(crate::error::SsjError::InvalidParams(format!(
+                "n2 = {} exceeds the 32-partition subset-enumeration limit",
+                params.n2
+            )));
+        }
         Ok(Self::build(k, params, seed, tag))
     }
 
@@ -266,6 +272,19 @@ mod tests {
             collisions < trials / 10,
             "too many far-pair collisions: {collisions}/{trials}"
         );
+    }
+
+    #[test]
+    fn oversized_n2_is_rejected_cleanly() {
+        // n2 = 41, k2 = 40 is a valid Figure-3 point cost-wise (41 sigs)
+        // but beyond the u32 subset-mask enumeration: clean error, no panic.
+        let params = PartEnumParams { n1: 1, n2: 41 };
+        assert!(params.validate(40).is_ok());
+        assert!(PartEnumHamming::new(40, params, 0).is_err());
+        // And the candidate enumeration never proposes such a point.
+        for p in PartEnumParams::candidates(40, usize::MAX) {
+            assert!(p.n2 <= 32, "candidates proposed n2 = {}", p.n2);
+        }
     }
 
     #[test]

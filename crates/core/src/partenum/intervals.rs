@@ -1,6 +1,7 @@
 //! Size intervals for jaccard PartEnum (Figure 6, steps (a)–(b)) and the
 //! size-based filtering of Section 5.
 
+use crate::error::{Result, SsjError};
 use crate::predicate::floor_tol;
 
 /// A partition of the positive integers into intervals
@@ -47,16 +48,33 @@ impl SizeIntervals {
         self.bounds.len() - 1
     }
 
+    /// The largest size the intervals cover (`r` of the last interval).
+    pub fn max_size(&self) -> usize {
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Whether `size` falls inside the covered range `[1, max_size]`.
+    pub fn covers(&self, size: usize) -> bool {
+        size >= 1 && size <= self.max_size()
+    }
+
     /// The 1-based interval index containing `size`.
     ///
-    /// # Panics
-    /// Panics if `size` is 0 or beyond the covered range.
-    pub fn interval_of(&self, size: usize) -> usize {
-        assert!(size >= 1, "interval_of is defined on positive sizes");
-        let max = self.bounds.last().copied().unwrap_or(0);
-        assert!(size <= max, "size {size} beyond covered range {max}");
+    /// # Errors
+    /// [`SsjError::SizeOutOfRange`] if `size` is 0 or beyond
+    /// [`Self::max_size`]. Sets routed through the public scheme APIs never
+    /// hit the error arm (construction sizes the intervals to the
+    /// collection); it exists so *query-time* sizes outside the indexed
+    /// range surface as clean errors instead of worker panics.
+    pub fn interval_of(&self, size: usize) -> Result<usize> {
+        if !self.covers(size) {
+            return Err(SsjError::SizeOutOfRange {
+                size,
+                max: self.max_size(),
+            });
+        }
         // bounds is strictly increasing; find the first r_i >= size.
-        self.bounds.partition_point(|&r| r < size)
+        Ok(self.bounds.partition_point(|&r| r < size))
     }
 
     /// The `[l_i, r_i]` bounds of 1-based interval `i`.
@@ -109,10 +127,12 @@ mod tests {
             }
             // Every size maps into the interval that contains it.
             for size in 1..=500 {
-                let i = iv.interval_of(size);
+                let i = iv.interval_of(size).expect("covered size");
                 let (l, r) = iv.interval(i);
                 assert!(l <= size && size <= r, "gamma={gamma} size={size}");
             }
+            assert!(iv.max_size() >= 500);
+            assert!(iv.covers(500) && !iv.covers(0));
         }
     }
 
@@ -132,12 +152,12 @@ mod tests {
         for &gamma in &[0.7, 0.8, 0.9, 0.95] {
             let iv = SizeIntervals::new(gamma, 3000);
             for s_size in 1..=1000usize {
-                let i = iv.interval_of(s_size);
+                let i = iv.interval_of(s_size).expect("covered size");
                 // Lemma 1: γ·|s| ≤ |r| ≤ |s|/γ.
                 let lo = (gamma * s_size as f64).ceil() as usize;
                 let hi = (s_size as f64 / gamma).floor() as usize;
                 for r_size in [lo.max(1), hi] {
-                    let j = iv.interval_of(r_size);
+                    let j = iv.interval_of(r_size).expect("covered size");
                     assert!(
                         j + 1 >= i && j <= i + 1,
                         "gamma={gamma} |s|={s_size} (I{i}) |r|={r_size} (I{j})"
@@ -157,14 +177,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive sizes")]
-    fn interval_of_zero_panics() {
-        SizeIntervals::new(0.9, 10).interval_of(0);
-    }
-
-    #[test]
-    #[should_panic(expected = "beyond covered range")]
-    fn interval_of_out_of_range_panics() {
-        SizeIntervals::new(0.9, 10).interval_of(1000);
+    fn interval_of_rejects_uncovered_sizes() {
+        let iv = SizeIntervals::new(0.9, 10);
+        assert_eq!(
+            iv.interval_of(0),
+            Err(SsjError::SizeOutOfRange {
+                size: 0,
+                max: iv.max_size()
+            })
+        );
+        let err = iv.interval_of(1000).expect_err("beyond covered range");
+        assert!(matches!(err, SsjError::SizeOutOfRange { size: 1000, .. }));
+        assert!(err.to_string().contains("beyond covered range"));
     }
 }

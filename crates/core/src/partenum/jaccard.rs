@@ -89,12 +89,15 @@ impl PartEnumJaccard {
     }
 
     /// Upper bound on signatures emitted for a set of the given size
-    /// (instance `i` plus instance `i+1`).
+    /// (instance `i` plus instance `i+1`); 0 for sizes beyond
+    /// [`SignatureScheme::max_signable_len`], which emit nothing.
     pub fn signatures_per_set(&self, size: usize) -> usize {
         if size == 0 {
             return 1;
         }
-        let i = self.intervals.interval_of(size);
+        let Ok(i) = self.intervals.interval_of(size) else {
+            return 0;
+        };
         let a = self.instance(i).map_or(0, |pe| pe.signatures_per_vector());
         let b = self
             .instance(i + 1)
@@ -114,7 +117,15 @@ impl SignatureScheme for PartEnumJaccard {
             out.push(sig.finish());
             return;
         }
-        let i = self.intervals.interval_of(set.len());
+        // A set longer than the covered range cannot be signed exactly (no
+        // instance was built for its interval): emit nothing rather than
+        // panic. Callers that index such sets go through the fallible entry
+        // points ([`crate::index::SimilarityIndex::try_insert`]) or fall
+        // back to a scan; the debug-build completeness invariants catch any
+        // path that forgets.
+        let Ok(i) = self.intervals.interval_of(set.len()) else {
+            return;
+        };
         // Figure 6: emit PE[i] and PE[i+1] signatures, tagged by instance
         // (the tag is baked into each instance's SigBuilder).
         if let Some(pe) = self.instance(i) {
@@ -123,6 +134,12 @@ impl SignatureScheme for PartEnumJaccard {
         if let Some(pe) = self.instance(i + 1) {
             pe.signatures_into(set, out);
         }
+    }
+
+    fn max_signable_len(&self) -> Option<usize> {
+        // The size coverage requested at construction plus the one-interval
+        // margin: the largest size `interval_of` resolves.
+        Some(self.intervals.max_size())
     }
 
     fn name(&self) -> &'static str {
@@ -185,8 +202,8 @@ mod tests {
         let a = shared.clone(); // size 18 ∈ I13
         let mut b = shared.clone();
         b.push(100); // size 19 ∈ I14, Js = 18/19 = 0.947 ≥ 0.9
-        assert_eq!(scheme.intervals().interval_of(18), 13);
-        assert_eq!(scheme.intervals().interval_of(19), 14);
+        assert_eq!(scheme.intervals().interval_of(18), Ok(13));
+        assert_eq!(scheme.intervals().interval_of(19), Ok(14));
         assert!(jaccard(&a, &b) >= gamma);
         assert!(share_sig(&scheme, &a, &b));
     }
@@ -234,7 +251,7 @@ mod tests {
     #[test]
     fn custom_params_hook_is_used() {
         let scheme = PartEnumJaccard::with_params(0.8, 40, 9, PartEnumParams::default_for).unwrap();
-        let i = scheme.intervals().interval_of(30);
+        let i = scheme.intervals().interval_of(30).unwrap();
         let k = scheme.intervals().hamming_threshold(i);
         assert_eq!(
             scheme.instance(i).unwrap().params(),

@@ -37,10 +37,15 @@ impl PartEnumParams {
                 k + 1
             )));
         }
-        if self.n1 * self.n2 < k + 1 {
+        let Some(n1n2) = self.n1.checked_mul(self.n2) else {
             return Err(SsjError::InvalidParams(format!(
-                "n1*n2 = {} is below k+1 = {} (second-level threshold would exceed n2)",
-                self.n1 * self.n2,
+                "n1*n2 = {}*{} overflows",
+                self.n1, self.n2
+            )));
+        };
+        if n1n2 < k + 1 {
+            return Err(SsjError::InvalidParams(format!(
+                "n1*n2 = {n1n2} is below k+1 = {} (second-level threshold would exceed n2)",
                 k + 1
             )));
         }
@@ -59,8 +64,14 @@ impl PartEnumParams {
     }
 
     /// Signatures generated per vector: `n1 · C(n2, n2 − k2)`.
-    pub fn signatures_per_vector(&self, k: usize) -> usize {
-        self.n1 * binomial(self.n2, self.n2 - self.k2(k))
+    ///
+    /// `None` when the count overflows `usize` — such parameter points are
+    /// unusable (the enumeration could never materialize) and are rejected
+    /// by [`Self::candidates`] and the optimizers rather than silently
+    /// costed at a saturated garbage value.
+    pub fn signatures_per_vector(&self, k: usize) -> Option<usize> {
+        self.n1
+            .checked_mul(binomial(self.n2, self.n2 - self.k2(k))?)
     }
 
     /// A serviceable default when no data is available for optimization:
@@ -86,30 +97,41 @@ impl PartEnumParams {
             let k2 = (k + 1).div_ceil(n1) - 1;
             // n2 must be at least k2+1 (constraint n1*n2 ≥ k+1); larger n2
             // with the same k2 buys filtering at the cost of more signatures.
-            for n2 in (k2 + 1)..=(k2 + 8).max(4) {
+            // n2 > 32 is unusable: subset enumeration works on u32 masks.
+            for n2 in (k2 + 1)..=(k2 + 8).clamp(4, 32) {
                 let p = Self { n1, n2 };
-                if p.validate(k).is_ok() && p.signatures_per_vector(k) <= max_sigs {
+                if p.validate(k).is_ok()
+                    && p.signatures_per_vector(k)
+                        .is_some_and(|sigs| sigs <= max_sigs)
+                {
                     out.push(p);
                 }
             }
         }
-        out.sort_by_key(|p| (p.signatures_per_vector(k), p.n1, p.n2));
+        out.sort_by_key(|p| (p.signatures_per_vector(k).unwrap_or(usize::MAX), p.n1, p.n2));
         out.dedup();
         out
     }
 }
 
-/// Binomial coefficient `C(n, r)` with saturation (never panics).
-pub fn binomial(n: usize, r: usize) -> usize {
+/// Binomial coefficient `C(n, r)`, or `None` when the value overflows
+/// `usize`.
+///
+/// The multiplicative recurrence keeps every intermediate `acc` equal to
+/// `C(n, i+1)` exactly (the division is always exact), so overflow of the
+/// u128 accumulator or of the final narrowing is detected, never clamped:
+/// a clamped count would let `subsets_of_size` pre-allocate garbage and the
+/// optimizer cost model rank impossible parameter points as affordable.
+pub fn binomial(n: usize, r: usize) -> Option<usize> {
     if r > n {
-        return 0;
+        return Some(0);
     }
     let r = r.min(n - r);
     let mut acc: u128 = 1;
     for i in 0..r {
-        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+        acc = acc.checked_mul((n - i) as u128)? / (i + 1) as u128;
     }
-    acc.min(usize::MAX as u128) as usize
+    usize::try_from(acc).ok()
 }
 
 /// Enumerates all `C(n, size)` subsets of `{0..n}` of the given size, as
@@ -125,7 +147,8 @@ pub fn subsets_of_size(n: usize, size: usize) -> Vec<u32> {
     if size == 0 {
         return vec![0];
     }
-    let mut out = Vec::with_capacity(binomial(n, size));
+    // n ≤ 32 keeps every C(n, size) well inside usize; 0 is unreachable.
+    let mut out = Vec::with_capacity(binomial(n, size).unwrap_or(0));
     // Gosper's hack: iterate masks with `size` bits set in increasing order.
     let mut mask: u64 = (1u64 << size) - 1;
     let limit: u64 = 1u64 << n;
@@ -144,12 +167,41 @@ mod tests {
 
     #[test]
     fn binomial_table() {
-        assert_eq!(binomial(4, 3), 4);
-        assert_eq!(binomial(3, 2), 3);
-        assert_eq!(binomial(10, 0), 1);
-        assert_eq!(binomial(10, 10), 1);
-        assert_eq!(binomial(5, 6), 0);
-        assert_eq!(binomial(52, 5), 2_598_960);
+        assert_eq!(binomial(4, 3), Some(4));
+        assert_eq!(binomial(3, 2), Some(3));
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(5, 6), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_overflow_is_detected_not_clamped() {
+        // C(200, 100) ≈ 9·10^58 overflows even u128 intermediates.
+        assert_eq!(binomial(200, 100), None);
+        // C(70, 35) ≈ 1.1·10^20 overflows usize on 64-bit targets but not
+        // the u128 accumulator: the final narrowing must catch it too.
+        if usize::BITS == 64 {
+            assert_eq!(binomial(70, 35), None);
+        }
+        // Near the edge but representable.
+        assert_eq!(binomial(64, 32), Some(1_832_624_140_942_590_534));
+    }
+
+    #[test]
+    fn overflowing_parameter_points_are_rejected() {
+        // n2 huge with k2 ≈ n2/2 overflows the signature count
+        // (C(4096, 2048)); the candidate enumeration and cost sort must
+        // treat the point as unusable.
+        let p = PartEnumParams { n1: 1, n2: 4096 };
+        assert!(p.validate(2048).is_ok());
+        assert_eq!(p.signatures_per_vector(2048), None);
+        // validate itself rejects n1*n2 overflow.
+        let q = PartEnumParams {
+            n1: usize::MAX,
+            n2: 2,
+        };
+        assert!(q.validate(usize::MAX - 1).is_err());
     }
 
     #[test]
@@ -179,7 +231,7 @@ mod tests {
         // Figure 4 / Example 3: n1=3, n2=4, k=5 → k2=1, 3·C(4,3)=12 sigs.
         let p = PartEnumParams::new(3, 4, 5).unwrap();
         assert_eq!(p.k2(5), 1);
-        assert_eq!(p.signatures_per_vector(5), 12);
+        assert_eq!(p.signatures_per_vector(5), Some(12));
     }
 
     #[test]
@@ -187,7 +239,7 @@ mod tests {
         // Example 4 / Figure 5: n1=2, n2=3, k=3 → k2=1, 2·C(3,2)=6 sigs.
         let p = PartEnumParams::new(2, 3, 3).unwrap();
         assert_eq!(p.k2(3), 1);
-        assert_eq!(p.signatures_per_vector(3), 6);
+        assert_eq!(p.signatures_per_vector(3), Some(6));
     }
 
     #[test]
@@ -227,7 +279,7 @@ mod tests {
         assert!(!cands.is_empty());
         for p in &cands {
             p.validate(5).unwrap();
-            assert!(p.signatures_per_vector(5) <= 64);
+            assert!(p.signatures_per_vector(5).expect("finite cost") <= 64);
         }
         // Includes the Example 3 setting.
         assert!(cands.contains(&PartEnumParams { n1: 3, n2: 4 }));

@@ -114,8 +114,13 @@ impl ReplicatedPartEnumJaccard {
         if size == 0 {
             return 1;
         }
+        // The clamp above keeps `size` inside the covered range, so
+        // `interval_of` cannot fail; the fallback is unreachable.
         let size = size.min(self.intervals.interval(self.intervals.count()).1);
-        let i = self.intervals.interval_of(size);
+        let i = self
+            .intervals
+            .interval_of(size)
+            .unwrap_or(self.intervals.count());
         let a = self
             .instances
             .get(i - 1)
@@ -147,10 +152,14 @@ impl SignatureScheme for ReplicatedPartEnumJaccard {
             out.push(sig.finish());
             return;
         }
+        // Clamped into the covered range: `interval_of` cannot fail.
         let size = items
             .len()
             .min(self.intervals.interval(self.intervals.count()).1);
-        let i = self.intervals.interval_of(size);
+        let i = self
+            .intervals
+            .interval_of(size)
+            .unwrap_or(self.intervals.count());
         if let Some(pe) = self.instances.get(i - 1) {
             pe.signatures_for_items(&items, out);
         }

@@ -48,6 +48,17 @@ pub trait SignatureScheme: Send + Sync {
         false
     }
 
+    /// The largest set length the scheme can sign, or `None` if unbounded.
+    ///
+    /// Size-partitioned schemes (jaccard PartEnum) are built to cover a
+    /// fixed size range; a longer set gets *no* signatures, so callers that
+    /// may see out-of-range sets (the incremental index, the serving layer)
+    /// must check this bound and fall back or report an error instead of
+    /// silently dropping pairs.
+    fn max_signable_len(&self) -> Option<usize> {
+        None
+    }
+
     /// A short human-readable name for reports ("PEN", "PF", "LSH", ...).
     fn name(&self) -> &'static str {
         "SIG"
@@ -61,6 +72,9 @@ impl<T: SignatureScheme + ?Sized> SignatureScheme for &T {
     fn is_approximate(&self) -> bool {
         (**self).is_approximate()
     }
+    fn max_signable_len(&self) -> Option<usize> {
+        (**self).max_signable_len()
+    }
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -72,6 +86,9 @@ impl<T: SignatureScheme + ?Sized> SignatureScheme for Box<T> {
     }
     fn is_approximate(&self) -> bool {
         (**self).is_approximate()
+    }
+    fn max_signable_len(&self) -> Option<usize> {
+        (**self).max_signable_len()
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -1,0 +1,113 @@
+//! Boundary-condition tests: the degenerate inputs the differential tester
+//! (`cargo xtask difftest`) is seeded with, pinned as permanent tests.
+//!
+//! Covers γ = 1.0 (exact-duplicate joins), schemes built for
+//! `max_set_len ∈ {0, 1}`, and empty/singleton sets driven through the
+//! full join pipeline at more than one worker thread.
+
+use ssj_core::join::{self_join, JoinOptions};
+use ssj_core::partenum::{GeneralPartEnum, PartEnumJaccard};
+use ssj_core::predicate::Predicate;
+use ssj_core::set::SetCollection;
+use ssj_core::signature::SignatureScheme;
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+#[test]
+fn gamma_one_joins_exact_duplicates_only() {
+    // γ = 1.0 degenerates every size interval to a single size; only
+    // byte-identical sets may join.
+    let c: SetCollection = vec![
+        vec![1, 2, 3],
+        vec![1, 2, 3],
+        vec![1, 2, 3, 4],
+        vec![5],
+        vec![5],
+        vec![],
+        vec![],
+    ]
+    .into_iter()
+    .collect();
+    let scheme = PartEnumJaccard::new(1.0, c.max_set_len(), 11).expect("gamma 1.0 is valid");
+    for &threads in THREADS {
+        let result = self_join(
+            &scheme,
+            &c,
+            Predicate::Jaccard { gamma: 1.0 },
+            None,
+            JoinOptions::parallel(threads),
+        );
+        assert_eq!(
+            result.pairs,
+            vec![(0, 1), (3, 4), (5, 6)],
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn schemes_built_for_tiny_max_set_len_still_work() {
+    // Coverage bounds 0 and 1 must build working schemes (0 is rounded up
+    // to a usable range rather than producing an interval-less scheme).
+    let c: SetCollection = vec![vec![], vec![7], vec![7], vec![]].into_iter().collect();
+    for max_len in [0usize, 1] {
+        let scheme = PartEnumJaccard::new(0.5, max_len.max(1), 3).expect("tiny coverage is valid");
+        assert!(scheme.max_signable_len().expect("interval scheme") >= 1);
+        for &threads in THREADS {
+            let result = self_join(
+                &scheme,
+                &c,
+                Predicate::Jaccard { gamma: 0.5 },
+                None,
+                JoinOptions::parallel(threads),
+            );
+            assert_eq!(
+                result.pairs,
+                vec![(0, 3), (1, 2)],
+                "max_len = {max_len}, threads = {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_sets_through_the_parallel_driver() {
+    // Js(∅, ∅) = 1 and singleton pairs sit on the smallest size interval;
+    // both must survive signature generation, sharded candidate
+    // deduplication, and parallel verification.
+    let c: SetCollection = vec![
+        vec![],
+        vec![1],
+        vec![1],
+        vec![2],
+        vec![],
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+    ]
+    .into_iter()
+    .collect();
+    let pred = Predicate::Jaccard { gamma: 0.9 };
+    let scheme = PartEnumJaccard::new(0.9, c.max_set_len(), 5).expect("valid");
+    let general = GeneralPartEnum::new(pred, c.max_set_len(), 5).expect("valid");
+    for &threads in THREADS {
+        for result in [
+            self_join(&scheme, &c, pred, None, JoinOptions::parallel(threads)),
+            self_join(&general, &c, pred, None, JoinOptions::parallel(threads)),
+        ] {
+            assert_eq!(result.pairs, vec![(0, 4), (1, 2)], "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn hamming_zero_is_duplicate_detection() {
+    // k = 0: Hd(r, s) = 0 ⟺ r = s, including the empty pair.
+    let c: SetCollection = vec![vec![4, 5], vec![4, 5], vec![4, 6], vec![], vec![]]
+        .into_iter()
+        .collect();
+    let pred = Predicate::Hamming { k: 0 };
+    let scheme = GeneralPartEnum::new(pred, c.max_set_len(), 9).expect("k = 0 is valid");
+    for &threads in THREADS {
+        let result = self_join(&scheme, &c, pred, None, JoinOptions::parallel(threads));
+        assert_eq!(result.pairs, vec![(0, 1), (3, 4)], "threads = {threads}");
+    }
+}

@@ -57,7 +57,9 @@ fn far_collision_rate(k: usize, trials: usize, seed: u64) -> f64 {
 fn signature_count_is_polynomial_in_k() {
     for k in [4usize, 8, 16, 32] {
         let params = theorem2_params(k);
-        let sigs = params.signatures_per_vector(k);
+        let sigs = params
+            .signatures_per_vector(k)
+            .expect("theorem2 parameter costs are finite");
         // O(k^2.39) with a generous constant; wildly below 2^{2k}.
         let bound = 32.0 * (k as f64).powf(2.39);
         assert!(

@@ -1,0 +1,263 @@
+//! Seeded adversarial workloads for differential testing.
+//!
+//! `cargo xtask difftest` replays these against every signature scheme and
+//! compares the verified pair set with the naive O(n²) oracle. The
+//! generator deliberately over-represents the inputs that break
+//! set-similarity joins in practice:
+//!
+//! * empty sets and singletons (the `Js(∅,∅) = 1` corner);
+//! * exact duplicates and one-token near-duplicates;
+//! * set sizes pinned to [`SizeIntervals`] boundaries, where Lemma-1
+//!   routing decisions flip;
+//! * thresholds at the extremes (`γ = 1.0` and near 0);
+//! * tiny element domains with Zipf skew, forcing signature collisions;
+//! * tied IDF-style weights, including occasional zero weights.
+//!
+//! Everything is a pure function of the seed, so a failing seed is a
+//! complete, replayable bug report.
+
+use rand::prelude::*;
+use ssj_core::partenum::SizeIntervals;
+use ssj_core::set::{ElementId, SetCollection, WeightMap};
+
+use crate::zipf::Zipf;
+
+/// Jaccard / max-fraction thresholds, including both extremes.
+const GAMMAS: &[f64] = &[
+    1.0, 0.98, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.35, 0.2, 0.1, 0.05, 0.02,
+];
+
+/// Weighted-jaccard thresholds (the scheme requires γ strictly in (0, 1)).
+const GAMMA_WS: &[f64] = &[0.98, 0.9, 0.75, 0.6, 0.5, 0.35, 0.2, 0.1];
+
+/// Small weight palette with heavy ties and an occasional zero — tied
+/// weights exercise WtEnum's deterministic tie-breaking, zeros exercise
+/// its positive-weight restriction.
+const WEIGHTS: &[f64] = &[0.0, 0.5, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 5.0];
+
+/// One fully specified difftest workload: the input sets plus every
+/// threshold the scheme matrix needs, all derived from [`Self::seed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialWorkload {
+    /// The seed this workload was generated from (`0` for hand-built
+    /// shrinker outputs).
+    pub seed: u64,
+    /// Jaccard / max-fraction threshold, in `(0, 1]`.
+    pub gamma: f64,
+    /// Weighted-jaccard threshold, strictly inside `(0, 1)`.
+    pub gamma_w: f64,
+    /// Hamming-distance threshold.
+    pub hamming_k: usize,
+    /// Weighted-overlap threshold `T` (kept strictly positive).
+    pub weighted_t: f64,
+    /// Element-domain size; all elements are below this.
+    pub domain: usize,
+    /// The input sets (unsorted, may contain duplicates — the collection
+    /// canonicalizes).
+    pub sets: Vec<Vec<ElementId>>,
+    /// Explicit weight entries; elements not listed weigh 1.0.
+    pub weights: Vec<(ElementId, f64)>,
+}
+
+impl AdversarialWorkload {
+    /// The sets as a canonicalized [`SetCollection`].
+    pub fn collection(&self) -> SetCollection {
+        self.sets.iter().cloned().collect()
+    }
+
+    /// The weight entries as a [`WeightMap`] (default weight 1.0).
+    pub fn weight_map(&self) -> WeightMap {
+        WeightMap::from_pairs(self.weights.iter().copied(), 1.0)
+    }
+
+    /// Largest canonical set length, floored at 1 so scheme constructors
+    /// always get a usable coverage bound.
+    pub fn max_set_len(&self) -> usize {
+        self.collection().max_set_len().max(1)
+    }
+}
+
+/// Generates the adversarial workload for `seed`. Deterministic: equal
+/// seeds give equal workloads.
+pub fn generate_adversarial(seed: u64) -> AdversarialWorkload {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let gamma = *GAMMAS.choose(&mut rng).unwrap_or(&0.8);
+    let gamma_w = *GAMMA_WS.choose(&mut rng).unwrap_or(&0.8);
+    let hamming_k = rng.gen_range(0..=6);
+    let weighted_t = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+        .choose(&mut rng)
+        .copied()
+        .unwrap_or(1.0);
+    let domain = rng.gen_range(2..=48usize);
+    let max_size = rng.gen_range(3..=24usize).min(domain);
+
+    // Sizes where Lemma-1 routing flips: every interval endpoint of the
+    // γ-derived size partition that the domain can actually realize.
+    let intervals = SizeIntervals::new(gamma, max_size);
+    let mut pinned: Vec<usize> = Vec::new();
+    for i in 1..=intervals.count() {
+        let (l, r) = intervals.interval(i);
+        for s in [l, r] {
+            if s <= domain && !pinned.contains(&s) {
+                pinned.push(s);
+            }
+        }
+    }
+
+    let zipf = Zipf::new(domain, rng.gen_range(0.8..1.8));
+    let base_sets = rng.gen_range(6..=36usize);
+    let mut sets: Vec<Vec<ElementId>> = Vec::with_capacity(base_sets);
+    for _ in 0..base_sets {
+        let shape = rng.gen_range(0..100u32);
+        let set = if shape < 8 {
+            Vec::new()
+        } else if shape < 18 {
+            vec![rng.gen_range(0..domain) as ElementId]
+        } else if shape < 40 {
+            let target = pinned.choose(&mut rng).copied().unwrap_or(1);
+            distinct_sample(&mut rng, domain, target)
+        } else if shape < 66 {
+            let target = rng.gen_range(0..=max_size);
+            (0..target * 3)
+                .map(|_| zipf.sample(&mut rng))
+                .take(target.max(1) * 2)
+                .collect()
+        } else {
+            let target = rng.gen_range(0..=max_size);
+            distinct_sample(&mut rng, domain, target)
+        };
+        sets.push(set);
+    }
+
+    // Duplicate / near-duplicate post-pass: exact copies make γ = 1.0
+    // meaningful; one-token edits sit right at size-interval boundaries.
+    let extras = rng.gen_range(2..=(base_sets / 2).max(3));
+    for _ in 0..extras {
+        let Some(src) = sets.choose(&mut rng).cloned() else {
+            break;
+        };
+        let mut copy = src;
+        if rng.gen_bool(0.5) && !copy.is_empty() {
+            let kind = rng.gen_range(0..3u32);
+            if kind == 0 {
+                let at = rng.gen_range(0..copy.len());
+                copy.swap_remove(at);
+            } else if kind == 1 {
+                copy.push(rng.gen_range(0..domain) as ElementId);
+            } else {
+                let at = rng.gen_range(0..copy.len());
+                copy[at] = rng.gen_range(0..domain) as ElementId;
+            }
+        }
+        sets.push(copy);
+    }
+
+    let mut weights: Vec<(ElementId, f64)> = Vec::new();
+    for e in 0..domain {
+        if rng.gen_bool(0.7) {
+            let w = *WEIGHTS.choose(&mut rng).unwrap_or(&1.0);
+            weights.push((e as ElementId, w));
+        }
+    }
+
+    AdversarialWorkload {
+        seed,
+        gamma,
+        gamma_w,
+        hamming_k,
+        weighted_t,
+        domain,
+        sets,
+        weights,
+    }
+}
+
+/// `count` distinct elements drawn uniformly from `0..domain`.
+fn distinct_sample(rng: &mut StdRng, domain: usize, count: usize) -> Vec<ElementId> {
+    let mut pool: Vec<ElementId> = (0..domain as ElementId).collect();
+    pool.shuffle(rng);
+    pool.truncate(count.min(domain));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for seed in [0u64, 1, 7, 42, 1000] {
+            assert_eq!(generate_adversarial(seed), generate_adversarial(seed));
+        }
+    }
+
+    #[test]
+    fn thresholds_stay_in_their_valid_ranges() {
+        for seed in 0..200u64 {
+            let w = generate_adversarial(seed);
+            assert!(w.gamma > 0.0 && w.gamma <= 1.0, "seed {seed}: {}", w.gamma);
+            assert!(
+                w.gamma_w > 0.0 && w.gamma_w < 1.0,
+                "seed {seed}: {}",
+                w.gamma_w
+            );
+            assert!(w.weighted_t > 0.0);
+            assert!(w.domain >= 2);
+            assert!(w.sets.iter().flatten().all(|&e| (e as usize) < w.domain));
+            assert!(w.max_set_len() >= 1);
+        }
+    }
+
+    #[test]
+    fn corners_are_actually_generated() {
+        let mut saw_empty = false;
+        let mut saw_singleton = false;
+        let mut saw_duplicate = false;
+        let mut saw_gamma_one = false;
+        let mut saw_zero_weight = false;
+        for seed in 0..300u64 {
+            let w = generate_adversarial(seed);
+            saw_empty |= w.sets.iter().any(Vec::is_empty);
+            let c = w.collection();
+            saw_singleton |= (0..c.len()).any(|i| c.set_len(i as u32) == 1);
+            for a in 0..c.len() {
+                for b in a + 1..c.len() {
+                    if c.set(a as u32) == c.set(b as u32) {
+                        saw_duplicate = true;
+                    }
+                }
+            }
+            saw_gamma_one |= w.gamma == 1.0;
+            saw_zero_weight |= w.weights.iter().any(|&(_, wt)| wt == 0.0);
+        }
+        assert!(saw_empty, "no empty sets in 300 seeds");
+        assert!(saw_singleton, "no singletons in 300 seeds");
+        assert!(saw_duplicate, "no exact duplicates in 300 seeds");
+        assert!(saw_gamma_one, "gamma = 1.0 never chosen in 300 seeds");
+        assert!(saw_zero_weight, "no zero weights in 300 seeds");
+    }
+
+    #[test]
+    fn boundary_pinning_hits_interval_endpoints() {
+        // Across many seeds, some sets must land exactly on an interval
+        // endpoint of their workload's gamma.
+        let mut hits = 0usize;
+        for seed in 0..100u64 {
+            let w = generate_adversarial(seed);
+            let c = w.collection();
+            let iv = SizeIntervals::new(w.gamma, w.max_set_len());
+            for i in 0..c.len() {
+                let len = c.set_len(i as u32);
+                if len == 0 || !iv.covers(len) {
+                    continue;
+                }
+                let idx = iv.interval_of(len).expect("covered");
+                let (l, r) = iv.interval(idx);
+                if len == l || len == r {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 50, "only {hits} boundary-pinned sizes in 100 seeds");
+    }
+}

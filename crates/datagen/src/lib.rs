@@ -10,19 +10,23 @@
 //! * [`uniform`] — the paper's synthetic equi-size workload (50 elements
 //!   from a 10,000-element domain, planted similar pairs);
 //! * [`zipf`] — skewed-element collections for stress tests;
-//! * [`typo`] — the shared error model.
+//! * [`typo`] — the shared error model;
+//! * [`adversarial`] — seeded corner-case workloads for the differential
+//!   tester (`cargo xtask difftest`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 pub mod address;
+pub mod adversarial;
 pub mod dblp;
 pub mod typo;
 pub mod uniform;
 pub mod zipf;
 
 pub use address::{generate_addresses, AddressConfig};
+pub use adversarial::{generate_adversarial, AdversarialWorkload};
 pub use dblp::{generate_dblp, DblpConfig};
 pub use typo::{apply_typos, drop_token, random_edit};
 pub use uniform::{generate_uniform, UniformConfig};

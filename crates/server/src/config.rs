@@ -22,6 +22,10 @@ pub struct ServerConfig {
     /// Initial set-size coverage of each shard's signature scheme; grown
     /// automatically on demand.
     pub initial_max_size: usize,
+    /// Admission bound on request set sizes: an insert/query whose set has
+    /// more elements answers a `bad_request` error instead of being
+    /// executed. Bounds the scheme-rebuild work a single client can force.
+    pub max_set_len: usize,
     /// Seed for the signature schemes and the shard router.
     pub seed: u64,
     /// Deadline applied to requests that don't carry their own: a request
@@ -42,6 +46,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 128,
             initial_max_size: 64,
+            max_set_len: 1 << 16,
             seed: 42,
             default_deadline: Duration::from_secs(5),
             worker_delay: Duration::ZERO,

@@ -158,6 +158,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_set_answers_wire_error_and_session_continues() {
+        let server = Server::start(ServerConfig {
+            shards: 2,
+            workers: 2,
+            max_set_len: 4,
+            ..ServerConfig::default()
+        })
+        .expect("valid config");
+        let handle = server.handle();
+        let script = concat!(
+            "{\"op\":\"insert\",\"set\":[1,2,3,4,5,6,7,8]}\n",
+            "{\"op\":\"query\",\"set\":[9,8,7,6,5,4,3,2,1]}\n",
+            "{\"op\":\"insert\",\"set\":[1,2,3]}\n",
+        );
+        let mut out = Vec::new();
+        let end = serve_connection(&handle, script.as_bytes(), &mut out).expect("io ok");
+        assert_eq!(end, SessionEnd::Eof);
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("bad_request") && lines[0].contains("max_set_len"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("bad_request"), "{}", lines[1]);
+        assert!(lines[2].contains("\"op\":\"insert\""), "{}", lines[2]);
+        server.shutdown();
+    }
+
+    #[test]
     fn tcp_round_trip_with_shutdown() {
         let server = test_server();
         let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");

@@ -351,6 +351,23 @@ struct Inner {
 
 impl Inner {
     fn execute(&self, req: Request) -> Response {
+        // Admission validation: reject sets beyond the configured size
+        // bound with a clean wire error. Without this (and the index-layer
+        // guards underneath), an oversized set could panic a worker — the
+        // connection thread would see a dead reply channel and every later
+        // client request on that worker would go unanswered.
+        let oversized = match &req {
+            Request::Insert { elems }
+            | Request::Query { elems }
+            | Request::QueryInsert { elems } => elems.len() > self.cfg.max_set_len,
+            Request::Remove { .. } | Request::Stats => false,
+        };
+        if oversized {
+            return Response::Error(format!(
+                "set exceeds the server's max_set_len = {}",
+                self.cfg.max_set_len
+            ));
+        }
         match req {
             Request::Insert { elems } => {
                 let (id, seq) = self.index.insert(elems);
@@ -658,6 +675,35 @@ mod tests {
                 assert_eq!(s.accepted, 3);
                 assert_eq!(s.overloaded, 0);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_sets_answer_error_not_panic() {
+        let server = Server::start(ServerConfig {
+            max_set_len: 8,
+            ..cfg(2)
+        })
+        .expect("valid config");
+        let h = server.handle();
+        let big: Vec<u32> = (0..20).collect();
+        for req in [
+            Request::Insert { elems: big.clone() },
+            Request::Query { elems: big.clone() },
+            Request::QueryInsert { elems: big },
+        ] {
+            match h.call(req) {
+                Response::Error(msg) => assert!(msg.contains("max_set_len"), "{msg}"),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        // The server survives: in-range requests still work.
+        match h.call(Request::Insert {
+            elems: vec![1, 2, 3],
+        }) {
+            Response::Inserted { .. } => {}
             other => panic!("unexpected {other:?}"),
         }
         server.shutdown();

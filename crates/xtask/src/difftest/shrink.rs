@@ -1,0 +1,172 @@
+//! Greedy delta-debugging shrinker for divergent workloads.
+//!
+//! Given a workload on which a scheme diverges from the oracle, repeatedly
+//! tries structure-preserving simplifications — drop whole sets, drop
+//! individual tokens, simplify the weight table — keeping each change only
+//! if the divergence (any divergence, not necessarily the original one)
+//! survives. The result is a small, replayable repro plus a ready-to-paste
+//! regression-test snippet.
+
+use ssj_datagen::AdversarialWorkload;
+
+use super::oracle;
+use super::SchemeKind;
+
+/// Upper bound on full passes; each pass only repeats if something shrank,
+/// so this is a safety net, not a tuning knob.
+const MAX_PASSES: usize = 8;
+
+/// Shrinks `w` while `kind` at `threads` still diverges. Returns the
+/// smallest workload found (at worst, `w` itself).
+pub fn shrink(w: &AdversarialWorkload, kind: SchemeKind, threads: usize) -> AdversarialWorkload {
+    let diverges = |cand: &AdversarialWorkload| oracle::check(kind, cand, threads).is_some();
+    if !diverges(w) {
+        return w.clone();
+    }
+    let mut best = w.clone();
+    for _ in 0..MAX_PASSES {
+        let mut shrank = false;
+
+        // Pass 1: drop whole sets, scanning from the back so indices of
+        // not-yet-tried sets stay stable.
+        let mut i = best.sets.len();
+        while i > 0 {
+            i -= 1;
+            if best.sets.len() <= 2 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.sets.remove(i);
+            if diverges(&cand) {
+                best = cand;
+                shrank = true;
+            }
+        }
+
+        // Pass 2: drop individual tokens.
+        for si in 0..best.sets.len() {
+            let mut ti = best.sets[si].len();
+            while ti > 0 {
+                ti -= 1;
+                let mut cand = best.clone();
+                cand.sets[si].remove(ti);
+                if diverges(&cand) {
+                    best = cand;
+                    shrank = true;
+                }
+            }
+        }
+
+        // Pass 3: simplify weights — all-default first, then entry by entry.
+        if !best.weights.is_empty() {
+            let mut cand = best.clone();
+            cand.weights.clear();
+            if diverges(&cand) {
+                best = cand;
+                shrank = true;
+            } else {
+                let mut wi = best.weights.len();
+                while wi > 0 {
+                    wi -= 1;
+                    let mut cand = best.clone();
+                    cand.weights.remove(wi);
+                    if diverges(&cand) {
+                        best = cand;
+                        shrank = true;
+                    }
+                }
+            }
+        }
+
+        if !shrank {
+            break;
+        }
+    }
+    best
+}
+
+/// A ready-to-paste regression test exercising the minimized workload
+/// through the difftest oracle.
+pub fn regression_snippet(w: &AdversarialWorkload, kind: SchemeKind, threads: usize) -> String {
+    let sets: Vec<String> = w
+        .sets
+        .iter()
+        .map(|s| {
+            let elems: Vec<String> = s.iter().map(u32::to_string).collect();
+            format!("vec![{}]", elems.join(", "))
+        })
+        .collect();
+    let weights: Vec<String> = w
+        .weights
+        .iter()
+        .map(|(e, wt)| format!("({e}, {wt:?})"))
+        .collect();
+    format!(
+        "// Minimized from `cargo xtask difftest --replay {seed} --schemes {name}`.\n\
+         #[test]\n\
+         fn difftest_seed_{seed}_{snake}() {{\n\
+         \x20   let w = AdversarialWorkload {{\n\
+         \x20       seed: {seed},\n\
+         \x20       gamma: {gamma:?},\n\
+         \x20       gamma_w: {gamma_w:?},\n\
+         \x20       hamming_k: {k},\n\
+         \x20       weighted_t: {t:?},\n\
+         \x20       domain: {domain},\n\
+         \x20       sets: vec![{sets}],\n\
+         \x20       weights: vec![{weights}],\n\
+         \x20   }};\n\
+         \x20   assert_eq!(oracle::check(SchemeKind::{variant}, &w, {threads}), None);\n\
+         }}\n",
+        seed = w.seed,
+        name = kind.name(),
+        snake = kind.name().replace('-', "_"),
+        gamma = w.gamma,
+        gamma_w = w.gamma_w,
+        k = w.hamming_k,
+        t = w.weighted_t,
+        domain = w.domain,
+        sets = sets.join(", "),
+        weights = weights.join(", "),
+        variant = kind.variant_name(),
+        threads = threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_returns_input_when_nothing_diverges() {
+        let w = AdversarialWorkload {
+            seed: 9,
+            gamma: 0.8,
+            gamma_w: 0.8,
+            hamming_k: 2,
+            weighted_t: 1.0,
+            domain: 8,
+            sets: vec![vec![1, 2, 3], vec![1, 2, 3, 4], vec![6, 7]],
+            weights: vec![(1, 2.0)],
+        };
+        let s = shrink(&w, SchemeKind::PeJaccard, 1);
+        assert_eq!(s, w);
+    }
+
+    #[test]
+    fn snippet_is_self_describing() {
+        let w = AdversarialWorkload {
+            seed: 4,
+            gamma: 1.0,
+            gamma_w: 0.5,
+            hamming_k: 0,
+            weighted_t: 1.0,
+            domain: 4,
+            sets: vec![vec![], vec![]],
+            weights: Vec::new(),
+        };
+        let snip = regression_snippet(&w, SchemeKind::Identity, 2);
+        assert!(snip.contains("difftest_seed_4_identity"));
+        assert!(snip.contains("SchemeKind::Identity"));
+        assert!(snip.contains("--replay 4"));
+    }
+}

@@ -4,10 +4,14 @@
 
 //! Workspace automation for the ssjoin repo.
 //!
-//! The only subcommand today is `cargo xtask lint`: a dependency-free,
-//! source-level static-analysis pass enforcing the repo's invariants that
-//! rustc and clippy cannot see (see `DESIGN.md`, "Static analysis &
-//! invariants"). Rules:
+//! Two subcommands:
+//!
+//! * `cargo xtask difftest` — deterministic differential testing of every
+//!   signature scheme against the naive oracle on seeded adversarial
+//!   workloads (see [`difftest`] and DESIGN.md §5d);
+//! * `cargo xtask lint` — a dependency-free, source-level static-analysis
+//!   pass enforcing the repo's invariants that rustc and clippy cannot see
+//!   (see `DESIGN.md`, "Static analysis & invariants"). Rules:
 //!
 //! | id                | scope                                   | forbids |
 //! |-------------------|-----------------------------------------|---------|
@@ -20,6 +24,7 @@
 //! Suppressions live in `crates/xtask/lint_allow.toml`.
 
 pub mod allowlist;
+pub mod difftest;
 pub mod rules;
 pub mod scan;
 

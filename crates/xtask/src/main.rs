@@ -15,12 +15,22 @@ usage: cargo xtask <command>
 commands:
   lint [--root <dir>]   run the repo-specific static-analysis pass
                         (exit 0 = clean, 1 = violations, 2 = engine error)
+  difftest [options]    differential-test every signature scheme against
+                        the naive oracle on seeded adversarial workloads
+                        (exit 0 = agreement, 1 = divergences, 2 = bad usage)
+    --seeds <n>         number of consecutive seeds to sweep (default 100)
+    --schemes <a,b,..>  comma-separated scheme subset; any of:
+                        pe-hamming, pe-jaccard, general-jaccard,
+                        general-maxfraction, wtenum, wtenum-jaccard,
+                        prefix, identity, lsh, serve
+    --replay <seed>     verbosely re-run one seed (for minimized repros)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("difftest") => difftest(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -33,6 +43,71 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn difftest(args: &[String]) -> ExitCode {
+    let mut config = xtask::difftest::DifftestConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => config.seeds = n,
+                _ => {
+                    eprintln!("error: --seeds needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--replay" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => config.replay = Some(seed),
+                _ => {
+                    eprintln!("error: --replay needs a seed (integer)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--schemes" => match it.next() {
+                Some(list) => {
+                    let mut schemes = Vec::new();
+                    for name in list.split(',').filter(|s| !s.is_empty()) {
+                        match xtask::difftest::SchemeKind::parse(name) {
+                            Some(k) => schemes.push(k),
+                            None => {
+                                eprintln!("error: unknown scheme `{name}`\n\n{USAGE}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    if schemes.is_empty() {
+                        eprintln!("error: --schemes needs at least one scheme name");
+                        return ExitCode::from(2);
+                    }
+                    config.schemes = schemes;
+                }
+                None => {
+                    eprintln!("error: --schemes needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown difftest option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let divergences = xtask::difftest::run(&config);
+    if divergences.is_empty() {
+        let scope = match config.replay {
+            Some(seed) => format!("seed {seed}"),
+            None => format!("{} seeds", config.seeds),
+        };
+        println!(
+            "difftest: all schemes agree with the oracle over {scope} ({} scheme(s))",
+            config.schemes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("difftest: {} divergence(s)", divergences.len());
+        ExitCode::from(1)
     }
 }
 

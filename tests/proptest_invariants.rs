@@ -82,7 +82,7 @@ proptest! {
             next = r + 1;
         }
         for size in 1..=max {
-            let i = iv.interval_of(size);
+            let i = iv.interval_of(size).expect("covered size");
             let (l, r) = iv.interval(i);
             prop_assert!(l <= size && size <= r);
         }
@@ -93,7 +93,7 @@ proptest! {
         for p in PartEnumParams::candidates(k, 128) {
             prop_assert!(p.validate(k).is_ok());
             prop_assert!(p.k2(k) < p.n2);
-            prop_assert!(p.signatures_per_vector(k) <= 128);
+            prop_assert!(p.signatures_per_vector(k).expect("candidate cost is finite") <= 128);
         }
         prop_assert!(PartEnumParams::default_for(k).validate(k).is_ok());
     }
