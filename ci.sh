@@ -18,6 +18,9 @@ cargo test --workspace -q
 echo "==> cargo xtask difftest --seeds 25"
 cargo xtask difftest --seeds 25
 
+echo "==> cargo xtask crashtest --seeds 10"
+cargo xtask crashtest --seeds 10
+
 echo "==> server smoke test"
 scripts/serve_smoke.sh
 

@@ -6,10 +6,15 @@
 //! ```
 
 use ssj_bench::serving::{run_serving_bench, ServingBenchConfig};
+use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 serve_bench — closed-loop benchmark of the ssj-serve service
+
+Each run appends one machine-readable JSON line to BENCH_serve.json
+(schema documented in EXPERIMENTS.md) so results accumulate into a
+perf trajectory.
 
 OPTIONS:
   --quick             CI-sized run (2k sets) instead of the full 100k
@@ -20,10 +25,13 @@ OPTIONS:
   --workers N         server workers (default 0 = auto-detect cores)
   --threshold G       jaccard threshold served (default 0.8)
   --seed N            rng/signature seed
+  --bench-out PATH    where to append the JSON record
+                      (default BENCH_serve.json; - disables)
 ";
 
-fn parse_args(args: &[String]) -> Result<ServingBenchConfig, String> {
+fn parse_args(args: &[String]) -> Result<(ServingBenchConfig, Option<String>), String> {
     let mut cfg = ServingBenchConfig::default();
+    let mut bench_out = Some("BENCH_serve.json".to_string());
     let mut i = 0;
     let next = |i: &mut usize| -> Result<&String, String> {
         *i += 1;
@@ -69,6 +77,14 @@ fn parse_args(args: &[String]) -> Result<ServingBenchConfig, String> {
                     .parse()
                     .map_err(|_| "bad --seed".to_string())?
             }
+            "--bench-out" => {
+                let path = next(&mut i)?;
+                bench_out = if path == "-" {
+                    None
+                } else {
+                    Some(path.clone())
+                };
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
@@ -77,13 +93,23 @@ fn parse_args(args: &[String]) -> Result<ServingBenchConfig, String> {
     if cfg.clients == 0 || cfg.ops_per_client == 0 || cfg.sets == 0 {
         return Err("--sets, --clients, and --ops must be positive".into());
     }
-    Ok(cfg)
+    Ok((cfg, bench_out))
+}
+
+/// Appends the run's JSON record as one line to `path`, creating the file
+/// on first use.
+fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{record}")
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
+    let (cfg, bench_out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -95,5 +121,18 @@ fn main() -> ExitCode {
     );
     let report = run_serving_bench(&cfg);
     println!("{}", report.render(&cfg));
+    if let Some(path) = bench_out {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        match append_record(&path, &report.to_json_record(&cfg, unix_secs)) {
+            Ok(()) => eprintln!("serve_bench: appended record to {path}"),
+            Err(e) => {
+                eprintln!("serve_bench: cannot append to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

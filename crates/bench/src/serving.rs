@@ -180,6 +180,67 @@ impl ServingReport {
             table,
         )
     }
+
+    /// Renders one machine-readable record (a single JSON line) for
+    /// `BENCH_serve.json`. Schema documented in EXPERIMENTS.md; bump
+    /// `schema` when a field changes meaning.
+    pub fn to_json_record(&self, cfg: &ServingBenchConfig, unix_secs: u64) -> String {
+        use ssj_io::json::write_f64;
+        fn latency(out: &mut String, key: &str, s: &LatencySummary) {
+            out.push_str(&format!("\"{key}\":{{\"count\":{},\"mean_us\":", s.count));
+            write_f64(out, s.mean_us);
+            out.push_str(&format!(
+                ",\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
+        let mut out = String::from("{\"schema\":1,\"unix_secs\":");
+        out.push_str(&unix_secs.to_string());
+        out.push_str(&format!(
+            ",\"config\":{{\"sets\":{},\"set_size\":{},\"domain\":{},\"clients\":{},\
+             \"ops_per_client\":{},\"query_fraction\":",
+            cfg.sets, cfg.set_size, cfg.domain, cfg.clients, cfg.ops_per_client
+        ));
+        write_f64(&mut out, cfg.query_fraction);
+        out.push_str(",\"gamma\":");
+        write_f64(&mut out, cfg.gamma);
+        out.push_str(&format!(
+            ",\"shards\":{},\"workers\":{},\"queue_capacity\":{},\"seed\":{}}}",
+            cfg.shards, cfg.workers, cfg.queue_capacity, cfg.seed
+        ));
+        out.push_str(&format!(
+            ",\"preload_sets\":{},\"preload_secs\":",
+            self.preload_sets
+        ));
+        write_f64(&mut out, self.preload_secs);
+        out.push_str(",\"preload_throughput\":");
+        write_f64(&mut out, self.preload_throughput);
+        out.push_str(&format!(
+            ",\"measured_ops\":{},\"wall_secs\":",
+            self.measured_ops
+        ));
+        write_f64(&mut out, self.wall_secs);
+        out.push_str(",\"throughput\":");
+        write_f64(&mut out, self.throughput);
+        out.push(',');
+        latency(&mut out, "latency", &self.latency);
+        out.push(',');
+        latency(&mut out, "query_latency", &self.query_latency);
+        out.push(',');
+        latency(&mut out, "write_latency", &self.write_latency);
+        out.push_str(&format!(
+            ",\"total_matches\":{},\"overloaded\":{},\"timeouts\":{},\"live_sets\":[",
+            self.total_matches, self.overloaded, self.timeouts
+        ));
+        for (i, n) in self.live_sets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 fn preload(server: &Server, collection: &SetCollection, clients: usize) -> (f64, usize) {
@@ -395,5 +456,25 @@ mod tests {
         let rendered = report.render(&cfg);
         assert!(rendered.contains("p99_us"), "{rendered}");
         assert!(rendered.contains("300 preloaded sets"), "{rendered}");
+
+        // The machine-readable record is one line of valid JSON whose key
+        // fields survive a parse round trip (schema in EXPERIMENTS.md).
+        let record = report.to_json_record(&cfg, 1_754_000_000);
+        assert!(!record.contains('\n'), "{record}");
+        let value = ssj_io::json::parse(&record).expect("record parses");
+        let obj = value.as_object().expect("record is an object");
+        let get_u64 = |key: &str| obj[key].as_u64().expect(key);
+        assert_eq!(get_u64("schema"), 1);
+        assert_eq!(get_u64("unix_secs"), 1_754_000_000);
+        assert_eq!(get_u64("measured_ops"), report.measured_ops);
+        assert_eq!(get_u64("total_matches"), report.total_matches);
+        let config = obj["config"].as_object().expect("config object");
+        assert_eq!(config["sets"].as_u64().unwrap(), cfg.sets as u64);
+        assert_eq!(config["seed"].as_u64().unwrap(), cfg.seed);
+        let lat = obj["latency"].as_object().expect("latency object");
+        assert_eq!(lat["count"].as_u64().unwrap(), report.latency.count);
+        assert_eq!(lat["p99_us"].as_u64().unwrap(), report.latency.p99_us);
+        let live = obj["live_sets"].as_array().expect("live_sets array");
+        assert_eq!(live.len(), report.live_sets.len());
     }
 }

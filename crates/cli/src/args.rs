@@ -89,6 +89,13 @@ pub struct ServeOpts {
     pub queue_capacity: usize,
     /// Signature/router seed.
     pub seed: u64,
+    /// Data directory for durable persistence (`None` = memory-only).
+    pub data_dir: Option<String>,
+    /// WAL fsync policy (only meaningful with `data_dir`).
+    pub sync: ssj_serve::SyncMode,
+    /// Snapshot-and-truncate cadence in writes (0 disables automatic
+    /// snapshots).
+    pub snapshot_every: u64,
 }
 
 /// Options for `ssjoin query`: a pre-encoded request line plus the address
@@ -168,6 +175,12 @@ SERVE OPTIONS (long-running similarity-search service, NDJSON protocol):
   --workers N         worker threads (default 0 = auto-detect cores)
   --queue-cap N       request queue bound (default 128)
   --seed N            signature/router seed (default 42)
+  --data-dir DIR      durable WAL+snapshot persistence in DIR (default off);
+                      on startup the index is recovered from DIR
+  --sync MODE         WAL fsync policy with --data-dir (default every):
+                      every | interval[:MS] | never
+  --snapshot-every N  snapshot+truncate the WAL every N writes
+                      (default 8192; 0 = only on explicit request)
 
 QUERY OPTIONS (one-shot client; prints the JSON response line):
   --set E1,E2,...     query for similar sets (with --op to change verb)
@@ -245,6 +258,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, ParseError> {
         workers: 0,
         queue_capacity: 128,
         seed: 42,
+        data_dir: None,
+        sync: ssj_serve::SyncMode::Every,
+        snapshot_every: 8192,
     };
     let mut i = 0;
     let next = |i: &mut usize| -> Result<&String, ParseError> {
@@ -280,6 +296,17 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, ParseError> {
                 opts.seed = next(&mut i)?
                     .parse()
                     .map_err(|_| ParseError("bad --seed".into()))?
+            }
+            "--data-dir" => opts.data_dir = Some(next(&mut i)?.clone()),
+            "--sync" => {
+                let text = next(&mut i)?;
+                opts.sync = ssj_serve::SyncMode::parse(text)
+                    .map_err(|e| ParseError(format!("bad --sync: {e}")))?
+            }
+            "--snapshot-every" => {
+                opts.snapshot_every = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --snapshot-every".into()))?
             }
             "--help" | "-h" => return Err(ParseError(USAGE.into())),
             other => {
@@ -592,6 +619,9 @@ mod tests {
                 assert_eq!(o.workers, 3);
                 assert_eq!(o.queue_capacity, 16);
                 assert_eq!(o.seed, 9);
+                assert_eq!(o.data_dir, None);
+                assert_eq!(o.sync, ssj_serve::SyncMode::Every);
+                assert_eq!(o.snapshot_every, 8192);
             }
             other => panic!("expected serve, got {other:?}"),
         }
@@ -603,6 +633,35 @@ mod tests {
         assert!(parse_command(&args("serve --threshold 1.5")).is_err());
         assert!(parse_command(&args("serve --queue-cap 0")).is_err());
         assert!(parse_command(&args("serve --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_durability_options() {
+        let cmd = parse_command(&args(
+            "serve --data-dir /tmp/ssj-data --sync interval:250 --snapshot-every 1000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(o) => {
+                assert_eq!(o.data_dir.as_deref(), Some("/tmp/ssj-data"));
+                assert_eq!(
+                    o.sync,
+                    ssj_serve::SyncMode::Interval(std::time::Duration::from_millis(250))
+                );
+                assert_eq!(o.snapshot_every, 1000);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&args("serve --sync never")),
+            Ok(Command::Serve(ServeOpts {
+                sync: ssj_serve::SyncMode::Never,
+                ..
+            }))
+        ));
+        assert!(parse_command(&args("serve --sync sometimes")).is_err());
+        assert!(parse_command(&args("serve --snapshot-every many")).is_err());
+        assert!(parse_command(&args("serve --data-dir")).is_err());
     }
 
     #[test]

@@ -209,10 +209,17 @@ pub fn run_serve(opts: &args::ServeOpts) -> Result<(), String> {
         workers: opts.workers,
         queue_capacity: opts.queue_capacity,
         seed: opts.seed,
+        data_dir: opts.data_dir.as_ref().map(std::path::PathBuf::from),
+        sync: opts.sync,
+        snapshot_every: opts.snapshot_every,
         ..ssj_serve::ServerConfig::default()
     };
     let workers = cfg.effective_workers();
+    let durable = cfg.data_dir.clone();
     let server = ssj_serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    if let Some(dir) = &durable {
+        eprintln!("ssjoin serve: durable data dir {}", dir.display());
+    }
     if opts.stdio {
         ssj_serve::net::serve_stdio(server).map_err(|e| e.to_string())?;
         return Ok(());

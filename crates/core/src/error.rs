@@ -18,6 +18,10 @@ pub enum SsjError {
         /// The largest size the structure covers.
         max: usize,
     },
+    /// A persistence-layer failure (WAL / snapshot I/O, corrupt data
+    /// directory, config mismatch with an existing store). Carried as a
+    /// message so the error stays `Clone`/`Eq`.
+    Storage(String),
 }
 
 impl fmt::Display for SsjError {
@@ -28,6 +32,7 @@ impl fmt::Display for SsjError {
             SsjError::SizeOutOfRange { size, max } => {
                 write!(f, "set size {size} beyond covered range {max}")
             }
+            SsjError::Storage(msg) => write!(f, "storage: {msg}"),
         }
     }
 }

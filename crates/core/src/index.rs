@@ -438,6 +438,76 @@ impl JaccardIndex {
         let inner_id = (*self.slots.get(id as usize)?)?;
         Some(self.inner.set(inner_id))
     }
+
+    /// The next stable id this index would issue (= count of ids issued so
+    /// far, live or tombstoned). The persistence layer snapshots this so a
+    /// restored index keeps issuing the same id sequence.
+    pub fn next_id(&self) -> SetId {
+        crate::cast::set_id(self.slots.len())
+    }
+
+    /// Every live `(stable id, canonical set)` pair, ascending by id, plus
+    /// [`Self::next_id`] — the full logical state of the index (tombstoned
+    /// ids are exactly the holes below `next_id`). This is what snapshots
+    /// persist: tombstoned entries are dropped, not serialized.
+    pub fn dump_live(&self) -> (SetId, Vec<(SetId, Vec<ElementId>)>) {
+        let mut live = Vec::with_capacity(self.inner.len());
+        for (ext, slot) in self.slots.iter().enumerate() {
+            if let Some(inner_id) = slot {
+                live.push((crate::cast::set_id(ext), self.inner.set(*inner_id).to_vec()));
+            }
+        }
+        (self.next_id(), live)
+    }
+
+    /// Rebuilds an index from a [`Self::dump_live`]-shaped snapshot:
+    /// `entries` must be strictly ascending by id with every id below
+    /// `next_id`, and sets must be canonical (sorted, deduplicated — the
+    /// form `dump_live` emits). Ids absent from `entries` become
+    /// tombstones, so the restored index issues fresh ids from `next_id`
+    /// exactly like the original did.
+    pub fn restore(
+        gamma: f64,
+        initial_max_size: usize,
+        seed: u64,
+        next_id: SetId,
+        entries: &[(SetId, Vec<ElementId>)],
+    ) -> crate::error::Result<Self> {
+        // Pre-size coverage to the largest snapshotted set so the restore
+        // does one scheme build instead of O(log n) rebuild cascades.
+        let largest = entries.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        let mut size = initial_max_size.max(16);
+        while size < largest {
+            size *= 2;
+        }
+        // `size` follows the same doubling sequence `ensure_capacity` uses,
+        // so the restored scheme matches what the original grew into.
+        let mut index = Self::new(gamma, size, seed)?;
+        let mut pending = entries.iter().peekable();
+        for ext in 0..next_id {
+            match pending.peek() {
+                Some(&&(id, ref set)) if id == ext => {
+                    pending.next();
+                    let issued = index.insert(set.clone());
+                    debug_assert_eq!(issued, ext);
+                }
+                Some(&&(id, _)) if id < ext => {
+                    return Err(crate::error::SsjError::InvalidParams(format!(
+                        "snapshot entries not strictly ascending at id {id}"
+                    )));
+                }
+                // A hole: this id was issued then tombstoned. Reserve the
+                // slot without materializing the dead set.
+                _ => index.slots.push(None),
+            }
+        }
+        if let Some(&(id, _)) = pending.next() {
+            return Err(crate::error::SsjError::InvalidParams(format!(
+                "snapshot entry id {id} is not below next_id {next_id}"
+            )));
+        }
+        Ok(index)
+    }
 }
 
 /// Routes a canonical (sorted, deduplicated) set to one of `shards` buckets
@@ -712,5 +782,57 @@ mod tests {
     fn weighted_predicate_requires_weights() {
         let scheme = PartEnumJaccard::new(0.8, 16, 0).expect("valid gamma");
         SimilarityIndex::new(scheme, Predicate::WeightedJaccard { gamma: 0.8 }, None);
+    }
+
+    #[test]
+    fn dump_restore_roundtrip_preserves_state_and_id_sequence() {
+        let mut idx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        let a = idx.insert((0..10).collect());
+        let b = idx.insert((100..110).collect());
+        let c = idx.insert((200..210).collect());
+        idx.remove(b); // tombstone in the middle
+        let (next, live) = idx.dump_live();
+        assert_eq!(next, 3);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].0, a);
+        assert_eq!(live[1].0, c);
+
+        let restored = JaccardIndex::restore(0.8, 16, 3, next, &live).expect("restore");
+        assert_eq!(restored.dump_live(), (next, live));
+        assert_eq!(restored.set(a), idx.set(a));
+        assert_eq!(restored.set(b), None, "tombstone survives the roundtrip");
+        assert_eq!(restored.set(c), idx.set(c));
+        assert_eq!(
+            restored.query(&(0..10).collect::<Vec<_>>()),
+            idx.query(&(0..10).collect::<Vec<_>>())
+        );
+        // Fresh ids continue from next_id, same as the original.
+        let mut idx2 = restored;
+        let d = idx2.insert(vec![7, 8, 9]);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn restore_presizes_coverage_for_large_sets() {
+        let mut idx = JaccardIndex::new(0.8, 16, 3).expect("valid gamma");
+        let big = idx.insert((0..500).collect());
+        let (next, live) = idx.dump_live();
+        let restored = JaccardIndex::restore(0.8, 16, 3, next, &live).expect("restore");
+        assert_eq!(restored.set(big), idx.set(big));
+        assert_eq!(restored.query(&(0..499).collect::<Vec<_>>()), vec![big]);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        // Entry id at/above next_id.
+        let err = JaccardIndex::restore(0.8, 16, 3, 1, &[(1, vec![1, 2])]);
+        assert!(err.is_err());
+        // Out-of-order (duplicate) ids.
+        let err = JaccardIndex::restore(0.8, 16, 3, 3, &[(1, vec![1]), (1, vec![2])]);
+        assert!(err.is_err());
+        // Empty snapshot with only tombstones is fine.
+        let idx = JaccardIndex::restore(0.8, 16, 3, 5, &[]).expect("all-tombstone snapshot");
+        assert_eq!(idx.next_id(), 5);
+        assert!(idx.is_empty());
     }
 }

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod crc;
+pub mod frame;
 pub mod json;
 pub mod varint;
 

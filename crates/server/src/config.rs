@@ -1,5 +1,7 @@
 //! Server configuration.
 
+use ssj_store::SyncMode;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Tunables for a [`crate::service::Server`].
@@ -36,6 +38,17 @@ pub struct ServerConfig {
     /// Fault-injection knob for tests (deterministic overload/timeout on
     /// any machine); keep at zero in production.
     pub worker_delay: Duration,
+    /// Data directory for durable persistence (`None`: memory-only, the
+    /// historical behavior). When set, every write is WAL-logged before it
+    /// is acked and the index is recovered from disk on startup.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy when `data_dir` is set; ignored otherwise.
+    pub sync: SyncMode,
+    /// Automatic snapshot cadence: after this many writes the shards are
+    /// snapshotted and the WAL truncated. `0` disables automatic
+    /// snapshots (the WAL then grows until shutdown or an explicit
+    /// snapshot). Ignored without `data_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +63,9 @@ impl Default for ServerConfig {
             seed: 42,
             default_deadline: Duration::from_secs(5),
             worker_delay: Duration::ZERO,
+            data_dir: None,
+            sync: SyncMode::Every,
+            snapshot_every: 8192,
         }
     }
 }

@@ -91,6 +91,10 @@ pub fn serve_tcp(server: Server, listener: TcpListener) -> io::Result<()> {
                 }
             });
     }
+    // Drain (which flushes the WAL to stable storage on a durable server)
+    // completes *before* this function returns and drops the listener, so
+    // every write acked over a connection is on disk by the time the port
+    // closes.
     server.shutdown();
     Ok(())
 }

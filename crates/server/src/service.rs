@@ -43,9 +43,10 @@ use crate::config::ServerConfig;
 use crate::metrics::{ServerMetrics, ShardCounters, ShardCountersSnapshot, StatsSnapshot};
 use crossbeam::channel::{self, TrySendError};
 use parking_lot::RwLock;
-use ssj_core::error::Result as CoreResult;
+use ssj_core::error::{Result as CoreResult, SsjError};
 use ssj_core::index::{shard_of, JaccardIndex};
 use ssj_core::set::ElementId;
+use ssj_store::{Recovered, ShardState, Store, StoreConfig, TailStatus, WalOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -89,6 +90,10 @@ pub enum Response {
         id: u64,
         /// This write's global sequence number.
         seq: u64,
+        /// Durable watermark after this write reached its configured sync
+        /// point: writes numbered below it are on stable storage. `None`
+        /// on a memory-only server.
+        durable: Option<u64>,
     },
     /// The removal executed as write number `seq`.
     Removed {
@@ -97,6 +102,9 @@ pub enum Response {
         found: bool,
         /// This write's global sequence number.
         seq: u64,
+        /// Durable watermark (see [`Response::Inserted`]); `None` on a
+        /// memory-only server.
+        durable: Option<u64>,
     },
     /// Query results against the snapshot of writes `< seen_seq`.
     Matches {
@@ -117,6 +125,9 @@ pub enum Response {
         seq: u64,
         /// Candidates probed across all shards before verification.
         probed: u64,
+        /// Durable watermark (see [`Response::Inserted`]); `None` on a
+        /// memory-only server.
+        durable: Option<u64>,
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
@@ -136,18 +147,47 @@ struct Shard {
     counters: ShardCounters,
 }
 
+/// Outcome of a write against a possibly-durable [`ShardedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteResult<T> {
+    /// The write executed. The second field is the durable watermark after
+    /// the write reached its configured sync point (`None` on a
+    /// memory-only index): writes numbered below it are on stable storage.
+    Done(T, Option<u64>),
+    /// The persistence layer refused or failed the write; on an append
+    /// failure the write was **not** applied and the store is poisoned
+    /// (every later write fails fast until restart + recovery).
+    StoreFailed(String),
+}
+
+/// The per-shard scheme seed, derived from the configured master seed so
+/// runs stay reproducible — and so recovery rebuilds each shard under the
+/// exact seed it was created with.
+fn shard_scheme_seed(master: u64, shard: usize) -> u64 {
+    master.wrapping_add(shard as u64).wrapping_mul(0x9e37_79b9)
+}
+
 /// The sharded, concurrently usable index facade.
 ///
 /// Usable directly (every method takes `&self`) or behind the worker pool
-/// via [`Server`] / [`Handle`].
+/// via [`Server`] / [`Handle`]. With a `data_dir` configured
+/// ([`ShardedIndex::open`]), every write is WAL-logged *inside* its shard
+/// critical section — sequence assignment happens in the WAL's own
+/// critical section, so log order equals global write order — and
+/// snapshots compact the log every `snapshot_every` writes.
 pub struct ShardedIndex {
     shards: Vec<Shard>,
     seed: u64,
     seq: AtomicU64,
+    store: Option<Store>,
+    snapshot_every: u64,
+    writes_since_snapshot: AtomicU64,
+    snapshotting: AtomicBool,
 }
 
 impl ShardedIndex {
-    /// Creates `cfg.shards` empty shards (clamped to at least one).
+    /// Creates `cfg.shards` empty shards (clamped to at least one),
+    /// memory-only regardless of `cfg.data_dir`.
     pub fn new(cfg: &ServerConfig) -> CoreResult<Self> {
         let n = cfg.shards.max(1);
         let mut shards = Vec::with_capacity(n);
@@ -156,9 +196,7 @@ impl ShardedIndex {
                 index: RwLock::new(JaccardIndex::new(
                     cfg.gamma,
                     cfg.initial_max_size,
-                    // Independent scheme seeds per shard; derived from the
-                    // configured master seed so runs stay reproducible.
-                    cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                    shard_scheme_seed(cfg.seed, i),
                 )?),
                 counters: ShardCounters::default(),
             });
@@ -167,7 +205,86 @@ impl ShardedIndex {
             shards,
             seed: cfg.seed,
             seq: AtomicU64::new(0),
+            store: None,
+            snapshot_every: 0,
+            writes_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
         })
+    }
+
+    /// Creates the index per `cfg`: memory-only when `cfg.data_dir` is
+    /// `None`, otherwise opens (or creates) the durable store there and
+    /// recovers — newest valid snapshots plus WAL tail replay — to exactly
+    /// the persisted write history.
+    pub fn open(cfg: &ServerConfig) -> CoreResult<Self> {
+        let Some(dir) = &cfg.data_dir else {
+            return Self::new(cfg);
+        };
+        let store_cfg = StoreConfig {
+            shards: cfg.shards.max(1),
+            seed: cfg.seed,
+            gamma: cfg.gamma,
+            initial_max_size: cfg.initial_max_size,
+            sync: cfg.sync,
+        };
+        let (store, recovered) = Store::open(dir, store_cfg)
+            .map_err(|e| SsjError::Storage(format!("{}: {e}", dir.display())))?;
+        Self::from_recovered(cfg, store, recovered)
+    }
+
+    fn from_recovered(cfg: &ServerConfig, store: Store, recovered: Recovered) -> CoreResult<Self> {
+        if recovered.tail != TailStatus::Clean {
+            eprintln!(
+                "ssj-serve: WAL tail was {:?}; discarded the invalid suffix \
+                 and recovered to the last valid record",
+                recovered.tail
+            );
+        }
+        // Snapshot states first…
+        let mut indexes = Vec::with_capacity(recovered.shards.len());
+        for (i, state) in recovered.shards.iter().enumerate() {
+            indexes.push(JaccardIndex::restore(
+                cfg.gamma,
+                cfg.initial_max_size,
+                shard_scheme_seed(cfg.seed, i),
+                state.next_id,
+                &state.live,
+            )?);
+        }
+        // …then the WAL tail, in log order. Insert replay re-issues
+        // shard-local ids deterministically (per-shard log order equals
+        // per-shard mutation order); remove replay is idempotent.
+        for record in &recovered.wal {
+            match &record.op {
+                WalOp::Insert { shard, set } => {
+                    let _ = indexes[*shard as usize].insert(set.clone());
+                }
+                WalOp::Remove { shard, local } => {
+                    let _ = indexes[*shard as usize].try_remove(*local);
+                }
+            }
+        }
+        let shards = indexes
+            .into_iter()
+            .map(|index| Shard {
+                index: RwLock::new(index),
+                counters: ShardCounters::default(),
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            seed: cfg.seed,
+            seq: AtomicU64::new(recovered.seq),
+            store: Some(store),
+            snapshot_every: cfg.snapshot_every,
+            writes_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+        })
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// Number of shards.
@@ -200,34 +317,104 @@ impl ShardedIndex {
         Some((shard, local))
     }
 
-    /// Indexes a set; returns its stable global id and write number.
-    pub fn insert(&self, elems: Vec<ElementId>) -> (u64, u64) {
+    /// Assigns this write's sequence number, WAL-logging it first when a
+    /// store is attached. Called *inside* the owning shard's write critical
+    /// section; seq assignment happens inside the WAL's own critical
+    /// section, so WAL file order equals global sequence order and any WAL
+    /// prefix is a prefix of the logical write history.
+    fn log_write(&self, op: impl FnOnce() -> WalOp) -> Result<u64, String> {
+        match &self.store {
+            Some(store) => store
+                .append(op(), || self.seq.fetch_add(1, Ordering::SeqCst))
+                .map_err(|e| format!("wal append failed: {e}")),
+            None => Ok(self.seq.fetch_add(1, Ordering::SeqCst)),
+        }
+    }
+
+    /// Drives write `seq` to its configured sync point and returns the
+    /// durable watermark (`None` without a store). Called *after* the shard
+    /// lock is released so fsync never blocks other shards' writers.
+    fn settle_write(&self, seq: u64) -> Result<Option<u64>, String> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let durable = store
+            .ensure_durable(seq)
+            .map_err(|e| format!("wal sync failed: {e}"))?;
+        self.maybe_snapshot();
+        Ok(Some(durable))
+    }
+
+    /// Indexes a set; returns its stable global id and write number plus
+    /// the durable watermark.
+    pub fn insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(u64, u64)> {
         let set = Self::canonical(elems);
         let owner = shard_of(&set, self.shards.len(), self.seed);
         let shard = &self.shards[owner];
         let mut index = shard.index.write();
-        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let seq = match self.log_write(|| WalOp::Insert {
+            shard: owner as u32,
+            set: set.clone(),
+        }) {
+            Ok(seq) => seq,
+            Err(msg) => return WriteResult::StoreFailed(msg),
+        };
         let local = index.insert(set);
         drop(index);
         shard.counters.inserts.fetch_add(1, Ordering::Relaxed);
-        (self.encode_id(local, owner), seq)
+        match self.settle_write(seq) {
+            Ok(durable) => WriteResult::Done((self.encode_id(local, owner), seq), durable),
+            // The write is applied and logged but not at its sync point;
+            // the store is poisoned, so the client must not treat it as
+            // durable — surface the failure instead of a watermark.
+            Err(msg) => WriteResult::StoreFailed(msg),
+        }
+    }
+
+    /// Indexes a set; returns its stable global id and write number.
+    pub fn insert(&self, elems: Vec<ElementId>) -> (u64, u64) {
+        match self.insert_d(elems) {
+            WriteResult::Done(out, _) => out,
+            // Only reachable with a store attached; direct users of the
+            // tuple API are memory-only (tests, benches).
+            WriteResult::StoreFailed(_) => (u64::MAX, u64::MAX),
+        }
+    }
+
+    /// Removes a set by global id; returns whether it was live and the
+    /// write number, plus the durable watermark.
+    pub fn remove_d(&self, global: u64) -> WriteResult<(bool, u64)> {
+        let Some((owner, local)) = self.decode_id(global) else {
+            // Out-of-domain id: provably never issued, so this is a no-op
+            // that needs no lock, changes no state, and is not logged
+            // (keeping WAL sequence numbers contiguous).
+            return WriteResult::Done((false, self.seq.load(Ordering::SeqCst)), None);
+        };
+        let shard = &self.shards[owner];
+        let mut index = shard.index.write();
+        let seq = match self.log_write(|| WalOp::Remove {
+            shard: owner as u32,
+            local,
+        }) {
+            Ok(seq) => seq,
+            Err(msg) => return WriteResult::StoreFailed(msg),
+        };
+        let found = index.try_remove(local);
+        drop(index);
+        shard.counters.removes.fetch_add(1, Ordering::Relaxed);
+        match self.settle_write(seq) {
+            Ok(durable) => WriteResult::Done((found, seq), durable),
+            Err(msg) => WriteResult::StoreFailed(msg),
+        }
     }
 
     /// Removes a set by global id; returns whether it was live, and the
     /// write number.
     pub fn remove(&self, global: u64) -> (bool, u64) {
-        let Some((owner, local)) = self.decode_id(global) else {
-            // Out-of-domain id: provably never issued, so this is a no-op
-            // that needs no lock and changes no state.
-            return (false, self.seq.load(Ordering::SeqCst));
-        };
-        let shard = &self.shards[owner];
-        let mut index = shard.index.write();
-        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        let found = index.try_remove(local);
-        drop(index);
-        shard.counters.removes.fetch_add(1, Ordering::Relaxed);
-        (found, seq)
+        match self.remove_d(global) {
+            WriteResult::Done(out, _) => out,
+            WriteResult::StoreFailed(_) => (false, u64::MAX),
+        }
     }
 
     /// Queries all shards against one consistent snapshot; returns the
@@ -261,8 +448,9 @@ impl ShardedIndex {
 
     /// Atomically queries then inserts: the returned matches are exactly
     /// the writes numbered below the returned `seq`, and the insert *is*
-    /// write `seq`. Returns `(matching ids, new id, seq, probed)`.
-    pub fn query_insert(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64, u64) {
+    /// write `seq`. Returns `(matching ids, new id, seq, probed)` plus the
+    /// durable watermark.
+    pub fn query_insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(Vec<u64>, u64, u64, u64)> {
         let set = Self::canonical(elems);
         let owner = shard_of(&set, self.shards.len(), self.seed);
         // Write-lock the owner, read-lock the rest, in ascending order.
@@ -276,7 +464,13 @@ impl ShardedIndex {
                 read_guards.push(Some(shard.index.read()));
             }
         }
-        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let seq = match self.log_write(|| WalOp::Insert {
+            shard: owner as u32,
+            set: set.clone(),
+        }) {
+            Ok(seq) => seq,
+            Err(msg) => return WriteResult::StoreFailed(msg),
+        };
         let mut ids = Vec::new();
         let mut probed = 0u64;
         for (i, shard) in self.shards.iter().enumerate() {
@@ -314,7 +508,19 @@ impl ShardedIndex {
             .inserts
             .fetch_add(1, Ordering::Relaxed);
         ids.sort_unstable();
-        (ids, id, seq, probed)
+        match self.settle_write(seq) {
+            Ok(durable) => WriteResult::Done((ids, id, seq, probed), durable),
+            Err(msg) => WriteResult::StoreFailed(msg),
+        }
+    }
+
+    /// Atomically queries then inserts. Returns
+    /// `(matching ids, new id, seq, probed)`.
+    pub fn query_insert(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64, u64) {
+        match self.query_insert_d(elems) {
+            WriteResult::Done(out, _) => out,
+            WriteResult::StoreFailed(_) => (Vec::new(), u64::MAX, u64::MAX, 0),
+        }
     }
 
     /// Per-shard live-set counts, counter snapshots, and the current
@@ -327,6 +533,84 @@ impl ShardedIndex {
             .collect();
         let counters = self.shards.iter().map(|s| s.counters.snapshot()).collect();
         (live, counters, self.seq())
+    }
+
+    /// Bumps the writes-since-snapshot counter and, when the configured
+    /// cadence is reached and no snapshot is already running, takes one.
+    /// Snapshot failures are reported to stderr but never fail the write
+    /// that triggered them (its durability came from the WAL).
+    fn maybe_snapshot(&self) {
+        if self.snapshot_every == 0 {
+            return;
+        }
+        let writes = self.writes_since_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
+        if writes < self.snapshot_every {
+            return;
+        }
+        if self
+            .snapshotting
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        self.writes_since_snapshot.store(0, Ordering::Relaxed);
+        if let Err(e) = self.snapshot_now() {
+            eprintln!("ssj-serve: background snapshot failed: {e}");
+        }
+        self.snapshotting.store(false, Ordering::SeqCst);
+    }
+
+    /// Snapshots every shard and truncates the WAL. Takes all shard read
+    /// locks (ascending order), which quiesces writers — a write appends to
+    /// the WAL inside its shard's *write* critical section, so no record
+    /// the snapshot misses can predate the snapshot's watermark.
+    ///
+    /// No-op `Ok` without a store.
+    pub fn snapshot_now(&self) -> std::io::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let seq = self.seq.load(Ordering::SeqCst);
+        let states: Vec<ShardState> = guards
+            .iter()
+            .map(|g| {
+                let (next_id, live) = g.dump_live();
+                ShardState { next_id, live }
+            })
+            .collect();
+        // Guards stay held across snapshot + WAL truncation: a write
+        // sneaking between the two would be lost from both files.
+        let result = store.snapshot(seq, &states);
+        drop(guards);
+        result
+    }
+
+    /// Forces the WAL to stable storage; returns the durable watermark
+    /// (`None` without a store). Part of graceful shutdown.
+    pub fn flush_store(&self) -> std::io::Result<Option<u64>> {
+        match &self.store {
+            Some(store) => store.flush().map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The full logical state — per-shard snapshot states plus the global
+    /// sequence number — under all shard read locks. Test/crashtest
+    /// instrumentation for differential comparison against an oracle.
+    pub fn dump(&self) -> (Vec<ShardState>, u64) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let seq = self.seq.load(Ordering::SeqCst);
+        let states = guards
+            .iter()
+            .map(|g| {
+                let (next_id, live) = g.dump_live();
+                ShardState { next_id, live }
+            })
+            .collect();
+        drop(guards);
+        (states, seq)
     }
 }
 
@@ -369,14 +653,18 @@ impl Inner {
             ));
         }
         match req {
-            Request::Insert { elems } => {
-                let (id, seq) = self.index.insert(elems);
-                Response::Inserted { id, seq }
-            }
-            Request::Remove { id } => {
-                let (found, seq) = self.index.remove(id);
-                Response::Removed { found, seq }
-            }
+            Request::Insert { elems } => match self.index.insert_d(elems) {
+                WriteResult::Done((id, seq), durable) => Response::Inserted { id, seq, durable },
+                WriteResult::StoreFailed(msg) => Response::Error(msg),
+            },
+            Request::Remove { id } => match self.index.remove_d(id) {
+                WriteResult::Done((found, seq), durable) => Response::Removed {
+                    found,
+                    seq,
+                    durable,
+                },
+                WriteResult::StoreFailed(msg) => Response::Error(msg),
+            },
             Request::Query { elems } => {
                 let (ids, seen_seq, probed) = self.index.query(elems);
                 Response::Matches {
@@ -385,15 +673,16 @@ impl Inner {
                     probed,
                 }
             }
-            Request::QueryInsert { elems } => {
-                let (ids, id, seq, probed) = self.index.query_insert(elems);
-                Response::QueryInserted {
+            Request::QueryInsert { elems } => match self.index.query_insert_d(elems) {
+                WriteResult::Done((ids, id, seq, probed), durable) => Response::QueryInserted {
                     ids,
                     id,
                     seq,
                     probed,
-                }
-            }
+                    durable,
+                },
+                WriteResult::StoreFailed(msg) => Response::Error(msg),
+            },
             Request::Stats => Response::Stats(self.stats()),
         }
     }
@@ -450,9 +739,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds the index and spawns the worker pool.
+    /// Builds the index — recovering from `cfg.data_dir` when one is
+    /// configured — and spawns the worker pool.
     pub fn start(cfg: ServerConfig) -> CoreResult<Self> {
-        let index = ShardedIndex::new(&cfg)?;
+        let index = ShardedIndex::open(&cfg)?;
         let workers = cfg.effective_workers().max(1);
         let (tx, rx) = channel::bounded::<Msg>(cfg.queue_capacity.max(1));
         let inner = Arc::new(Inner {
@@ -495,6 +785,12 @@ impl Server {
         self.inner.stats()
     }
 
+    /// Direct access to the sharded index (snapshot/flush control and
+    /// test instrumentation).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.inner.index
+    }
+
     /// Graceful drain: stop admitting, finish queued work, join workers.
     pub fn shutdown(mut self) {
         self.drain();
@@ -512,6 +808,12 @@ impl Server {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // All workers are joined: no write is in flight, so this flush
+        // covers every acked write. Failures are reported, not swallowed
+        // silently — but drain never panics.
+        if let Err(e) = self.inner.index.flush_store() {
+            eprintln!("ssj-serve: WAL flush on shutdown failed: {e}");
         }
     }
 }

@@ -95,6 +95,15 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     Ok(WireRequest::Call { req, deadline })
 }
 
+/// Appends `,"durable_seq":N` when the server is durable; memory-only
+/// servers omit the field entirely, keeping their response lines
+/// byte-identical to the pre-persistence protocol.
+fn write_durable(out: &mut String, durable: Option<u64>) {
+    if let Some(d) = durable {
+        let _ = write!(out, ",\"durable_seq\":{d}");
+    }
+}
+
 fn write_ids(out: &mut String, ids: &[u64]) {
     out.push('[');
     for (i, id) in ids.iter().enumerate() {
@@ -148,17 +157,25 @@ fn write_stats(out: &mut String, s: &StatsSnapshot) {
 pub fn encode_response(resp: &Response) -> String {
     let mut out = String::new();
     match resp {
-        Response::Inserted { id, seq } => {
+        Response::Inserted { id, seq, durable } => {
             let _ = write!(
                 out,
-                "{{\"ok\":true,\"op\":\"insert\",\"id\":{id},\"seq\":{seq}}}"
+                "{{\"ok\":true,\"op\":\"insert\",\"id\":{id},\"seq\":{seq}"
             );
+            write_durable(&mut out, *durable);
+            out.push('}');
         }
-        Response::Removed { found, seq } => {
+        Response::Removed {
+            found,
+            seq,
+            durable,
+        } => {
             let _ = write!(
                 out,
-                "{{\"ok\":true,\"op\":\"remove\",\"found\":{found},\"seq\":{seq}}}"
+                "{{\"ok\":true,\"op\":\"remove\",\"found\":{found},\"seq\":{seq}"
             );
+            write_durable(&mut out, *durable);
+            out.push('}');
         }
         Response::Matches {
             ids,
@@ -174,10 +191,13 @@ pub fn encode_response(resp: &Response) -> String {
             id,
             seq,
             probed,
+            durable,
         } => {
             out.push_str("{\"ok\":true,\"op\":\"query_insert\",\"ids\":");
             write_ids(&mut out, ids);
-            let _ = write!(out, ",\"id\":{id},\"seq\":{seq},\"probed\":{probed}}}");
+            let _ = write!(out, ",\"id\":{id},\"seq\":{seq},\"probed\":{probed}");
+            write_durable(&mut out, *durable);
+            out.push('}');
         }
         Response::Stats(s) => {
             out.push_str("{\"ok\":true,\"op\":\"stats\",");
@@ -260,10 +280,20 @@ mod tests {
     #[test]
     fn responses_encode_as_parseable_json() {
         let cases = vec![
-            Response::Inserted { id: 5, seq: 2 },
+            Response::Inserted {
+                id: 5,
+                seq: 2,
+                durable: None,
+            },
+            Response::Inserted {
+                id: 5,
+                seq: 2,
+                durable: Some(3),
+            },
             Response::Removed {
                 found: true,
                 seq: 3,
+                durable: Some(4),
             },
             Response::Matches {
                 ids: vec![1, 9],
@@ -275,6 +305,7 @@ mod tests {
                 id: 8,
                 seq: 5,
                 probed: 0,
+                durable: None,
             },
             Response::Overloaded,
             Response::Timeout,
@@ -287,6 +318,25 @@ mod tests {
             let obj = v.as_object().unwrap();
             assert!(obj.contains_key("ok"), "{line}");
         }
+    }
+
+    #[test]
+    fn durable_seq_emitted_only_when_present() {
+        let without = encode_response(&Response::Inserted {
+            id: 5,
+            seq: 2,
+            durable: None,
+        });
+        assert_eq!(without, r#"{"ok":true,"op":"insert","id":5,"seq":2}"#);
+        let with = encode_response(&Response::Inserted {
+            id: 5,
+            seq: 2,
+            durable: Some(3),
+        });
+        assert_eq!(
+            with,
+            r#"{"ok":true,"op":"insert","id":5,"seq":2,"durable_seq":3}"#
+        );
     }
 
     #[test]

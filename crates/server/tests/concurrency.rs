@@ -141,7 +141,7 @@ fn concurrent_clients_match_sequential_oracle() {
                         match handle.call(Request::Insert {
                             elems: elems.clone(),
                         }) {
-                            Response::Inserted { id, seq } => {
+                            Response::Inserted { id, seq, .. } => {
                                 my_ids.push(id);
                                 writes.push(Write::Insert { seq, id, elems });
                             }
@@ -189,7 +189,7 @@ fn concurrent_clients_match_sequential_oracle() {
                             my_ids[rng.gen_range(0..my_ids.len())]
                         };
                         match handle.call(Request::Remove { id }) {
-                            Response::Removed { found, seq } => {
+                            Response::Removed { found, seq, .. } => {
                                 writes.push(Write::Remove { seq, id, found })
                             }
                             other => panic!("remove answered {other:?}"),

@@ -1,0 +1,372 @@
+//! Snapshot and meta files: whole-file checksummed images with atomic
+//! rename-into-place.
+//!
+//! `meta` pins the store's configuration (shard count, seed, γ, initial
+//! scheme size) so a data directory cannot silently be reopened under a
+//! different topology — routing and id encoding depend on all four.
+//!
+//! `shard-<i>.snap` is a compacted image of one shard at a global sequence
+//! watermark `S`: only live entries are written (tombstones become holes
+//! below `next_id`), so delete-heavy shards shrink on every snapshot.
+//! Format:
+//!
+//! ```text
+//! [SSJS v1][varint shard][varint shard_count][varint seq][varint next_id]
+//! [varint live_count][entries: id delta-coded, then the set][crc32 LE]
+//! ```
+//!
+//! The trailing CRC covers every preceding byte including the magic.
+//! Writers compose the file in memory, write `*.tmp`, fsync, rename over
+//! the live name, and fsync the directory — a crash leaves either the old
+//! complete file or the new complete file, never a torn one. Stray `.tmp`
+//! files are ignored (and cleaned up) on recovery.
+
+use crate::wal::{decode_set, encode_set};
+use crate::StoreConfig;
+use ssj_io::crc::crc32;
+use ssj_io::varint::{read_varint, write_varint};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file magic + format version.
+const SNAP_MAGIC: [u8; 5] = *b"SSJS\x01";
+/// Meta file magic + format version.
+const META_MAGIC: [u8; 5] = *b"SSJM\x01";
+
+/// The logical state of one shard, as persisted and recovered: the next
+/// stable id it would issue plus every live `(id, canonical set)` entry,
+/// ascending by id. Mirrors `JaccardIndex::dump_live`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardState {
+    /// Next shard-local stable id (ids below it missing from `live` are
+    /// tombstones).
+    pub next_id: u32,
+    /// Live entries, strictly ascending by id.
+    pub live: Vec<(u32, Vec<u32>)>,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Path of shard `i`'s snapshot.
+pub(crate) fn snap_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.snap"))
+}
+
+/// Path of the config meta file.
+pub(crate) fn meta_path(dir: &Path) -> PathBuf {
+    dir.join("meta")
+}
+
+/// Fsyncs a directory so a just-renamed file's directory entry is durable.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Writes `bytes` to `path` atomically: tmp file, fsync, rename.
+/// The caller fsyncs the directory (once per batch).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn meta_bytes(cfg: &StoreConfig) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&META_MAGIC);
+    write_varint(&mut out, cfg.shards as u64)?;
+    write_varint(&mut out, cfg.seed)?;
+    write_varint(&mut out, cfg.gamma.to_bits())?;
+    write_varint(&mut out, cfg.initial_max_size as u64)?;
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Validates an existing meta file against `cfg`, or writes one if the
+/// directory is fresh. A config mismatch is a hard error: reopening a data
+/// directory under a different topology would scramble routing and ids.
+pub(crate) fn read_or_init_meta(dir: &Path, cfg: &StoreConfig) -> io::Result<()> {
+    let path = meta_path(dir);
+    let expected = meta_bytes(cfg)?;
+    match fs::read(&path) {
+        Ok(found) => {
+            if found == expected {
+                return Ok(());
+            }
+            // Distinguish corruption from an honest config mismatch.
+            if found.len() < META_MAGIC.len() + 4 || found[..META_MAGIC.len()] != META_MAGIC || {
+                let (body, tail) = found.split_at(found.len() - 4);
+                crc32(body).to_le_bytes() != *tail
+            } {
+                return Err(invalid("store meta file is corrupt"));
+            }
+            Err(invalid(
+                "store config does not match this data directory \
+                 (shards/seed/gamma/initial_max_size differ)",
+            ))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            write_atomic(&path, &expected)?;
+            sync_dir(dir)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn snapshot_bytes(
+    cfg: &StoreConfig,
+    shard: usize,
+    seq: u64,
+    state: &ShardState,
+) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64 + state.live.len() * 8);
+    out.extend_from_slice(&SNAP_MAGIC);
+    write_varint(&mut out, shard as u64)?;
+    write_varint(&mut out, cfg.shards as u64)?;
+    write_varint(&mut out, seq)?;
+    write_varint(&mut out, u64::from(state.next_id))?;
+    write_varint(&mut out, state.live.len() as u64)?;
+    let mut prev = 0u64;
+    for (i, (id, set)) in state.live.iter().enumerate() {
+        let id = u64::from(*id);
+        if i == 0 {
+            write_varint(&mut out, id)?;
+        } else {
+            if id <= prev {
+                return Err(invalid("live entries not strictly ascending by id"));
+            }
+            write_varint(&mut out, id - prev - 1)?;
+        }
+        prev = id;
+        encode_set(&mut out, set)?;
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Writes shard `shard`'s snapshot at watermark `seq` atomically. The
+/// caller is responsible for the directory fsync (one per snapshot batch).
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    cfg: &StoreConfig,
+    shard: usize,
+    seq: u64,
+    state: &ShardState,
+) -> io::Result<()> {
+    write_atomic(
+        &snap_path(dir, shard),
+        &snapshot_bytes(cfg, shard, seq, state)?,
+    )
+}
+
+/// Loads shard `shard`'s snapshot: `None` if the file does not exist,
+/// `Err(InvalidData)` if it exists but fails verification (truncated, bad
+/// checksum, or written for a different shard/topology). Corruption is
+/// always *detected*, never decoded into wrong state.
+pub(crate) fn load_snapshot(
+    dir: &Path,
+    cfg: &StoreConfig,
+    shard: usize,
+) -> io::Result<Option<(u64, ShardState)>> {
+    let path = snap_path(dir, shard);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < SNAP_MAGIC.len() + 4 {
+        return Err(invalid(format!("{}: truncated snapshot", path.display())));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    if crc32(body).to_le_bytes() != *tail {
+        return Err(invalid(format!(
+            "{}: snapshot checksum mismatch",
+            path.display()
+        )));
+    }
+    if body[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(invalid(format!(
+            "{}: bad snapshot magic/version",
+            path.display()
+        )));
+    }
+    let mut input = &body[SNAP_MAGIC.len()..];
+    let got_shard = read_varint(&mut input)?;
+    let got_count = read_varint(&mut input)?;
+    if got_shard != shard as u64 || got_count != cfg.shards as u64 {
+        return Err(invalid(format!(
+            "{}: snapshot is for shard {got_shard}/{got_count}, expected {shard}/{}",
+            path.display(),
+            cfg.shards
+        )));
+    }
+    let seq = read_varint(&mut input)?;
+    let next_id = read_varint(&mut input)?;
+    if next_id > u64::from(u32::MAX) {
+        return Err(invalid("next_id exceeds the u32 domain"));
+    }
+    let count = read_varint(&mut input)?;
+    let mut live = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_varint(&mut input)?;
+        let id = if i == 0 { delta } else { prev + delta + 1 };
+        if id >= next_id {
+            return Err(invalid("live id at or above next_id"));
+        }
+        prev = id;
+        live.push((id as u32, decode_set(&mut input)?));
+    }
+    if !input.is_empty() {
+        return Err(invalid(format!(
+            "{}: {} trailing bytes in snapshot",
+            path.display(),
+            input.len()
+        )));
+    }
+    Ok(Some((
+        seq,
+        ShardState {
+            next_id: next_id as u32,
+            live,
+        },
+    )))
+}
+
+/// Removes stray `*.tmp` files left by a crash mid-snapshot. Best-effort:
+/// a tmp file that cannot be removed is not a recovery failure.
+pub(crate) fn clean_tmp_files(dir: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = fs::remove_file(&path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncMode;
+
+    fn cfg(shards: usize) -> StoreConfig {
+        StoreConfig {
+            shards,
+            seed: 42,
+            gamma: 0.8,
+            initial_max_size: 64,
+            sync: SyncMode::Every,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssj-store-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let state = ShardState {
+            next_id: 5,
+            live: vec![(0, vec![1, 2, 3]), (2, vec![]), (4, vec![10, 20])],
+        };
+        write_snapshot(&dir, &cfg(3), 1, 99, &state).unwrap();
+        let (seq, back) = load_snapshot(&dir, &cfg(3), 1).unwrap().unwrap();
+        assert_eq!(seq, 99);
+        assert_eq!(back, state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = tmpdir("missing");
+        assert!(load_snapshot(&dir, &cfg(2), 0).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_detected() {
+        let dir = tmpdir("corrupt");
+        let state = ShardState {
+            next_id: 1,
+            live: vec![(0, vec![7, 8, 9])],
+        };
+        write_snapshot(&dir, &cfg(2), 0, 3, &state).unwrap();
+        let path = snap_path(&dir, 0);
+        let clean = fs::read(&path).unwrap();
+        // Flip every byte position in turn: all must be detected.
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                load_snapshot(&dir, &cfg(2), 0).is_err(),
+                "flip at byte {i} undetected"
+            );
+        }
+        // Truncations too.
+        for cut in 0..clean.len() {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(load_snapshot(&dir, &cfg(2), 0).is_err(), "cut at {cut}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_topology_rejected() {
+        let dir = tmpdir("topology");
+        write_snapshot(&dir, &cfg(2), 0, 0, &ShardState::default()).unwrap();
+        // Same file read back expecting 3 shards: refused.
+        assert!(load_snapshot(&dir, &cfg(3), 0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_pins_config() {
+        let dir = tmpdir("meta");
+        read_or_init_meta(&dir, &cfg(2)).unwrap();
+        // Same config: fine. Different shards: refused.
+        read_or_init_meta(&dir, &cfg(2)).unwrap();
+        assert!(read_or_init_meta(&dir, &cfg(3)).is_err());
+        let mut other = cfg(2);
+        other.gamma = 0.9;
+        assert!(read_or_init_meta(&dir, &other).is_err());
+        // Sync mode is runtime policy, not topology: not pinned.
+        let mut relaxed = cfg(2);
+        relaxed.sync = SyncMode::Never;
+        read_or_init_meta(&dir, &relaxed).unwrap();
+        // Corrupt meta: detected as corruption.
+        let path = meta_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_or_init_meta(&dir, &cfg(2)).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_files_are_cleaned() {
+        let dir = tmpdir("tmpclean");
+        fs::write(dir.join("shard-0.tmp"), b"junk").unwrap();
+        write_snapshot(&dir, &cfg(1), 0, 1, &ShardState::default()).unwrap();
+        clean_tmp_files(&dir).unwrap();
+        assert!(!dir.join("shard-0.tmp").exists());
+        assert!(snap_path(&dir, 0).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

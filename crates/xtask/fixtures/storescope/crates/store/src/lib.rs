@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+// The allowlist in this tree tries to exempt ssj-store; the engine must
+// reject the exemption (allowlist-scope) even though the entry would
+// otherwise suppress this violation.
+
+pub fn last(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -4,11 +4,15 @@
 
 //! Workspace automation for the ssjoin repo.
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! * `cargo xtask difftest` — deterministic differential testing of every
 //!   signature scheme against the naive oracle on seeded adversarial
 //!   workloads (see [`difftest`] and DESIGN.md §5d);
+//! * `cargo xtask crashtest` — crash-fault injection against the durable
+//!   store: seeded workloads, adversarial WAL/snapshot mutations, recovery
+//!   differentially compared with an in-memory oracle (see [`crashtest`]
+//!   and DESIGN.md §5e);
 //! * `cargo xtask lint` — a dependency-free, source-level static-analysis
 //!   pass enforcing the repo's invariants that rustc and clippy cannot see
 //!   (see `DESIGN.md`, "Static analysis & invariants"). Rules:
@@ -19,11 +23,12 @@
 //! | `default-hasher`  | hot-path modules                        | bare `HashMap`/`HashSet` (use `FxHashMap`/`FxHashSet`) |
 //! | `crate-hygiene`   | every crate root                        | missing `#![forbid(unsafe_code)]` / `#![deny(rust_2018_idioms)]` |
 //! | `narrowing-cast`  | ssj-core                                | bare `as` narrowing casts on id-sized ints |
-//! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core or ssj-serve |
+//! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core, ssj-serve, or ssj-store |
 //!
 //! Suppressions live in `crates/xtask/lint_allow.toml`.
 
 pub mod allowlist;
+pub mod crashtest;
 pub mod difftest;
 pub mod rules;
 pub mod scan;
@@ -82,9 +87,9 @@ impl std::error::Error for LintError {}
 ///
 /// `cli` and `bench` are scanned too, but ship with allowlist entries —
 /// the ISSUE-level policy is "library crates must not panic; binaries may,
-/// with a recorded reason". Neither `ssj-core` nor `ssj-serve` may ever
-/// appear in the allowlist.
-const NO_PANIC_DIRS: [&str; 8] = [
+/// with a recorded reason". None of `ssj-core`, `ssj-serve`, or
+/// `ssj-store` may ever appear in the allowlist.
+const NO_PANIC_DIRS: [&str; 9] = [
     "crates/core/src",
     "crates/baselines/src",
     "crates/io/src",
@@ -93,6 +98,7 @@ const NO_PANIC_DIRS: [&str; 8] = [
     "crates/cli/src",
     "crates/bench/src",
     "crates/server/src",
+    "crates/store/src",
 ];
 
 /// Hot-path modules where default hashers are banned (`default-hasher`).
@@ -155,10 +161,15 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, LintError> {
     let allow = load_allowlist(root)?;
     let mut violations = Vec::new();
 
-    // Guard: the allowlist must not carve holes in ssj-core or ssj-serve
-    // (the serving layer was added with a zero-exemption policy).
+    // Guard: the allowlist must not carve holes in ssj-core, ssj-serve, or
+    // ssj-store (the serving and persistence layers were added with a
+    // zero-exemption policy — a panic in the store is a durability bug).
     for entry in &allow.entries {
-        for (dir, name) in [("crates/core", "ssj-core"), ("crates/server", "ssj-serve")] {
+        for (dir, name) in [
+            ("crates/core", "ssj-core"),
+            ("crates/server", "ssj-serve"),
+            ("crates/store", "ssj-store"),
+        ] {
             if entry.path.starts_with(dir) {
                 violations.push(Violation {
                     rule: rules::ALLOWLIST_SCOPE,

@@ -24,6 +24,14 @@ commands:
                         general-maxfraction, wtenum, wtenum-jaccard,
                         prefix, identity, lsh, serve
     --replay <seed>     verbosely re-run one seed (for minimized repros)
+  crashtest [options]   crash-fault injection against the durable store:
+                        seeded workloads, adversarial WAL/snapshot
+                        mutations (torn tails, bit flips, stray tmp
+                        files), recovery compared exactly with an
+                        in-memory oracle
+                        (exit 0 = agreement, 1 = divergences, 2 = bad usage)
+    --seeds <n>         number of consecutive seeds to sweep (default 100)
+    --replay <seed>     verbosely re-run one seed
 ";
 
 fn main() -> ExitCode {
@@ -31,6 +39,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("difftest") => difftest(&args[1..]),
+        Some("crashtest") => crashtest(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -107,6 +116,45 @@ fn difftest(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("difftest: {} divergence(s)", divergences.len());
+        ExitCode::from(1)
+    }
+}
+
+fn crashtest(args: &[String]) -> ExitCode {
+    let mut config = xtask::crashtest::CrashtestConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => config.seeds = n,
+                _ => {
+                    eprintln!("error: --seeds needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--replay" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => config.replay = Some(seed),
+                _ => {
+                    eprintln!("error: --replay needs a seed (integer)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown crashtest option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let divergences = xtask::crashtest::run(&config);
+    if divergences.is_empty() {
+        let scope = match config.replay {
+            Some(seed) => format!("seed {seed}"),
+            None => format!("{} seeds", config.seeds),
+        };
+        println!("crashtest: every crash point recovered to exactly the oracle state over {scope}");
+        ExitCode::SUCCESS
+    } else {
+        println!("crashtest: {} divergence(s)", divergences.len());
         ExitCode::from(1)
     }
 }

@@ -121,6 +121,20 @@ fn allowlist_cannot_exempt_server() {
 }
 
 #[test]
+fn allowlist_cannot_exempt_store() {
+    let violations = xtask::run_lint(&fixture("storescope")).expect("engine runs");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == xtask::rules::ALLOWLIST_SCOPE && v.message.contains("ssj-store")),
+        "{violations:?}"
+    );
+    let (code, stdout) = lint_exit(&fixture("storescope"));
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("allowlist-scope"));
+}
+
+#[test]
 fn workspace_is_clean() {
     // The acceptance gate: the real repo passes its own lint.
     let violations = xtask::run_lint(&repo_root()).expect("engine runs");
@@ -131,14 +145,13 @@ fn workspace_is_clean() {
 }
 
 #[test]
-fn workspace_allowlist_has_no_core_or_server_entries() {
+fn workspace_allowlist_has_no_core_server_or_store_entries() {
     let allow = xtask::load_allowlist(&repo_root()).expect("allowlist parses");
     assert!(
-        allow
-            .entries
-            .iter()
-            .all(|e| !e.path.contains("crates/core") && !e.path.contains("crates/server")),
-        "neither ssj-core nor ssj-serve may appear in lint_allow.toml"
+        allow.entries.iter().all(|e| !e.path.contains("crates/core")
+            && !e.path.contains("crates/server")
+            && !e.path.contains("crates/store")),
+        "none of ssj-core, ssj-serve, ssj-store may appear in lint_allow.toml"
     );
     // And every entry carries a reason (the parser enforces it; assert the
     // invariant holds for the checked-in file too).
