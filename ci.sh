@@ -12,8 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> cargo xtask locklint"
+cargo xtask locklint
+
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> witness-enabled concurrency/persistence tests (release)"
+cargo test -q --release -p ssj-serve --features lock-witness
+cargo test -q --release -p ssj-store --features lock-witness
 
 echo "==> cargo xtask difftest --seeds 25"
 cargo xtask difftest --seeds 25

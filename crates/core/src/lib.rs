@@ -58,6 +58,7 @@ pub mod hash;
 pub mod index;
 pub mod invariants;
 pub mod join;
+pub mod lockwitness;
 pub mod partenum;
 pub mod predicate;
 pub mod replicated;

@@ -1,0 +1,97 @@
+//! Dynamic validation of the lock-discipline witness (DESIGN.md §5f).
+//!
+//! The deliberate-inversion tests only make sense when the witness is
+//! compiled in (debug builds or `--features lock-witness`), so they are
+//! gated accordingly; the ordered-path tests run everywhere.
+
+use ssj_core::lockwitness::{
+    witness_active, LockClass, WitnessMutex, WitnessRwLock, SHARD_INDEX, STORE_WAL,
+};
+
+#[test]
+fn canonical_registry_order_allows_wal_under_shard_lock() {
+    // The workspace invariant: the WAL mutex (rank 10) may be taken while
+    // shard locks (rank 0) are held — this is the fsync-under-write-lock
+    // path in ssj-store — but never the reverse.
+    let shard0 = WitnessRwLock::new(&SHARD_INDEX, 0, ());
+    let shard1 = WitnessRwLock::new(&SHARD_INDEX, 1, ());
+    let wal = WitnessMutex::new(&STORE_WAL, 0, ());
+    let g0 = shard0.write();
+    let g1 = shard1.read();
+    let gw = wal.lock();
+    drop(gw);
+    drop(g1);
+    drop(g0);
+}
+
+#[cfg(any(debug_assertions, feature = "lock-witness"))]
+mod inversion {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    static INV_A: LockClass = LockClass::new("inv-a", 200);
+    static INV_B: LockClass = LockClass::new("inv-b", 201);
+
+    fn violation_message(f: impl FnOnce()) -> String {
+        let err = catch_unwind(AssertUnwindSafe(f)).expect_err("witness did not fire");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .expect("panic payload was not a string")
+    }
+
+    #[test]
+    fn rank_inversion_fires_with_replayable_trace() {
+        assert!(witness_active());
+        let low = WitnessMutex::new(&INV_A, 0, ());
+        let high = WitnessMutex::new(&INV_B, 0, ());
+        let msg = violation_message(|| {
+            let _gh = high.lock();
+            let _gl = low.lock(); // rank 200 after rank 201: inversion
+        });
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(msg.contains("acquiring lock inv-a#0"), "got: {msg}");
+        assert!(msg.contains("holding lock inv-b#0"), "got: {msg}");
+        assert!(msg.contains("thread trace"), "got: {msg}");
+        assert!(msg.contains("acquire lock inv-b#0"), "got: {msg}");
+    }
+
+    #[test]
+    fn descending_shard_order_fires() {
+        let s0 = WitnessRwLock::new(&INV_A, 0, ());
+        let s1 = WitnessRwLock::new(&INV_A, 1, ());
+        let msg = violation_message(|| {
+            let _g1 = s1.read();
+            let _g0 = s0.read(); // shard 0 after shard 1: descending
+        });
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(msg.contains("inv-a#0"), "got: {msg}");
+        assert!(msg.contains("inv-a#1"), "got: {msg}");
+    }
+
+    #[test]
+    fn same_instance_reentry_fires() {
+        let s = WitnessRwLock::new(&INV_A, 4, ());
+        let msg = violation_message(|| {
+            let _g1 = s.read();
+            let _g2 = s.read(); // same (rank, key): not strictly ascending
+        });
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+    }
+
+    #[test]
+    fn witness_state_survives_a_caught_violation() {
+        // After a caught inversion panic the guards have been dropped and
+        // the thread's held-set must be empty again, so ordered code on
+        // the same thread keeps working.
+        let low = WitnessMutex::new(&INV_A, 0, ());
+        let high = WitnessMutex::new(&INV_B, 0, ());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _gh = high.lock();
+            let _gl = low.lock();
+        }));
+        assert_eq!(ssj_core::lockwitness::held_count(), 0);
+        let _gl = low.lock();
+        let _gh = high.lock();
+    }
+}

@@ -4,11 +4,15 @@
 //! # Sharding and snapshot consistency
 //!
 //! The state is `shards` independent [`JaccardIndex`]es, each behind its
-//! own `parking_lot::RwLock`. A set is owned by the shard
+//! own witnessed `RwLock` ([`ssj_core::lockwitness`], class `shard-index`,
+//! keyed by shard number). A set is owned by the shard
 //! [`ssj_core::index::shard_of`] routes it to, so writes (insert, remove)
-//! take exactly one write lock; queries take **all** shard read locks (in
-//! ascending shard order — every multi-lock acquisition uses that order,
-//! so no deadlock is possible) and merge the per-shard answers.
+//! take exactly one write lock; queries take **all** shard read locks and
+//! merge the per-shard answers. Every multi-lock acquisition goes through
+//! [`ShardedIndex::lock_all_read`] / [`ShardedIndex::lock_owner_write`] —
+//! one audited ascending-shard-order implementation, so no deadlock is
+//! possible. `cargo xtask locklint` enforces this statically and the
+//! debug-build lock witness re-checks it at runtime (DESIGN.md §5f).
 //!
 //! A global sequence counter makes the interleaving observable and exactly
 //! checkable: every write increments `seq` *inside* its shard's write
@@ -42,9 +46,9 @@
 use crate::config::ServerConfig;
 use crate::metrics::{ServerMetrics, ShardCounters, ShardCountersSnapshot, StatsSnapshot};
 use crossbeam::channel::{self, TrySendError};
-use parking_lot::RwLock;
 use ssj_core::error::{Result as CoreResult, SsjError};
 use ssj_core::index::{shard_of, JaccardIndex};
+use ssj_core::lockwitness::{WitnessReadGuard, WitnessRwLock, WitnessWriteGuard, SHARD_INDEX};
 use ssj_core::set::ElementId;
 use ssj_store::{Recovered, ShardState, Store, StoreConfig, TailStatus, WalOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -143,8 +147,34 @@ pub enum Response {
 }
 
 struct Shard {
-    index: RwLock<JaccardIndex>,
+    /// Class `shard-index` (rank 0) in the canonical lock order, keyed by
+    /// shard number: multi-shard sweeps acquire ascending keys.
+    index: WitnessRwLock<JaccardIndex>,
     counters: ShardCounters,
+}
+
+/// One shard's guard from [`ShardedIndex::lock_owner_write`]: the owning
+/// shard is write-locked, every other shard read-locked.
+enum ShardGuard<'a> {
+    Read(WitnessReadGuard<'a, JaccardIndex>),
+    Write(WitnessWriteGuard<'a, JaccardIndex>),
+}
+
+impl ShardGuard<'_> {
+    fn index(&self) -> &JaccardIndex {
+        match self {
+            ShardGuard::Read(g) => g,
+            ShardGuard::Write(g) => g,
+        }
+    }
+
+    /// The guarded index, writable only on the write-locked owner.
+    fn index_mut(&mut self) -> Option<&mut JaccardIndex> {
+        match self {
+            ShardGuard::Read(_) => None,
+            ShardGuard::Write(g) => Some(g),
+        }
+    }
 }
 
 /// Outcome of a write against a possibly-durable [`ShardedIndex`].
@@ -193,11 +223,15 @@ impl ShardedIndex {
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             shards.push(Shard {
-                index: RwLock::new(JaccardIndex::new(
-                    cfg.gamma,
-                    cfg.initial_max_size,
-                    shard_scheme_seed(cfg.seed, i),
-                )?),
+                index: WitnessRwLock::new(
+                    &SHARD_INDEX,
+                    i as u32,
+                    JaccardIndex::new(
+                        cfg.gamma,
+                        cfg.initial_max_size,
+                        shard_scheme_seed(cfg.seed, i),
+                    )?,
+                ),
                 counters: ShardCounters::default(),
             });
         }
@@ -266,8 +300,9 @@ impl ShardedIndex {
         }
         let shards = indexes
             .into_iter()
-            .map(|index| Shard {
-                index: RwLock::new(index),
+            .enumerate()
+            .map(|(i, index)| Shard {
+                index: WitnessRwLock::new(&SHARD_INDEX, i as u32, index),
                 counters: ShardCounters::default(),
             })
             .collect();
@@ -317,6 +352,36 @@ impl ShardedIndex {
         Some((shard, local))
     }
 
+    /// Read-locks every shard in ascending shard order and returns the
+    /// guards (position `i` guards shard `i`). This is the single audited
+    /// implementation of whole-index read acquisition; every
+    /// snapshot-consistent scan (query, stats, snapshot, dump) goes
+    /// through it rather than hand-rolling a guard sweep.
+    fn lock_all_read(&self) -> Vec<WitnessReadGuard<'_, JaccardIndex>> {
+        // locklint: allow(multi-shard-order, fn): this is the canonical ascending-order acquisition every multi-shard reader shares — iteration order is the shard vector's index order, and the debug-build lock witness re-checks (rank, key) monotonicity on every acquire.
+        self.shards.iter().map(|s| s.index.read()).collect()
+    }
+
+    /// Write-locks shard `owner` and read-locks every other shard, in one
+    /// ascending-order sweep (position `i` guards shard `i`). The audited
+    /// counterpart of [`ShardedIndex::lock_all_read`] for the
+    /// query-then-insert path, which must observe a consistent snapshot
+    /// *and* mutate the owning shard under the same acquisition.
+    fn lock_owner_write(&self, owner: usize) -> Vec<ShardGuard<'_>> {
+        // locklint: allow(multi-shard-order, fn): canonical ascending-order acquisition for the query-then-insert path — write lock at the owner, read locks elsewhere, one ordered sweep re-checked at runtime by the lock witness.
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == owner {
+                    ShardGuard::Write(s.index.write())
+                } else {
+                    ShardGuard::Read(s.index.read())
+                }
+            })
+            .collect()
+    }
+
     /// Assigns this write's sequence number, WAL-logging it first when a
     /// store is attached. Called *inside* the owning shard's write critical
     /// section; seq assignment happens inside the WAL's own critical
@@ -348,6 +413,7 @@ impl ShardedIndex {
     /// Indexes a set; returns its stable global id and write number plus
     /// the durable watermark.
     pub fn insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(u64, u64)> {
+        // locklint: allow(blocking-under-lock, fn): the WAL append (log_write) deliberately runs inside the shard write critical section so WAL file order equals global seq order; the fsync (settle_write) runs only after the guard is dropped.
         let set = Self::canonical(elems);
         let owner = shard_of(&set, self.shards.len(), self.seed);
         let shard = &self.shards[owner];
@@ -384,6 +450,7 @@ impl ShardedIndex {
     /// Removes a set by global id; returns whether it was live and the
     /// write number, plus the durable watermark.
     pub fn remove_d(&self, global: u64) -> WriteResult<(bool, u64)> {
+        // locklint: allow(blocking-under-lock, fn): the WAL append (log_write) deliberately runs inside the shard write critical section so WAL file order equals global seq order; the fsync (settle_write) runs only after the guard is dropped.
         let Some((owner, local)) = self.decode_id(global) else {
             // Out-of-domain id: provably never issued, so this is a no-op
             // that needs no lock, changes no state, and is not logged
@@ -422,8 +489,7 @@ impl ShardedIndex {
     /// and the candidates probed.
     pub fn query(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64) {
         let set = Self::canonical(elems);
-        // Ascending shard order (see module docs: deadlock freedom).
-        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let guards = self.lock_all_read();
         let seen_seq = self.seq.load(Ordering::SeqCst);
         let mut ids = Vec::new();
         let mut probed = 0u64;
@@ -451,19 +517,10 @@ impl ShardedIndex {
     /// write `seq`. Returns `(matching ids, new id, seq, probed)` plus the
     /// durable watermark.
     pub fn query_insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(Vec<u64>, u64, u64, u64)> {
+        // locklint: allow(blocking-under-lock, fn): the WAL append (log_write) deliberately runs inside the owner shard's write critical section so WAL file order equals global seq order; the fsync (settle_write) runs only after the guards are dropped.
         let set = Self::canonical(elems);
         let owner = shard_of(&set, self.shards.len(), self.seed);
-        // Write-lock the owner, read-lock the rest, in ascending order.
-        let mut write_guard = None;
-        let mut read_guards = Vec::with_capacity(self.shards.len());
-        for (i, shard) in self.shards.iter().enumerate() {
-            if i == owner {
-                write_guard = Some(shard.index.write());
-                read_guards.push(None);
-            } else {
-                read_guards.push(Some(shard.index.read()));
-            }
-        }
+        let mut guards = self.lock_owner_write(owner);
         let seq = match self.log_write(|| WalOp::Insert {
             shard: owner as u32,
             set: set.clone(),
@@ -473,13 +530,8 @@ impl ShardedIndex {
         };
         let mut ids = Vec::new();
         let mut probed = 0u64;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let result = if i == owner {
-                write_guard.as_deref().map(|g| g.query_counted(&set))
-            } else {
-                read_guards[i].as_deref().map(|g| g.query_counted(&set))
-            };
-            let (matches, shard_probed) = result.unwrap_or_default();
+        for (i, (shard, guard)) in self.shards.iter().zip(&guards).enumerate() {
+            let (matches, shard_probed) = guard.index().query_counted(&set);
             probed += shard_probed as u64;
             shard.counters.queries.fetch_add(1, Ordering::Relaxed);
             shard
@@ -492,17 +544,17 @@ impl ShardedIndex {
                 .fetch_add(matches.len() as u64, Ordering::Relaxed);
             ids.extend(matches.into_iter().map(|local| self.encode_id(local, i)));
         }
-        let id = match &mut write_guard {
+        let id = match guards[owner].index_mut() {
             Some(g) => {
                 let local = g.insert(set);
                 self.encode_id(local, owner)
             }
-            // Unreachable: `owner < shards.len()` always populates it; keep
-            // a harmless fallback rather than panic in the service path.
+            // Unreachable: lock_owner_write always write-locks `owner`;
+            // keep a harmless fallback rather than panic in the service
+            // path.
             None => u64::MAX,
         };
-        drop(write_guard);
-        drop(read_guards);
+        drop(guards);
         self.shards[owner]
             .counters
             .inserts
@@ -526,11 +578,12 @@ impl ShardedIndex {
     /// Per-shard live-set counts, counter snapshots, and the current
     /// sequence number.
     pub fn shard_stats(&self) -> (Vec<u64>, Vec<ShardCountersSnapshot>, u64) {
-        let live: Vec<u64> = self
-            .shards
-            .iter()
-            .map(|s| s.index.read().len() as u64)
-            .collect();
+        // One ordered acquisition instead of a transient read lock per
+        // shard: the live counts come from a single consistent snapshot,
+        // and the guards are dropped before any other work.
+        let guards = self.lock_all_read();
+        let live: Vec<u64> = guards.iter().map(|g| g.len() as u64).collect();
+        drop(guards);
         let counters = self.shards.iter().map(|s| s.counters.snapshot()).collect();
         (live, counters, self.seq())
     }
@@ -568,10 +621,11 @@ impl ShardedIndex {
     ///
     /// No-op `Ok` without a store.
     pub fn snapshot_now(&self) -> std::io::Result<()> {
+        // locklint: allow(blocking-under-lock, fn): snapshot + WAL truncation deliberately run under all shard read locks — holding them quiesces writers, so no record can slip between the snapshot images and the truncation and be lost from both files.
         let Some(store) = &self.store else {
             return Ok(());
         };
-        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let guards = self.lock_all_read();
         let seq = self.seq.load(Ordering::SeqCst);
         let states: Vec<ShardState> = guards
             .iter()
@@ -600,7 +654,7 @@ impl ShardedIndex {
     /// sequence number — under all shard read locks. Test/crashtest
     /// instrumentation for differential comparison against an oracle.
     pub fn dump(&self) -> (Vec<ShardState>, u64) {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.index.read()).collect();
+        let guards = self.lock_all_read();
         let seq = self.seq.load(Ordering::SeqCst);
         let states = guards
             .iter()

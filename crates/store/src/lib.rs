@@ -46,7 +46,7 @@ pub mod wal;
 pub use snapshot::ShardState;
 pub use wal::{WalOp, WalRecord};
 
-use parking_lot::Mutex;
+use ssj_core::lockwitness::{WitnessMutex, STORE_WAL};
 use ssj_io::frame::{write_frame, Frame, FrameReader};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -163,7 +163,9 @@ impl WalFile {
 pub struct Store {
     dir: PathBuf,
     cfg: StoreConfig,
-    wal: Mutex<WalFile>,
+    /// WAL mutex: class `store-wal` (rank 10) in the canonical lock order
+    /// (DESIGN.md §5f) — acquired after shard locks, never before them.
+    wal: WitnessMutex<WalFile>,
     /// Set on any write-path I/O failure: the in-memory index may then be
     /// ahead of the log in an unknown way, so every later durable write is
     /// refused until the process restarts and recovers from disk.
@@ -253,14 +255,18 @@ impl Store {
         let store = Store {
             dir: dir.to_path_buf(),
             cfg,
-            wal: Mutex::new(WalFile {
-                file,
-                appended_seq: max_seq,
-                durable_seq: max_seq,
-                appended_bytes: valid_bytes,
-                durable_bytes: valid_bytes,
-                last_sync: Instant::now(),
-            }),
+            wal: WitnessMutex::new(
+                &STORE_WAL,
+                0,
+                WalFile {
+                    file,
+                    appended_seq: max_seq,
+                    durable_seq: max_seq,
+                    appended_bytes: valid_bytes,
+                    durable_bytes: valid_bytes,
+                    last_sync: Instant::now(),
+                },
+            ),
             poisoned: AtomicBool::new(false),
         };
         Ok((
@@ -300,6 +306,7 @@ impl Store {
         if self.is_poisoned() {
             return Err(poisoned_err());
         }
+        // locklint: allow(blocking-under-lock, fn): the WAL append must happen inside the WAL critical section (and under the caller's shard write lock) so file order equals global seq order — that invariant is what makes recovery replay exact (DESIGN.md §5e).
         let mut wal = self.wal.lock();
         let seq = assign_seq();
         let record = WalRecord { seq, op };
@@ -333,6 +340,7 @@ impl Store {
         if self.is_poisoned() {
             return Err(poisoned_err());
         }
+        // locklint: allow(blocking-under-lock, fn): the durability fsync must cover every record appended before it, which requires holding the WAL mutex across sync_data — releasing first would let a later append slip under the advancing watermark.
         let mut wal = self.wal.lock();
         let should_sync = match self.cfg.sync {
             SyncMode::Every => wal.durable_seq <= seq,
@@ -356,6 +364,7 @@ impl Store {
         if self.is_poisoned() {
             return Err(poisoned_err());
         }
+        // locklint: allow(blocking-under-lock, fn): shutdown flush — same watermark argument as ensure_durable: the fsync and the durable_seq advance must be atomic with respect to concurrent appends.
         let mut wal = self.wal.lock();
         if let Err(e) = wal.sync() {
             self.poisoned.store(true, Ordering::SeqCst);
@@ -412,6 +421,7 @@ impl Store {
     /// advances both watermarks to `seq` (everything below it is now
     /// durable via the snapshots).
     pub fn truncate_wal(&self, seq: u64) -> io::Result<()> {
+        // locklint: allow(blocking-under-lock, fn): truncation rewrites the file and both watermarks as one atomic step; an append interleaved between set_len and the watermark reset would be silently lost.
         let mut wal = self.wal.lock();
         wal.file.set_len(0)?;
         wal.file.sync_data()?;

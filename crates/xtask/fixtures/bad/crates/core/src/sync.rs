@@ -1,0 +1,21 @@
+//! Fixture: std::sync locks (L5 `std-sync-lock` must flag every use).
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+pub struct Bad {
+    pub m: std::sync::Mutex<u32>,
+    pub r: Arc<RwLock<u32>>,
+}
+
+pub fn guard(g: std::sync::MutexGuard<'_, u32>) -> u32 {
+    *g
+}
+
+pub fn fine() {
+    // Atomics and channels stay legal; only locks are banned.
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc::sync_channel;
+    let _ = AtomicU64::new(0);
+    let _ = sync_channel::<u32>(1);
+}

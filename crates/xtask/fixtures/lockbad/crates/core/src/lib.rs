@@ -1,0 +1,5 @@
+//! Fixture: annotations are forbidden in ssj-core (locklint-scope).
+
+pub fn in_core() {
+    // locklint: allow(blocking-under-lock, fn): core carries no suppressions, ever
+}

@@ -1,0 +1,63 @@
+//! Fixture: every locklint analysis rule must fire on this tree.
+
+pub struct Service {
+    shards: Vec<Shard>,
+    wal: Mutex<Wal>,
+    file: File,
+}
+
+impl Service {
+    // multi-shard-order: iterated acquisition outside the canonical helpers.
+    pub fn iterate(&self) {
+        for shard in &self.shards {
+            let g = shard.index.read();
+            g.touch();
+        }
+    }
+
+    // blocking-under-lock: fsync while a shard write lock is held.
+    pub fn sync_under_lock(&self) {
+        let g = self.shards[0].index.write();
+        self.file.sync_data();
+        drop(g);
+    }
+
+    // lock-order: shard lock acquired while the WAL mutex is held
+    // (descending rank), and the wal -> shard edge for the cycle.
+    pub fn inverted(&self) {
+        let w = self.wal.lock();
+        let g = self.shards[0].index.read();
+        drop(g);
+        drop(w);
+    }
+
+    // Ascending shard -> wal edge: clean locally, but together with
+    // `inverted` it closes the class-order cycle (lock-order-cycle).
+    pub fn forward(&self) {
+        let g = self.shards[0].index.write();
+        let w = self.wal.lock();
+        drop(w);
+        drop(g);
+    }
+
+    // guard-lifetime: guards stored into a collection and an Option.
+    pub fn stored(&self) {
+        let mut guards = Vec::new();
+        guards.push(self.shards[0].index.read());
+        let held = Some(self.shards[1].index.write());
+        drop(held);
+        drop(guards);
+    }
+
+    // blocking-under-lock through the call graph: `persist` blocks, and
+    // this caller reaches it with a shard lock held.
+    pub fn indirect(&self) {
+        let g = self.shards[0].index.read();
+        self.persist();
+        drop(g);
+    }
+
+    fn persist(&self) {
+        self.file.write_all(b"x");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: annotation hygiene (locklint-annotation findings).
+
+pub struct Store {
+    wal: Mutex<Wal>,
+}
+
+impl Store {
+    // An annotation with no written justification must be rejected AND
+    // must not suppress the finding it points at.
+    pub fn empty_reason(&self) {
+        let w = self.wal.lock();
+        // locklint: allow(blocking-under-lock):
+        w.file.sync_data();
+        drop(w);
+    }
+
+    // An annotation naming a rule locklint does not have.
+    pub fn unknown_rule(&self) {
+        // locklint: allow(no-such-rule): a reason alone is not enough
+        let w = self.wal.lock();
+        drop(w);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: canonical lock discipline — locklint must report zero
+//! findings (the deliberate sites are annotated with justifications).
+
+pub struct Service {
+    shards: Vec<Shard>,
+    wal: Mutex<Wal>,
+}
+
+impl Service {
+    fn lock_all_read(&self) -> Vec<Guard<'_>> {
+        // locklint: allow(multi-shard-order, fn): ascending shard order by construction (vector index order); the runtime witness re-checks monotonicity.
+        self.shards.iter().map(|s| s.index.read()).collect()
+    }
+
+    pub fn query(&self) -> usize {
+        let guards = self.lock_all_read();
+        let n = guards.len();
+        drop(guards);
+        n
+    }
+
+    pub fn write_path(&self) {
+        // locklint: allow(blocking-under-lock, fn): the WAL append stays inside the shard write critical section so file order equals seq order.
+        let g = self.shards[0].index.write();
+        let w = self.wal.lock();
+        w.file.write_all(b"rec");
+        drop(w);
+        drop(g);
+    }
+}

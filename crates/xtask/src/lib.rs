@@ -4,7 +4,7 @@
 
 //! Workspace automation for the ssjoin repo.
 //!
-//! Three subcommands:
+//! Four subcommands:
 //!
 //! * `cargo xtask difftest` — deterministic differential testing of every
 //!   signature scheme against the naive oracle on seeded adversarial
@@ -23,13 +23,21 @@
 //! | `default-hasher`  | hot-path modules                        | bare `HashMap`/`HashSet` (use `FxHashMap`/`FxHashSet`) |
 //! | `crate-hygiene`   | every crate root                        | missing `#![forbid(unsafe_code)]` / `#![deny(rust_2018_idioms)]` |
 //! | `narrowing-cast`  | ssj-core                                | bare `as` narrowing casts on id-sized ints |
+//! | `std-sync-lock`   | every workspace crate                   | `std::sync::Mutex`/`RwLock` (use `parking_lot` so the lock witness can wrap them) |
 //! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core, ssj-serve, or ssj-store |
 //!
 //! Suppressions live in `crates/xtask/lint_allow.toml`.
+//!
+//! * `cargo xtask locklint` — interprocedural lock-order and
+//!   blocking-under-lock analysis over the concurrent subsystem, paired
+//!   with the runtime witness in `ssj_core::lockwitness` (see [`locklint`]
+//!   and DESIGN.md §5f). Suppressions are in-source annotations, not
+//!   allowlist entries.
 
 pub mod allowlist;
 pub mod crashtest;
 pub mod difftest;
+pub mod locklint;
 pub mod rules;
 pub mod scan;
 
@@ -225,6 +233,17 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, LintError> {
         }
     }
 
+    // L5: std::sync locks anywhere under crates/ (compat/ is exempt by
+    // construction — the parking_lot shim there wraps std::sync, which is
+    // exactly the one place that's supposed to).
+    for src in crate_src_dirs(root)? {
+        for file in rs_files(&src)? {
+            let relpath = rel(root, &file);
+            let lines = scan::rule_lines(&read(&file)?);
+            violations.extend(rules::check_std_sync(&relpath, &lines));
+        }
+    }
+
     violations.retain(|v| !allow.permits(v.rule, &v.path));
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(violations)
@@ -237,6 +256,25 @@ pub fn load_allowlist(root: &Path) -> Result<Allowlist, LintError> {
         return Ok(Allowlist::default());
     }
     Allowlist::parse(&read(&path)?).map_err(LintError::Allowlist)
+}
+
+/// Every `crates/<member>/src` directory, sorted (for the L5 scan).
+fn crate_src_dirs(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    let dir = root.join("crates");
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let entries = fs::read_dir(&dir).map_err(|e| LintError::Io(dir.clone(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.clone(), e))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            out.push(src);
+        }
+    }
+    out.sort();
+    Ok(out)
 }
 
 /// Every crate-root `lib.rs` in the workspace: `src/lib.rs` of the umbrella

@@ -1,0 +1,525 @@
+//! Source → per-function event lists for the locklint pass.
+//!
+//! Works on masked source (comments/strings blanked, `#[cfg(test)]`
+//! regions stripped — see `scan.rs`), so every pattern match below is
+//! against real code. Masking is line- and byte-preserving, so offsets
+//! and line numbers computed here are valid against the raw file too;
+//! annotations are the one thing parsed from the *raw* lines, because
+//! they live in comments.
+
+use super::{SiteKind, BLOCKING_CALLS, BLOCKING_CHAINS, DATA_METHODS, LOCK_SITES};
+use crate::scan::{mask_non_code, strip_test_regions};
+
+/// One ordered occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A lock-site pattern matched (direct or via a registered helper).
+    Acquire {
+        /// Index into [`super::LOCK_SITES`].
+        site: usize,
+        /// `let`-bound guard name, if the acquisition is bound.
+        binding: Option<String>,
+        /// Inside a loop body or an iterator-adapter closure on the same
+        /// line — per-instance order not statically provable.
+        iterated: bool,
+        /// Acquisition appears inside `Some(…)` / `.push(…)` on its line
+        /// (guard stored into an Option/collection).
+        stored: bool,
+        /// Brace depth at the acquisition (for scope-based release).
+        depth: usize,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `drop(<ident>)` of a bound guard.
+    Release {
+        /// The dropped identifier.
+        binding: String,
+    },
+    /// A call to a workspace function (possibly; resolution is by name).
+    Call {
+        /// Callee name as written.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A blocking operation from the registry.
+    Block {
+        /// Human description (e.g. `fsync`).
+        desc: &'static str,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `;` — releases unbound transient guards of the statement.
+    StatementEnd,
+    /// `}` — releases guards bound at a deeper depth.
+    ScopeEnd {
+        /// Depth after the closing brace.
+        to_depth: usize,
+    },
+}
+
+/// A function found in a file, with its extracted event list.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Function name as written after `fn`.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based first and last line of the body (inclusive).
+    pub body_lines: (usize, usize),
+    /// Ordered events extracted from the body (nested fns excluded).
+    pub events: Vec<Event>,
+}
+
+impl FnInfo {
+    /// Whether `line` falls inside this function (signature or body).
+    pub fn contains_line(&self, line: usize) -> bool {
+        line >= self.start_line && line <= self.body_lines.1
+    }
+}
+
+/// A `// locklint: allow(…)` suppression found in the raw source.
+#[derive(Debug)]
+pub struct Annotation {
+    /// Rule name inside `allow(…)`.
+    pub rule: String,
+    /// `allow(<rule>, fn)` — covers the whole enclosing function.
+    pub fn_level: bool,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// Justification text after `):`, trimmed.
+    pub reason: String,
+}
+
+/// Extraction result for one file.
+#[derive(Debug)]
+pub struct FileExtract {
+    /// Repo-relative path.
+    pub path: String,
+    /// Functions with their event lists.
+    pub fns: Vec<FnInfo>,
+    /// Suppression annotations (from raw comment lines).
+    pub annotations: Vec<Annotation>,
+}
+
+/// Masks `raw`, finds functions, and extracts events + annotations.
+pub fn extract_file(relpath: &str, raw: &str) -> FileExtract {
+    let masked = strip_test_regions(&mask_non_code(raw));
+    let line_starts = line_start_offsets(&masked);
+    let spans = fn_spans(&masked);
+
+    let fns = spans
+        .iter()
+        .enumerate()
+        .map(|(i, span)| {
+            // Skip nested fn bodies: they are extracted as their own
+            // functions and resolved through the call graph.
+            let nested: Vec<(usize, usize)> = spans
+                .iter()
+                .enumerate()
+                .filter(|&(j, s)| {
+                    j != i && s.kw_pos > span.body_start && s.body_end <= span.body_end
+                })
+                .map(|(_, s)| (s.kw_pos, s.body_end))
+                .collect();
+            FnInfo {
+                name: span.name.clone(),
+                start_line: line_of(&line_starts, span.kw_pos),
+                body_lines: (
+                    line_of(&line_starts, span.body_start),
+                    line_of(&line_starts, span.body_end.saturating_sub(1)),
+                ),
+                events: scan_events(&masked, span, &nested, &line_starts),
+            }
+        })
+        .collect();
+
+    FileExtract {
+        path: relpath.to_string(),
+        fns,
+        annotations: parse_annotations(raw),
+    }
+}
+
+/// Byte span of one `fn` in masked source.
+struct FnSpan {
+    name: String,
+    /// Offset of the `fn` keyword.
+    kw_pos: usize,
+    /// Offset of the body's `{`.
+    body_start: usize,
+    /// Offset one past the body's `}`.
+    body_end: usize,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_start_offsets(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte offset `pos`.
+fn line_of(starts: &[usize], pos: usize) -> usize {
+    starts.partition_point(|&s| s <= pos)
+}
+
+fn fn_spans(masked: &str) -> Vec<FnSpan> {
+    let bytes = masked.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let boundary_before = i == 0 || !is_ident(bytes[i - 1]);
+        let boundary_after = i + 2 >= bytes.len() || !is_ident(bytes[i + 2]);
+        if !(bytes[i] == b'f' && bytes[i + 1] == b'n' && boundary_before && boundary_after) {
+            i += 1;
+            continue;
+        }
+        let kw_pos = i;
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            // `fn(` pointer type or `Fn` trait syntax — not a definition.
+            i += 2;
+            continue;
+        }
+        let name = masked[name_start..j].to_string();
+        // Find the body `{`, or `;` for a bodyless trait declaration.
+        let mut body_start = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    body_start = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(body_start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Match braces to the end of the body.
+        let mut depth = 0usize;
+        let mut k = body_start;
+        let mut body_end = bytes.len();
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        body_end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push(FnSpan {
+            name,
+            kw_pos,
+            body_start,
+            body_end,
+        });
+        // Continue scanning *inside* the body too: nested fns get their
+        // own spans, and the enclosing scan skips their ranges.
+        i = body_start + 1;
+    }
+    spans
+}
+
+const KEYWORDS: [&str; 22] = [
+    "if", "else", "match", "for", "while", "loop", "return", "let", "fn", "in", "as", "move",
+    "mut", "ref", "break", "continue", "where", "impl", "dyn", "unsafe", "await", "box",
+];
+
+const ITER_MARKERS: [&str; 5] = [
+    ".map(",
+    ".for_each(",
+    ".filter(",
+    ".flat_map(",
+    ".filter_map(",
+];
+
+fn scan_events(
+    masked: &str,
+    span: &FnSpan,
+    skip: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<Event> {
+    let bytes = masked.as_bytes();
+    let mut events = Vec::new();
+    let mut depth = 1usize; // inside the body's `{`
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut pending_loop = false;
+    let mut stmt_start = span.body_start + 1;
+    let mut i = span.body_start + 1;
+    let end = span.body_end.saturating_sub(1);
+
+    while i < end {
+        if let Some(&(_, skip_end)) = skip.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = skip_end;
+            stmt_start = i;
+            continue;
+        }
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                if pending_loop {
+                    loop_depths.push(depth);
+                    pending_loop = false;
+                }
+                stmt_start = i + 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                while loop_depths.last().is_some_and(|&d| d > depth) {
+                    loop_depths.pop();
+                }
+                events.push(Event::ScopeEnd { to_depth: depth });
+                stmt_start = i + 1;
+                i += 1;
+            }
+            b';' => {
+                events.push(Event::StatementEnd);
+                stmt_start = i + 1;
+                pending_loop = false;
+                i += 1;
+            }
+            b'.' => {
+                let rest = &masked[i..end];
+                if let Some(marker) = ITER_MARKERS.iter().find(|m| rest.starts_with(**m)) {
+                    // A braced iterator-adapter closure is an iteration
+                    // context: acquisitions inside it repeat per item.
+                    pending_loop = true;
+                    i += marker.len();
+                    continue;
+                }
+                if let Some(site) = LOCK_SITES.iter().position(|s| match s.kind {
+                    SiteKind::Chain(p) => rest.starts_with(p),
+                    SiteKind::Helper(_) => false,
+                }) {
+                    let pat_len = match LOCK_SITES[site].kind {
+                        SiteKind::Chain(p) => p.len(),
+                        SiteKind::Helper(_) => 0,
+                    };
+                    events.push(acquire_event(
+                        site,
+                        masked,
+                        stmt_start,
+                        i,
+                        depth,
+                        !loop_depths.is_empty(),
+                        line_starts,
+                    ));
+                    i += pat_len;
+                } else if let Some(&(pat, desc)) =
+                    BLOCKING_CHAINS.iter().find(|&&(p, _)| rest.starts_with(p))
+                {
+                    events.push(Event::Block {
+                        desc,
+                        line: line_of(line_starts, i),
+                    });
+                    i += pat.len();
+                } else {
+                    i += 1;
+                }
+            }
+            _ if is_ident(b) && !b.is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) => {
+                let word_start = i;
+                let mut j = i;
+                while j < end && is_ident(bytes[j]) {
+                    j += 1;
+                }
+                let word = &masked[word_start..j];
+                if word == "for" || word == "while" || word == "loop" {
+                    pending_loop = true;
+                    i = j;
+                    continue;
+                }
+                if KEYWORDS.contains(&word) {
+                    i = j;
+                    continue;
+                }
+                // Next non-whitespace byte decides what this ident is.
+                let mut k = j;
+                while k < end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                let next = if k < end { bytes[k] } else { 0 };
+                if next == b'!' {
+                    // Macro invocation — out of scope.
+                    i = j;
+                    continue;
+                }
+                if next != b'(' {
+                    i = j;
+                    continue;
+                }
+                let dotted = word_start > 0 && bytes[word_start - 1] == b'.';
+                let line = line_of(line_starts, word_start);
+                if word == "drop" {
+                    if let Some(ident) = single_ident_arg(masked, k, end) {
+                        events.push(Event::Release { binding: ident });
+                        i = j;
+                        continue;
+                    }
+                }
+                if let Some(site) = LOCK_SITES.iter().position(|s| match s.kind {
+                    SiteKind::Helper(h) => h == word,
+                    SiteKind::Chain(_) => false,
+                }) {
+                    events.push(acquire_event(
+                        site,
+                        masked,
+                        stmt_start,
+                        word_start,
+                        depth,
+                        !loop_depths.is_empty(),
+                        line_starts,
+                    ));
+                    i = j;
+                    continue;
+                }
+                if let Some(&(_, desc)) = BLOCKING_CALLS.iter().find(|&&(n, _)| n == word) {
+                    events.push(Event::Block { desc, line });
+                    i = j;
+                    continue;
+                }
+                if dotted && DATA_METHODS.contains(&word) {
+                    i = j;
+                    continue;
+                }
+                if word.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Type constructor / enum variant, not a workspace fn.
+                    i = j;
+                    continue;
+                }
+                events.push(Event::Call {
+                    name: word.to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    events
+}
+
+fn acquire_event(
+    site: usize,
+    masked: &str,
+    stmt_start: usize,
+    pos: usize,
+    depth: usize,
+    in_loop: bool,
+    line_starts: &[usize],
+) -> Event {
+    let line = line_of(line_starts, pos);
+    let line_prefix = &masked[line_starts[line - 1]..pos];
+    let iterated = in_loop || ITER_MARKERS.iter().any(|m| line_prefix.contains(m));
+    let stored = line_prefix.contains("Some(") || line_prefix.contains(".push(");
+    Event::Acquire {
+        site,
+        binding: let_binding(&masked[stmt_start..pos]),
+        iterated,
+        stored,
+        depth,
+        line,
+    }
+}
+
+/// `let [mut] <ident> … = …<acquire>` → the bound guard name.
+fn let_binding(stmt_prefix: &str) -> Option<String> {
+    let trimmed = stmt_prefix.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .bytes()
+        .position(|b| !is_ident(b))
+        .unwrap_or(rest.len());
+    if end == 0 || !rest[end..].contains('=') {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+/// For `drop(<ident>)`: the ident, if the argument list is exactly one.
+fn single_ident_arg(masked: &str, open_paren: usize, end: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let mut j = open_paren + 1;
+    let arg_start = j;
+    while j < end && bytes[j] != b')' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    if j >= end || bytes[j] != b')' {
+        return None;
+    }
+    let arg = masked[arg_start..j].trim();
+    if !arg.is_empty()
+        && arg.bytes().all(is_ident)
+        && !arg.bytes().next().is_some_and(|b| b.is_ascii_digit())
+    {
+        Some(arg.to_string())
+    } else {
+        None
+    }
+}
+
+/// Parses `// locklint: allow(<rule>[, fn]): reason` from raw lines.
+fn parse_annotations(raw: &str) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(at) = line.find("locklint: allow(") else {
+            continue;
+        };
+        // Only honor (and only police) real comment lines.
+        if !line[..at].contains("//") {
+            continue;
+        }
+        let args_start = at + "locklint: allow(".len();
+        let Some(close) = line[args_start..].find(')') else {
+            out.push(Annotation {
+                rule: String::new(),
+                fn_level: false,
+                line: idx + 1,
+                reason: String::new(),
+            });
+            continue;
+        };
+        let args = &line[args_start..args_start + close];
+        let (rule, fn_level) = match args.split_once(',') {
+            Some((r, scope)) => (r.trim(), scope.trim() == "fn"),
+            None => (args.trim(), false),
+        };
+        let after = &line[args_start + close + 1..];
+        let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        out.push(Annotation {
+            rule: rule.to_string(),
+            fn_level,
+            line: idx + 1,
+            reason,
+        });
+    }
+    out
+}

@@ -15,6 +15,11 @@ usage: cargo xtask <command>
 commands:
   lint [--root <dir>]   run the repo-specific static-analysis pass
                         (exit 0 = clean, 1 = violations, 2 = engine error)
+  locklint [options]    interprocedural lock-order & blocking-under-lock
+                        analysis over the concurrent subsystem
+                        (exit 0 = clean, 1 = findings, 2 = engine error)
+    --root <dir>        workspace root (default: walk up from cwd)
+    --json              machine-readable report (findings + suppressions)
   difftest [options]    differential-test every signature scheme against
                         the naive oracle on seeded adversarial workloads
                         (exit 0 = agreement, 1 = divergences, 2 = bad usage)
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("locklint") => locklint(&args[1..]),
         Some("difftest") => difftest(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -178,37 +184,10 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
 
-    let root = match root {
-        Some(r) => r,
-        None => {
-            let cwd = match std::env::current_dir() {
-                Ok(c) => c,
-                Err(err) => {
-                    eprintln!("error: cannot determine working directory: {err}");
-                    return ExitCode::from(2);
-                }
-            };
-            match xtask::find_repo_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
-                    return ExitCode::from(2);
-                }
-            }
-        }
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
-
-    if !root.is_dir() {
-        eprintln!("error: lint root {} is not a directory", root.display());
-        return ExitCode::from(2);
-    }
-    if !root.join("crates").is_dir() {
-        eprintln!(
-            "error: {} has no crates/ directory — not a lintable workspace root",
-            root.display()
-        );
-        return ExitCode::from(2);
-    }
     match xtask::run_lint(&root) {
         Ok(violations) if violations.is_empty() => {
             println!("xtask lint: clean ({})", root.display());
@@ -226,4 +205,95 @@ fn lint(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn locklint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("error: unknown locklint option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match xtask::locklint::run_locklint(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for v in &report.findings {
+                    println!("{v}");
+                }
+                println!(
+                    "xtask locklint: {} finding(s), {} suppressed by annotation \
+                     ({} file(s), {} function(s))",
+                    report.findings.len(),
+                    report.suppressed.len(),
+                    report.files,
+                    report.functions
+                );
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Resolves the workspace root for lint-style subcommands: an explicit
+/// `--root`, else the nearest `[workspace]` manifest above the cwd.
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(err) => {
+                    eprintln!("error: cannot determine working directory: {err}");
+                    return Err(ExitCode::from(2));
+                }
+            };
+            match xtask::find_repo_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return Err(ExitCode::from(2));
+                }
+            }
+        }
+    };
+    if !root.is_dir() {
+        eprintln!("error: root {} is not a directory", root.display());
+        return Err(ExitCode::from(2));
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "error: {} has no crates/ directory — not a lintable workspace root",
+            root.display()
+        );
+        return Err(ExitCode::from(2));
+    }
+    Ok(root)
 }

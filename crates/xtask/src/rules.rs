@@ -1,4 +1,4 @@
-//! The four repo-specific lint rules (L1–L4) plus the allowlist-scope guard.
+//! The five repo-specific lint rules (L1–L5) plus the allowlist-scope guard.
 //!
 //! Each rule is a pure function over `(repo-relative path, prepared lines)`
 //! so the unit tests can drive them on synthetic sources without touching
@@ -14,6 +14,8 @@ pub const DEFAULT_HASHER: &str = "default-hasher";
 pub const CRATE_HYGIENE: &str = "crate-hygiene";
 /// L4: no bare `as` narrowing casts on id-sized integers in ssj-core.
 pub const NARROWING_CAST: &str = "narrowing-cast";
+/// L5: no `std::sync` locks anywhere in workspace crates.
+pub const STD_SYNC: &str = "std-sync-lock";
 /// Guard: the allowlist must never exempt ssj-core.
 pub const ALLOWLIST_SCOPE: &str = "allowlist-scope";
 
@@ -169,6 +171,45 @@ pub fn check_narrowing_cast(path: &str, lines: &[String]) -> Vec<Violation> {
     out
 }
 
+/// Lock-ish type names under `std::sync` that L5 forbids. Matched as
+/// word-start prefixes so guard types (`MutexGuard`, `RwLockReadGuard`)
+/// count as uses of the lock too.
+const STD_SYNC_LOCKS: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// L5 scan: flags `std::sync` lock types (qualified or imported).
+///
+/// The workspace standardizes on `parking_lot` locks: they are what the
+/// `ssj_core::lockwitness` discipline layer wraps, and they don't carry
+/// poisoning state that would leak `PoisonError` through library APIs.
+/// `std::sync::Arc`, atomics, and `mpsc` channels remain fine — the rule
+/// only fires on lines that both reference `std::sync` and name a lock
+/// type.
+pub fn check_std_sync(path: &str, lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if !boundary_matches(line, "std").any(|at| line[at..].starts_with("std::sync::")) {
+            continue;
+        }
+        for token in STD_SYNC_LOCKS {
+            for _ in boundary_matches(line, token) {
+                out.push(Violation {
+                    rule: STD_SYNC,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "`std::sync::{token}` in a workspace crate; use the \
+                         `parking_lot` equivalent (wrapped by \
+                         `ssj_core::lockwitness` where the lock is registered) \
+                         — std locks poison and bypass the lock-discipline \
+                         witness"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +289,30 @@ mod tests {
     fn narrowing_cast_ignores_identifiers_containing_as() {
         let src = "fn f() { let alias = baseline_as_u32; let basis = has_u32(); }\n";
         assert!(check_narrowing_cast("x.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn std_sync_flags_imports_and_qualified_uses() {
+        let src = "use std::sync::Mutex;\n\
+                   use std::sync::{Arc, RwLock};\n\
+                   fn f() { let m = std::sync::Mutex::new(0); }\n\
+                   fn g(g: std::sync::MutexGuard<'_, u32>) {}\n";
+        let v = check_std_sync("x.rs", &lines(src));
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == STD_SYNC));
+        assert_eq!(
+            v.iter().map(|v| v.line).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn std_sync_permits_arc_atomics_channels_and_parking_lot() {
+        let src = "use std::sync::Arc;\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   use std::sync::mpsc::sync_channel;\n\
+                   use parking_lot::{Mutex, RwLock};\n\
+                   fn f(m: parking_lot::Mutex<u32>) {}\n";
+        assert!(check_std_sync("x.rs", &lines(src)).is_empty());
     }
 }

@@ -37,6 +37,7 @@ fn bad_fixture_trips_every_rule_class() {
         xtask::rules::DEFAULT_HASHER,
         xtask::rules::CRATE_HYGIENE,
         xtask::rules::NARROWING_CAST,
+        xtask::rules::STD_SYNC,
     ] {
         assert!(
             rules_hit.contains(&rule),
@@ -62,6 +63,13 @@ fn bad_fixture_trips_every_rule_class() {
         at("core/src/index.rs", xtask::rules::DEFAULT_HASHER).len(),
         4
     );
+    // std::sync locks in sync.rs: Mutex import, RwLock in a brace list,
+    // qualified Mutex field, MutexGuard in a signature. The atomics and
+    // mpsc imports in the same file must not fire.
+    assert_eq!(
+        at("core/src/sync.rs", xtask::rules::STD_SYNC),
+        vec![3, 4, 7, 11]
+    );
 }
 
 #[test]
@@ -73,6 +81,7 @@ fn bad_fixture_exits_nonzero() {
         "default-hasher",
         "crate-hygiene",
         "narrowing-cast",
+        "std-sync-lock",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
