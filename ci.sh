@@ -15,12 +15,28 @@ cargo xtask lint
 echo "==> cargo xtask locklint"
 cargo xtask locklint
 
+echo "==> cargo xtask hotlint"
+cargo xtask hotlint
+cargo xtask hotlint --json > target/hotlint-trend.json
+echo "    trend record: target/hotlint-trend.json"
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 
 echo "==> witness-enabled concurrency/persistence tests (release)"
 cargo test -q --release -p ssj-serve --features lock-witness
 cargo test -q --release -p ssj-store --features lock-witness
+
+echo "==> allocation witnesses (release: strict zero-alloc assertions)"
+cargo test -q --release -p ssj-core --test alloc_witness
+cargo test -q --release -p ssj-serve --test alloc_witness
+
+echo "==> perf baselines (quick benches + benchdiff)"
+cargo build --release -q -p ssj-bench --bin join_bench --bin serve_bench
+rm -f target/bench-current-join.json target/bench-current-serve.json
+./target/release/join_bench --quick --bench-out target/bench-current-join.json
+./target/release/serve_bench --quick --bench-out target/bench-current-serve.json
+cargo xtask benchdiff --join target/bench-current-join.json --serve target/bench-current-serve.json
 
 echo "==> cargo xtask difftest --seeds 25"
 cargo xtask difftest --seeds 25

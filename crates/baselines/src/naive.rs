@@ -23,10 +23,10 @@ impl NaiveJoin {
         let mut out = Vec::new();
         for a in 0..collection.len() as SetId {
             let (lo, hi) = pred
-                .size_bounds(collection.set_len(a))
+                .size_bounds(collection.len_of(a))
                 .unwrap_or((0, usize::MAX));
             for b in a + 1..collection.len() as SetId {
-                let lb = collection.set_len(b);
+                let lb = collection.len_of(b);
                 if lb < lo || lb > hi {
                     continue;
                 }
@@ -47,9 +47,9 @@ impl NaiveJoin {
     ) -> Vec<(SetId, SetId)> {
         let mut out = Vec::new();
         for a in 0..r.len() as SetId {
-            let (lo, hi) = pred.size_bounds(r.set_len(a)).unwrap_or((0, usize::MAX));
+            let (lo, hi) = pred.size_bounds(r.len_of(a)).unwrap_or((0, usize::MAX));
             for b in 0..s.len() as SetId {
-                let lb = s.set_len(b);
+                let lb = s.len_of(b);
                 if lb < lo || lb > hi {
                     continue;
                 }

@@ -177,7 +177,7 @@ impl ProbeCount {
             let probe_len = set.len();
             let size_bounds = pred.size_bounds(probe_len);
             for (&cand, &overlap) in &counts {
-                let cand_len = collection.set_len(cand);
+                let cand_len = collection.len_of(cand);
                 if let Some((lo, hi)) = size_bounds {
                     if cand_len < lo || cand_len > hi {
                         continue;

@@ -1,0 +1,213 @@
+//! `join_bench` — the committed-baseline benchmark for batch SSJoins.
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin join_bench            # full: 10k sets
+//! cargo run --release -p ssj-bench --bin join_bench -- --quick # CI-sized
+//! ```
+//!
+//! Unlike the `reproduce` harness (which sweeps the paper's whole grid),
+//! this runs a small fixed cell set and appends one JSON line per cell to
+//! `BENCH_join.json` — the file `cargo xtask benchdiff` treats as the
+//! perf baseline. Counters (`signatures`, `candidates`, `f2`,
+//! `output_pairs`) are seeded-deterministic and diffed exactly; timings
+//! are band-checked.
+
+use ssj_bench::datasets::address_tokens;
+use ssj_bench::harness::{run_jaccard, JaccardAlgo, RunRecord};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+join_bench — fixed-cell SSJoin benchmark feeding the perf baseline
+
+Each run appends one machine-readable JSON line per cell to
+BENCH_join.json so results accumulate into a perf trajectory; `cargo
+xtask benchdiff` diffs a fresh run against the committed baseline.
+
+OPTIONS:
+  --quick             CI-sized run (2k sets) instead of the full 10k
+  --sets N            input sets per cell (default 10000)
+  --threads N         join worker threads (default 1: deterministic order)
+  --threshold G       jaccard threshold (default 0.8)
+  --seed N            rng/signature seed (default 42)
+  --algos LIST        comma-separated subset of PEN,PF (default both)
+  --bench-out PATH    where to append the JSON records
+                      (default BENCH_join.json; - disables)
+";
+
+struct BenchArgs {
+    sets: usize,
+    threads: usize,
+    gamma: f64,
+    seed: u64,
+    algos: Vec<JaccardAlgo>,
+    bench_out: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            sets: 10_000,
+            threads: 1,
+            gamma: 0.8,
+            seed: 42,
+            algos: vec![JaccardAlgo::Pen, JaccardAlgo::Pf],
+            bench_out: Some("BENCH_join.json".to_string()),
+        }
+    }
+}
+
+fn parse_algos(list: &str) -> Result<Vec<JaccardAlgo>, String> {
+    list.split(',')
+        .map(|name| match name.trim() {
+            "PEN" | "pen" => Ok(JaccardAlgo::Pen),
+            "PF" | "pf" => Ok(JaccardAlgo::Pf),
+            other => Err(format!("unknown algo {other:?} (expected PEN or PF)")),
+        })
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, String> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => parsed.sets = 2_000,
+            "--sets" => {
+                parsed.sets = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --sets".to_string())?
+            }
+            "--threads" => {
+                parsed.threads = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?
+            }
+            "--threshold" => {
+                parsed.gamma = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --threshold".to_string())?
+            }
+            "--seed" => {
+                parsed.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--algos" => parsed.algos = parse_algos(next(&mut i)?)?,
+            "--bench-out" => {
+                let path = next(&mut i)?;
+                parsed.bench_out = if path == "-" {
+                    None
+                } else {
+                    Some(path.clone())
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if parsed.sets == 0 || parsed.threads == 0 || parsed.algos.is_empty() {
+        return Err("--sets, --threads, and --algos must be non-empty".into());
+    }
+    Ok(parsed)
+}
+
+/// One JSON line in the `BENCH_join.json` schema `cargo xtask benchdiff`
+/// keys on (dataset, algo, gamma, input_size, threads, seed).
+fn to_json_record(r: &RunRecord, threads: usize, seed: u64, unix_secs: u64) -> String {
+    format!(
+        "{{\"schema\":1,\"bench\":\"join\",\"dataset\":\"{}\",\"algo\":\"{}\",\
+         \"gamma\":{},\"input_size\":{},\"threads\":{threads},\"seed\":{seed},\
+         \"signatures\":{},\"candidates\":{},\"f2\":{},\"output_pairs\":{},\
+         \"sig_gen_secs\":{:.6},\"cand_gen_secs\":{:.6},\"verify_secs\":{:.6},\
+         \"total_secs\":{:.6},\"unix_secs\":{unix_secs}}}",
+        r.dataset,
+        r.algo,
+        r.param,
+        r.input_size,
+        r.signatures,
+        r.candidates,
+        r.f2,
+        r.output_pairs,
+        r.sig_gen_secs,
+        r.cand_gen_secs,
+        r.verify_secs,
+        r.total_secs,
+    )
+}
+
+/// Appends JSON records as lines to `path`, creating the file on first use.
+fn append_records(path: &str, records: &[String]) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for record in records {
+        writeln!(file, "{record}")?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "join_bench: {} address sets, gamma {}, threads {}...",
+        parsed.sets, parsed.gamma, parsed.threads
+    );
+    let collection = address_tokens(parsed.sets);
+    let mut records = Vec::new();
+    for &algo in &parsed.algos {
+        let (result, notes) =
+            run_jaccard(&collection, parsed.gamma, algo, parsed.threads, parsed.seed);
+        let record = RunRecord::from_result(
+            "baseline",
+            "address",
+            &algo.label(),
+            parsed.sets,
+            parsed.gamma,
+            &result,
+            notes,
+        );
+        println!(
+            "{:<4}  sig {:>9}  cand {:>9}  f2 {:>11}  out {:>7}  total {:>8.3}s",
+            record.algo,
+            record.signatures,
+            record.candidates,
+            record.f2,
+            record.output_pairs,
+            record.total_secs,
+        );
+        records.push(record);
+    }
+    if let Some(path) = &parsed.bench_out {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let lines: Vec<String> = records
+            .iter()
+            .map(|r| to_json_record(r, parsed.threads, parsed.seed, unix_secs))
+            .collect();
+        match append_records(path, &lines) {
+            Ok(()) => eprintln!("join_bench: appended {} record(s) to {path}", lines.len()),
+            Err(e) => {
+                eprintln!("join_bench: cannot append to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -15,8 +15,32 @@
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::predicate::Predicate;
 use crate::set::{ElementId, SetCollection, SetId, WeightMap};
-use crate::signature::{Signature, SignatureScheme};
+use crate::signature::{SigScratch, Signature, SignatureScheme};
 use std::sync::Arc;
+
+/// Reusable buffers for the verified-lookup path (DESIGN.md §5g).
+///
+/// A query canonicalizes its input, generates signatures, sweeps postings
+/// into a candidate list, and verifies — four growing buffers that would
+/// otherwise be reallocated per query. Hot callers (the serving layer's
+/// worker loop) hold one `QueryScratch` per worker and thread it through
+/// [`SimilarityIndex::query_counted_scratch`] /
+/// [`JaccardIndex::query_counted_scratch`]; construction is
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Canonicalized (sorted, deduplicated) query elements.
+    sorted: Vec<ElementId>,
+    /// Query signatures.
+    sigs: Vec<Signature>,
+    /// Unverified candidate ids.
+    candidates: Vec<SetId>,
+    /// Inner-index matches awaiting external-id translation
+    /// ([`JaccardIndex`] only).
+    inner_matches: Vec<SetId>,
+    /// Scheme-internal temporaries.
+    sig_scratch: SigScratch,
+}
 
 /// An inverted signature index over an owned, growing collection.
 ///
@@ -78,7 +102,7 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
     /// input use [`Self::try_insert`].
     pub fn insert(&mut self, elems: Vec<ElementId>) -> SetId {
         let id = self.sets.push(elems);
-        let len = self.sets.set_len(id);
+        let len = self.sets.len_of(id);
         let in_range = match self.scheme.max_signable_len() {
             Some(max) => len <= max,
             None => true,
@@ -134,21 +158,37 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
         self.deleted.insert(id)
     }
 
-    /// Ids of indexed sets sharing at least one signature with `query`
-    /// (unverified candidates), deduplicated and sorted.
-    pub fn query_candidates(&self, query: &[ElementId]) -> Vec<SetId> {
-        let mut sigs = Vec::new();
-        self.scheme.signatures_into(query, &mut sigs);
+    /// Sweeps the query's signatures through the postings into `out`:
+    /// deduplicated, sorted, unverified candidate ids. `sigs` and
+    /// `sig_scratch` are reusable working buffers.
+    fn candidates_into(
+        &self,
+        query: &[ElementId],
+        sig_scratch: &mut SigScratch,
+        sigs: &mut Vec<Signature>,
+        out: &mut Vec<SetId>,
+    ) {
+        sigs.clear();
+        self.scheme.signatures_scratch(query, sig_scratch, sigs);
         sigs.sort_unstable();
         sigs.dedup();
-        let mut out: Vec<SetId> = Vec::new();
-        for sig in sigs {
-            if let Some(ids) = self.postings.get(&sig) {
+        out.clear();
+        for sig in sigs.iter() {
+            if let Some(ids) = self.postings.get(sig) {
                 out.extend(ids.iter().copied().filter(|id| !self.deleted.contains(id)));
             }
         }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// Ids of indexed sets sharing at least one signature with `query`
+    /// (unverified candidates), deduplicated and sorted.
+    pub fn query_candidates(&self, query: &[ElementId]) -> Vec<SetId> {
+        // hotlint: allow(hot-scratch, fn): convenience wrapper — hot callers reuse buffers through query_counted_scratch.
+        let mut sigs = Vec::new();
+        let mut out = Vec::new();
+        self.candidates_into(query, &mut SigScratch::default(), &mut sigs, &mut out);
         out
     }
 
@@ -162,40 +202,61 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
     /// query, before verification). Feeds the serving layer's per-shard
     /// `candidates_probed` counter.
     pub fn query_counted(&self, query: &[ElementId]) -> (Vec<SetId>, usize) {
-        let mut sorted: Vec<ElementId> = query.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
+        // hotlint: allow(hot-scratch, fn): convenience wrapper for tests and one-shot callers — hot paths thread QueryScratch through query_counted_scratch.
+        let mut out = Vec::new();
+        let probed = self.query_counted_scratch(query, &mut QueryScratch::default(), &mut out);
+        (out, probed)
+    }
+
+    /// [`Self::query_counted`] with caller-provided buffers: clears `out`,
+    /// fills it with the matching ids, and returns the number of candidates
+    /// probed. Allocation-free once `scratch` and `out` have warmed up —
+    /// this is the serving layer's steady-state read path (verified by the
+    /// counting-allocator witness in `tests/alloc_witness.rs`).
+    pub fn query_counted_scratch(
+        &self,
+        query: &[ElementId],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<SetId>,
+    ) -> usize {
+        out.clear();
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(query);
+        scratch.sorted.sort_unstable();
+        scratch.sorted.dedup();
         let signable = match self.scheme.max_signable_len() {
-            Some(max) => sorted.len() <= max,
+            Some(max) => scratch.sorted.len() <= max,
             None => true,
         };
         if !signable {
             // The scheme cannot sign this query (it would emit no
             // signatures and silently match nothing): fall back to a
             // size-bounded linear scan, which stays exact.
-            return self.scan_counted(&sorted);
+            return self.scan_into(&scratch.sorted, out);
         }
-        let candidates = self.query_candidates(&sorted);
-        let probed = candidates.len();
-        let matches = candidates
-            .into_iter()
-            .filter(|&id| {
-                self.pred
-                    .evaluate(&sorted, self.sets.set(id), self.weights.as_deref())
-            })
-            .collect();
-        (matches, probed)
+        self.candidates_into(
+            &scratch.sorted,
+            &mut scratch.sig_scratch,
+            &mut scratch.sigs,
+            &mut scratch.candidates,
+        );
+        let probed = scratch.candidates.len();
+        out.extend(scratch.candidates.iter().copied().filter(|&id| {
+            self.pred
+                .evaluate(&scratch.sorted, self.sets.set(id), self.weights.as_deref())
+        }));
+        probed
     }
 
-    /// Size-bounded linear scan over live sets: the exact fallback for
-    /// queries the scheme cannot sign. `sorted` must be canonical.
-    fn scan_counted(&self, sorted: &[ElementId]) -> (Vec<SetId>, usize) {
+    /// Size-bounded linear scan over live sets appending matches to `out`:
+    /// the exact fallback for queries the scheme cannot sign. `sorted` must
+    /// be canonical. Returns the number of sets probed.
+    fn scan_into(&self, sorted: &[ElementId], out: &mut Vec<SetId>) -> usize {
         let (lo, hi) = self
             .pred
             .size_bounds(sorted.len())
             .unwrap_or((0, usize::MAX));
         let mut probed = 0usize;
-        let mut matches: Vec<SetId> = Vec::new();
         for (id, set) in self.sets.iter() {
             if self.deleted.contains(&id) {
                 continue;
@@ -205,10 +266,10 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
             }
             probed += 1;
             if self.pred.evaluate(sorted, set, self.weights.as_deref()) {
-                matches.push(id);
+                out.push(id);
             }
         }
-        (matches, probed)
+        probed
     }
 
     /// Verified lookup, ranked: matches sorted by a caller-supplied score
@@ -378,40 +439,64 @@ impl JaccardIndex {
 
     /// Verified lookup that also reports the number of candidates probed.
     pub fn query_counted(&self, query: &[ElementId]) -> (Vec<SetId>, usize) {
+        // hotlint: allow(hot-scratch, fn): convenience wrapper for tests and one-shot callers — hot paths thread QueryScratch through query_counted_scratch.
+        let mut out = Vec::new();
+        let probed = self.query_counted_scratch(query, &mut QueryScratch::default(), &mut out);
+        (out, probed)
+    }
+
+    /// [`Self::query_counted`] with caller-provided buffers: clears `out`,
+    /// fills it with the matching stable ids (sorted), and returns the
+    /// number of candidates probed. Allocation-free once the buffers have
+    /// warmed up.
+    pub fn query_counted_scratch(
+        &self,
+        query: &[ElementId],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<SetId>,
+    ) -> usize {
         if query.len() > self.max_size {
             // The scheme cannot sign a query beyond its covered size range
             // consistently; fall back to a size-bounded linear scan (rare —
             // only until the first insert of comparable size grows coverage).
-            let mut sorted: Vec<ElementId> = query.to_vec();
-            sorted.sort_unstable();
-            sorted.dedup();
+            out.clear();
+            scratch.sorted.clear();
+            scratch.sorted.extend_from_slice(query);
+            scratch.sorted.sort_unstable();
+            scratch.sorted.dedup();
             let pred = Predicate::Jaccard { gamma: self.gamma };
-            let (lo, hi) = pred.size_bounds(sorted.len()).unwrap_or((0, usize::MAX));
+            let (lo, hi) = pred
+                .size_bounds(scratch.sorted.len())
+                .unwrap_or((0, usize::MAX));
             let mut probed = 0usize;
-            let mut matches: Vec<SetId> = Vec::new();
             for id in 0..crate::cast::set_id(self.inner.sets.len()) {
                 if self.inner.deleted.contains(&id) {
                     continue;
                 }
-                let len = self.inner.sets.set_len(id);
+                let len = self.inner.sets.len_of(id);
                 if len < lo || len > hi {
                     continue;
                 }
                 probed += 1;
-                if pred.evaluate(&sorted, self.inner.sets.set(id), None) {
-                    matches.push(self.externals[id as usize]);
+                if pred.evaluate(&scratch.sorted, self.inner.sets.set(id), None) {
+                    out.push(self.externals[id as usize]);
                 }
             }
-            matches.sort_unstable();
-            return (matches, probed);
+            out.sort_unstable();
+            return probed;
         }
-        let (inner_matches, probed) = self.inner.query_counted(query);
-        let mut matches: Vec<SetId> = inner_matches
-            .into_iter()
-            .map(|id| self.externals[id as usize])
-            .collect();
-        matches.sort_unstable();
-        (matches, probed)
+        // `scratch.inner_matches` is taken out so `scratch` can be handed to
+        // the inner index; restored below (no allocation, keeps the buffer
+        // warm across queries).
+        let mut inner_matches = std::mem::take(&mut scratch.inner_matches);
+        let probed = self
+            .inner
+            .query_counted_scratch(query, scratch, &mut inner_matches);
+        out.clear();
+        out.extend(inner_matches.iter().map(|&id| self.externals[id as usize]));
+        out.sort_unstable();
+        scratch.inner_matches = inner_matches;
+        probed
     }
 
     /// Streaming dedup: query then insert.

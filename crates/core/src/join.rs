@@ -108,9 +108,10 @@ fn generate_signatures(
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
         let mut buf = Vec::new();
+        let mut scratch = crate::signature::SigScratch::default();
         for (_, set) in collection.iter() {
             buf.clear();
-            scheme.signatures_into(set, &mut buf);
+            scheme.signatures_scratch(set, &mut scratch, &mut buf);
             buf.sort_unstable();
             buf.dedup();
             sigs.extend_from_slice(&buf);
@@ -130,9 +131,14 @@ fn generate_signatures(
                     // Per-set signature counts within this chunk.
                     let mut counts = Vec::with_capacity(hi.saturating_sub(lo));
                     let mut buf = Vec::new();
+                    let mut scratch = crate::signature::SigScratch::default();
                     for id in lo..hi {
                         buf.clear();
-                        scheme.signatures_into(collection.set(crate::cast::set_id(id)), &mut buf);
+                        scheme.signatures_scratch(
+                            collection.set(crate::cast::set_id(id)),
+                            &mut scratch,
+                            &mut buf,
+                        );
                         buf.sort_unstable();
                         buf.dedup();
                         sigs.extend_from_slice(&buf);
@@ -276,38 +282,67 @@ fn decode_pair(encoded: u64) -> (SetId, SetId) {
     )
 }
 
-/// Post-filters encoded candidate pairs with the predicate.
-fn verify_pairs(
+/// Post-filters encoded candidate pairs with the predicate, writing the
+/// surviving pairs into the caller-provided `out` (cleared first).
+///
+/// The parallel path writes survivors directly into disjoint chunks of
+/// `out` and compacts them in place, so verification allocates nothing per
+/// candidate pair — workers never build intermediate result vectors (the
+/// counting-allocator witness in `tests/alloc_witness.rs` pins this for the
+/// sequential path).
+pub fn verify_pairs_into(
     pairs: &[u64],
     left: &SetCollection,
     right: &SetCollection,
     pred: Predicate,
     weights: Option<&WeightMap>,
     threads: usize,
-) -> Vec<(SetId, SetId)> {
+    out: &mut Vec<(SetId, SetId)>,
+) {
+    out.clear();
     let check = |encoded: u64| -> Option<(SetId, SetId)> {
         let (a, b) = decode_pair(encoded);
         pred.evaluate(left.set(a), right.set(b), weights)
             .then_some((a, b))
     };
     if threads <= 1 || pairs.len() < 4096 {
-        return pairs.iter().filter_map(|&p| check(p)).collect();
+        out.extend(pairs.iter().filter_map(|&p| check(p)));
+        return;
     }
+    // Each worker compacts its chunk's survivors into the chunk's prefix of
+    // `out`; the single-threaded pass below packs the prefixes together.
     let chunk = pairs.len().div_ceil(threads);
+    out.resize(pairs.len(), (0, 0));
     let check = &check;
-    std::thread::scope(|scope| {
+    let counts: Vec<usize> = std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || slice.iter().filter_map(|&p| check(p)).collect::<Vec<_>>())
+            .zip(out.chunks_mut(chunk))
+            .map(|(src, dst)| {
+                scope.spawn(move || {
+                    let mut kept = 0;
+                    for &p in src {
+                        if let Some(pair) = check(p) {
+                            dst[kept] = pair;
+                            kept += 1;
+                        }
+                    }
+                    kept
+                })
             })
+            // hotlint: allow(hot-alloc): one handle per worker thread — bounded by the thread count, not the candidate count.
             .collect();
-        let mut out = Vec::new();
-        for h in handles {
-            out.extend(join_worker(h));
-        }
-        out
-    })
+        // hotlint: allow(hot-alloc): one count per worker thread — bounded by the thread count, not the candidate count.
+        handles.into_iter().map(join_worker).collect()
+    });
+    let mut write = counts[0];
+    let mut read_base = chunk;
+    for &kept in &counts[1..] {
+        out.copy_within(read_base..read_base + kept, write);
+        write += kept;
+        read_base += chunk;
+    }
+    out.truncate(write);
 }
 
 /// Computes a self-SSJoin of `collection` under `pred` using `scheme`
@@ -344,18 +379,20 @@ pub fn self_join(
     }
 
     let t2 = Instant::now();
-    let pairs = if opts.verify {
-        verify_pairs(
+    let mut pairs = Vec::new();
+    if opts.verify {
+        verify_pairs_into(
             &encoded,
             collection,
             collection,
             pred,
             weights,
             opts.threads,
-        )
+            &mut pairs,
+        );
     } else {
-        encoded.iter().map(|&p| decode_pair(p)).collect()
-    };
+        pairs.extend(encoded.iter().map(|&p| decode_pair(p)));
+    }
     stats.output_pairs = pairs.len() as u64;
     stats.false_positives = stats.candidate_pairs - stats.output_pairs;
     stats.verify_secs = t2.elapsed().as_secs_f64();
@@ -403,11 +440,12 @@ pub fn join(
     }
 
     let t2 = Instant::now();
-    let pairs = if opts.verify {
-        verify_pairs(&encoded, r, s, pred, weights, opts.threads)
+    let mut pairs = Vec::new();
+    if opts.verify {
+        verify_pairs_into(&encoded, r, s, pred, weights, opts.threads, &mut pairs);
     } else {
-        encoded.iter().map(|&p| decode_pair(p)).collect()
-    };
+        pairs.extend(encoded.iter().map(|&p| decode_pair(p)));
+    }
     stats.output_pairs = pairs.len() as u64;
     stats.false_positives = stats.candidate_pairs - stats.output_pairs;
     stats.verify_secs = t2.elapsed().as_secs_f64();

@@ -187,6 +187,7 @@ mod active {
 
     /// Releases the entry registered under `token`.
     pub fn exit(token: u64) {
+        // hotlint: allow(hot-alloc, fn): debug-only witness bookkeeping — enter/exit are invoked only under cfg(debug_assertions) or the lock-witness feature (see sync.rs), so this trace formatting compiles out of release hot paths.
         WITNESS.with(|cell| {
             let mut w = cell.borrow_mut();
             if let Some(at) = w.held.iter().rposition(|h| h.token == token) {

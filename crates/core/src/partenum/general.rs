@@ -163,8 +163,17 @@ impl GeneralPartEnum {
 
 impl SignatureScheme for GeneralPartEnum {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         match &self.structure {
-            Structure::Single(instance) => instance.signatures_into(set, out),
+            Structure::Single(instance) => instance.signatures_scratch(set, scratch, out),
             Structure::Intervals {
                 intervals,
                 instances,
@@ -184,10 +193,10 @@ impl SignatureScheme for GeneralPartEnum {
                     return;
                 };
                 if let Some(pe) = instances.get(i - 1) {
-                    pe.signatures_into(set, out);
+                    pe.signatures_scratch(set, scratch, out);
                 }
                 if let Some(pe) = instances.get(i) {
-                    pe.signatures_into(set, out);
+                    pe.signatures_scratch(set, scratch, out);
                 }
             }
         }

@@ -113,23 +113,49 @@ impl PartEnumHamming {
     /// elements into `(element, copy)` items (Section 7's reduction) without
     /// squeezing them through the 32-bit element space.
     pub fn signatures_for_items(&self, items: &[u64], out: &mut Vec<Signature>) {
+        // hotlint: allow(hot-scratch, fn): convenience wrapper — hot callers reuse buffers through signatures_for_items_scratch.
+        let mut assignments = Vec::new();
+        self.signatures_for_items_scratch(items, &mut assignments, out);
+    }
+
+    /// [`Self::signatures_for_items`] with a caller-provided assignment
+    /// buffer, for hot paths that sign many sets.
+    ///
+    /// Items are assigned `(first level, item, second level)` and sorted;
+    /// because items arrive strictly ascending and the sort key leads with
+    /// `(first level, item)`, each first-level group keeps the historical
+    /// per-group item order, so emitted signatures are bit-identical to
+    /// the nested-buckets formulation this replaces.
+    pub fn signatures_for_items_scratch(
+        &self,
+        items: &[u64],
+        assignments: &mut Vec<(u32, u64, u32)>,
+        out: &mut Vec<Signature>,
+    ) {
         debug_assert!(
             items.windows(2).all(|w| w[0] < w[1]),
             "items must be strictly sorted"
         );
         let n1 = self.params.n1;
-        let mut groups: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n1];
+        assignments.clear();
         for &e in items {
             let (i, j) = self.partition_of(e);
-            groups[i].push((crate::cast::u32_of(j), e));
+            assignments.push((crate::cast::u32_of(i), e, crate::cast::u32_of(j)));
         }
+        assignments.sort_unstable();
         out.reserve(self.signatures_per_vector());
-        for (i, group) in groups.iter().enumerate() {
+        let mut next = 0usize;
+        for i in 0..n1 {
+            let start = next;
+            while next < assignments.len() && assignments[next].0 as usize == i {
+                next += 1;
+            }
+            let group = &assignments[start..next];
             for &mask in &self.subset_masks {
                 let mut sig = SigBuilder::new(self.tag);
                 sig.push(i as u64);
                 sig.push(mask as u64);
-                for &(j, e) in group {
+                for &(_, e, j) in group {
                     if mask & (1 << j) != 0 {
                         sig.push(e);
                     }
@@ -142,10 +168,20 @@ impl PartEnumHamming {
 
 impl SignatureScheme for PartEnumHamming {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         // Widen to u64 items; same hashes as the historical u32 path
         // (`Mix64::hash_u32` forwards to `hash_u64`).
-        let items: Vec<u64> = set.iter().map(|&e| e as u64).collect();
-        self.signatures_for_items(&items, out);
+        scratch.items.clear();
+        scratch.items.extend(set.iter().map(|&e| e as u64));
+        self.signatures_for_items_scratch(&scratch.items, &mut scratch.assignments, out);
     }
 
     fn name(&self) -> &'static str {

@@ -108,6 +108,15 @@ impl PartEnumJaccard {
 
 impl SignatureScheme for PartEnumJaccard {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         if set.is_empty() {
             // Js(∅, ∅) = 1 ≥ γ: all empty sets must share a signature, and
             // Js(∅, s) = 0 < γ for non-empty s, so a constant sentinel
@@ -129,10 +138,10 @@ impl SignatureScheme for PartEnumJaccard {
         // Figure 6: emit PE[i] and PE[i+1] signatures, tagged by instance
         // (the tag is baked into each instance's SigBuilder).
         if let Some(pe) = self.instance(i) {
-            pe.signatures_into(set, out);
+            pe.signatures_scratch(set, scratch, out);
         }
         if let Some(pe) = self.instance(i + 1) {
-            pe.signatures_into(set, out);
+            pe.signatures_scratch(set, scratch, out);
         }
     }
 

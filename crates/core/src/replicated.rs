@@ -135,9 +135,19 @@ impl ReplicatedPartEnumJaccard {
 
 impl SignatureScheme for ReplicatedPartEnumJaccard {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         // Replicate: element e becomes items (e, 0), ..., (e, copies−1),
         // hashed into the u64 item space.
-        let mut items: Vec<u64> = Vec::with_capacity(set.len() * 2);
+        let items = &mut scratch.items;
+        items.clear();
         for &e in set {
             for c in 0..self.copies(e) {
                 items.push(mix64(((e as u64) << 24) ^ c ^ 0x5e11_1ca7_ed00));
@@ -161,10 +171,10 @@ impl SignatureScheme for ReplicatedPartEnumJaccard {
             .interval_of(size)
             .unwrap_or(self.intervals.count());
         if let Some(pe) = self.instances.get(i - 1) {
-            pe.signatures_for_items(&items, out);
+            pe.signatures_for_items_scratch(items, &mut scratch.assignments, out);
         }
         if let Some(pe) = self.instances.get(i) {
-            pe.signatures_for_items(&items, out);
+            pe.signatures_for_items_scratch(items, &mut scratch.assignments, out);
         }
     }
 

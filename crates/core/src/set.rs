@@ -112,7 +112,7 @@ impl SetCollection {
 
     /// Size of set `id`.
     #[inline]
-    pub fn set_len(&self, id: SetId) -> usize {
+    pub fn len_of(&self, id: SetId) -> usize {
         (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
     }
 
@@ -130,7 +130,7 @@ impl SetCollection {
     /// Largest set size, or 0 if empty.
     pub fn max_set_len(&self) -> usize {
         (0..crate::cast::set_id(self.len()))
-            .map(|id| self.set_len(id))
+            .map(|id| self.len_of(id))
             .max()
             .unwrap_or(0)
     }
@@ -267,7 +267,7 @@ mod tests {
         let mut c = SetCollection::new();
         let id = c.push(vec![5, 1, 3, 1, 5]);
         assert_eq!(c.set(id), &[1, 3, 5]);
-        assert_eq!(c.set_len(id), 3);
+        assert_eq!(c.len_of(id), 3);
     }
 
     #[test]

@@ -8,12 +8,44 @@
 //! shared by every scheme, exactly as the paper argues the engineering
 //! details are "orthogonal to the high-level outline".
 
+use crate::hash::FxHashSet;
 use crate::set::ElementId;
 
 /// A 64-bit signature hash. The paper hashes signatures to small integers
 /// (Section 4.2); hash collisions only add false-positive candidates, never
 /// lose output pairs, so exactness is preserved.
 pub type Signature = u64;
+
+/// Reusable buffers for a scheme's *internal* signature-generation
+/// temporaries (DESIGN.md §5g).
+///
+/// `signatures_into`'s `out` parameter already lets callers reuse the
+/// output buffer, but the PartEnum family and WtEnum also need working
+/// storage — widened items, partition assignments, weighted items, suffix
+/// sums, a dedup set. Signature generation runs once per set inside the
+/// join driver's loop and once per request on the serve path, so those
+/// temporaries dominate steady-state allocation if rebuilt per call.
+/// Callers on hot paths hold one `SigScratch` per worker and thread it
+/// through [`SignatureScheme::signatures_scratch`]; construction is
+/// allocation-free (buffers grow on first use and are then reused).
+///
+/// The fields are deliberately scheme-agnostic and public to schemes in
+/// this crate only; external schemes that need no scratch simply ignore
+/// it via the default [`SignatureScheme::signatures_scratch`].
+#[derive(Debug, Default)]
+pub struct SigScratch {
+    /// Widened / replicated 64-bit items (hamming + replicated PartEnum).
+    pub(crate) items: Vec<u64>,
+    /// Partition assignments `(first level, item, second level)`, sorted to
+    /// group items per first-level partition (hamming PartEnum).
+    pub(crate) assignments: Vec<(u32, u64, u32)>,
+    /// `(weight, element)` items, heaviest first (WtEnum).
+    pub(crate) weighted: Vec<(f64, ElementId)>,
+    /// Suffix weight sums over `weighted` (WtEnum).
+    pub(crate) suffix: Vec<f64>,
+    /// Signature dedup set (WtEnum's subset enumeration).
+    pub(crate) seen: FxHashSet<Signature>,
+}
 
 /// A signature scheme: `Sign(·)` of Figure 2.
 ///
@@ -33,8 +65,24 @@ pub trait SignatureScheme: Send + Sync {
     /// per-set where it matters) but schemes should avoid emitting them.
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>);
 
+    /// Like [`Self::signatures_into`], threading caller-provided scratch
+    /// for the scheme's internal temporaries. Hot callers (the join
+    /// driver, the incremental index, the serving layer) hold one
+    /// [`SigScratch`] per worker and call this; the default ignores the
+    /// scratch for schemes that allocate nothing internally.
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
+        let _ = scratch;
+        self.signatures_into(set, out);
+    }
+
     /// Convenience wrapper returning a fresh vector.
     fn signatures(&self, set: &[ElementId]) -> Vec<Signature> {
+        // hotlint: allow(hot-scratch, fn): convenience wrapper for tests and one-shot callers — hot paths thread SigScratch through signatures_scratch.
         let mut out = Vec::new();
         self.signatures_into(set, &mut out);
         out
@@ -69,6 +117,14 @@ impl<T: SignatureScheme + ?Sized> SignatureScheme for &T {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
         (**self).signatures_into(set, out)
     }
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
+        (**self).signatures_scratch(set, scratch, out)
+    }
     fn is_approximate(&self) -> bool {
         (**self).is_approximate()
     }
@@ -83,6 +139,14 @@ impl<T: SignatureScheme + ?Sized> SignatureScheme for &T {
 impl<T: SignatureScheme + ?Sized> SignatureScheme for Box<T> {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
         (**self).signatures_into(set, out)
+    }
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
+        (**self).signatures_scratch(set, scratch, out)
     }
     fn is_approximate(&self) -> bool {
         (**self).is_approximate()

@@ -107,12 +107,12 @@ impl WtEnum {
 struct Enumerator<'a> {
     /// `(weight, element)` sorted by descending weight (ties: ascending id),
     /// restricted to positive weights.
-    items: Vec<(f64, ElementId)>,
+    items: &'a [(f64, ElementId)],
     /// `suffix[i]` = total weight of `items[i..]`.
-    suffix: Vec<f64>,
+    suffix: &'a [f64],
     t: f64,
     th: f64,
-    seen: FxHashSet<Signature>,
+    seen: &'a mut FxHashSet<Signature>,
     out: &'a mut Vec<Signature>,
     nodes: usize,
 }
@@ -164,6 +164,15 @@ impl Enumerator<'_> {
 
 impl SignatureScheme for WtEnum {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         if self.t <= 0.0 {
             // Degenerate threshold: everything joins everything; a single
             // constant signature is correct (if useless for filtering).
@@ -172,29 +181,38 @@ impl SignatureScheme for WtEnum {
             out.push(sig.finish());
             return;
         }
-        let mut items: Vec<(f64, ElementId)> = set
-            .iter()
-            .map(|&e| (self.weights.weight(e), e))
-            .filter(|&(w, _)| w > 0.0)
-            .collect();
+        scratch.weighted.clear();
+        scratch.weighted.extend(
+            set.iter()
+                .map(|&e| (self.weights.weight(e), e))
+                .filter(|&(w, _)| w > 0.0),
+        );
         // Descending weight; ties broken by element id so every set orders a
         // shared subset identically (the consistency Figure 8 relies on).
-        items.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut suffix = vec![0.0; items.len() + 1];
-        for i in (0..items.len()).rev() {
-            suffix[i] = suffix[i + 1] + items[i].0;
+        // Unstable sort: element ids are distinct after canonicalization, so
+        // the comparator is a total order — and it keeps the hot path free of
+        // the stable sort's temporary buffer.
+        scratch
+            .weighted
+            .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let n = scratch.weighted.len();
+        scratch.suffix.clear();
+        scratch.suffix.resize(n + 1, 0.0);
+        for i in (0..n).rev() {
+            scratch.suffix[i] = scratch.suffix[i + 1] + scratch.weighted[i].0;
         }
-        if suffix[0] < self.t {
+        if scratch.suffix[0] < self.t {
             // w(s) < T: s can join nothing; no signatures (Figure 8 line 2
             // enumerates no subsets).
             return;
         }
+        scratch.seen.clear();
         let mut enumerator = Enumerator {
-            items,
-            suffix,
+            items: &scratch.weighted,
+            suffix: &scratch.suffix,
             t: self.t,
             th: self.th,
-            seen: FxHashSet::default(),
+            seen: &mut scratch.seen,
             out,
             nodes: 0,
         };
@@ -280,6 +298,15 @@ impl WtEnumJaccard {
 
 impl SignatureScheme for WtEnumJaccard {
     fn signatures_into(&self, set: &[ElementId], out: &mut Vec<Signature>) {
+        self.signatures_scratch(set, &mut crate::signature::SigScratch::default(), out);
+    }
+
+    fn signatures_scratch(
+        &self,
+        set: &[ElementId],
+        scratch: &mut crate::signature::SigScratch,
+        out: &mut Vec<Signature>,
+    ) {
         let w = self.weights.set_weight(set);
         if w <= 0.0 {
             // Zero-weight sets are all weighted-jaccard 1 with each other.
@@ -290,10 +317,10 @@ impl SignatureScheme for WtEnumJaccard {
         }
         let j = self.interval_of(w);
         if let Some(inst) = self.instances.get(j - 1) {
-            inst.signatures_into(set, out);
+            inst.signatures_scratch(set, scratch, out);
         }
         if let Some(inst) = self.instances.get(j) {
-            inst.signatures_into(set, out);
+            inst.signatures_scratch(set, scratch, out);
         }
     }
 

@@ -21,12 +21,12 @@ proptest! {
             expected.sort_unstable();
             expected.dedup();
             prop_assert_eq!(collection.set(i as u32), expected.as_slice());
-            prop_assert_eq!(collection.set_len(i as u32), expected.len());
+            prop_assert_eq!(collection.len_of(i as u32), expected.len());
             total += expected.len();
         }
         prop_assert_eq!(collection.total_elements(), total);
         if !sets.is_empty() {
-            let max = (0..sets.len() as u32).map(|i| collection.set_len(i)).max();
+            let max = (0..sets.len() as u32).map(|i| collection.len_of(i)).max();
             prop_assert_eq!(Some(collection.max_set_len()), max);
         }
     }

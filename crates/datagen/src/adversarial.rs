@@ -219,7 +219,7 @@ mod tests {
             let w = generate_adversarial(seed);
             saw_empty |= w.sets.iter().any(Vec::is_empty);
             let c = w.collection();
-            saw_singleton |= (0..c.len()).any(|i| c.set_len(i as u32) == 1);
+            saw_singleton |= (0..c.len()).any(|i| c.len_of(i as u32) == 1);
             for a in 0..c.len() {
                 for b in a + 1..c.len() {
                     if c.set(a as u32) == c.set(b as u32) {
@@ -247,7 +247,7 @@ mod tests {
             let c = w.collection();
             let iv = SizeIntervals::new(w.gamma, w.max_set_len());
             for i in 0..c.len() {
-                let len = c.set_len(i as u32);
+                let len = c.len_of(i as u32);
                 if len == 0 || !iv.covers(len) {
                     continue;
                 }

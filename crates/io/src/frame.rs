@@ -45,28 +45,38 @@ pub enum Frame {
     },
 }
 
+/// Encodes `value` as LEB128 into a stack buffer; returns the buffer and
+/// the encoded length (≤ 10). Lets frame writing avoid a per-frame heap
+/// allocation for the handful of length bytes.
+fn varint_to_stack(value: u64) -> ([u8; 10], usize) {
+    let mut buf = [0u8; 10];
+    let mut cursor = &mut buf[..];
+    // Writing to a fixed 10-byte slice cannot fail (10 bytes hold any u64
+    // varint); fall back to the maximum length rather than panic in a
+    // library crate.
+    let used = match write_varint(&mut cursor, value) {
+        Ok(()) => 10 - cursor.len(),
+        Err(_) => 10,
+    };
+    (buf, used)
+}
+
 /// Appends one frame to `out`; returns the bytes written.
 pub fn write_frame(out: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
-    let mut len_bytes = Vec::with_capacity(5);
-    write_varint(&mut len_bytes, payload.len() as u64)?;
+    let (len_buf, len_len) = varint_to_stack(payload.len() as u64);
+    let len_bytes = &len_buf[..len_len];
     let mut crc = Crc32::new();
-    crc.update(&len_bytes);
+    crc.update(len_bytes);
     crc.update(payload);
-    out.write_all(&len_bytes)?;
+    out.write_all(len_bytes)?;
     out.write_all(payload)?;
     out.write_all(&crc.finish().to_le_bytes())?;
-    Ok(len_bytes.len() + payload.len() + 4)
+    Ok(len_len + payload.len() + 4)
 }
 
 /// The encoded size of a frame carrying `payload_len` bytes.
 pub fn frame_size(payload_len: usize) -> usize {
-    let mut len_bytes = Vec::with_capacity(5);
-    // Writing to a Vec cannot fail; fall back to the 10-byte maximum if it
-    // somehow does rather than panic in a library crate.
-    let varint_len = match write_varint(&mut len_bytes, payload_len as u64) {
-        Ok(()) => len_bytes.len(),
-        Err(_) => 10,
-    };
+    let (_, varint_len) = varint_to_stack(payload_len as u64);
     varint_len + payload_len + 4
 }
 

@@ -8,6 +8,7 @@ use std::io::{self, Read, Write};
 
 /// Writes `value` as unsigned LEB128.
 pub fn write_varint(out: &mut impl Write, mut value: u64) -> io::Result<()> {
+    // hotlint: allow(hot-blocking, fn): generic `impl Write` sink — the hot caller (WAL record encoding) writes into an in-memory Vec<u8> or stack buffer; file and socket writes happen later, outside the hot path.
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;

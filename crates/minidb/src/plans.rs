@@ -37,7 +37,7 @@ pub fn set_table(collection: &SetCollection) -> Table {
 pub fn setlen_table(collection: &SetCollection) -> Table {
     let ids: Vec<u64> = (0..collection.len() as u64).collect();
     let lens: Vec<u64> = (0..collection.len())
-        .map(|i| collection.set_len(i as SetId) as u64)
+        .map(|i| collection.len_of(i as SetId) as u64)
         .collect();
     Table::new("SetLen", vec![("id", ids), ("len", lens)])
 }

@@ -47,9 +47,9 @@ use crate::config::ServerConfig;
 use crate::metrics::{ServerMetrics, ShardCounters, ShardCountersSnapshot, StatsSnapshot};
 use crossbeam::channel::{self, TrySendError};
 use ssj_core::error::{Result as CoreResult, SsjError};
-use ssj_core::index::{shard_of, JaccardIndex};
+use ssj_core::index::{shard_of, JaccardIndex, QueryScratch};
 use ssj_core::lockwitness::{WitnessReadGuard, WitnessRwLock, WitnessWriteGuard, SHARD_INDEX};
-use ssj_core::set::ElementId;
+use ssj_core::set::{ElementId, SetId};
 use ssj_store::{Recovered, ShardState, Store, StoreConfig, TailStatus, WalOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -188,6 +188,25 @@ pub enum WriteResult<T> {
     /// failure the write was **not** applied and the store is poisoned
     /// (every later write fails fast until restart + recovery).
     StoreFailed(String),
+}
+
+/// Reusable buffers for the serve read path (DESIGN.md §5g).
+///
+/// Each worker thread owns one `ServeScratch` and threads it through
+/// [`ShardedIndex::query_scratch`], so a steady-state query performs no
+/// heap allocation beyond the response it hands back: canonicalization,
+/// signature generation, candidate sweeping, and verification all reuse
+/// these buffers (pinned end-to-end by the counting-allocator witness in
+/// this crate's `tests/alloc_witness.rs`, and per building block by
+/// `ssj-core/tests/alloc_witness.rs`). Construction is allocation-free.
+#[derive(Debug, Default)]
+pub struct ServeScratch {
+    /// Canonicalized query elements.
+    set: Vec<ElementId>,
+    /// Per-shard index query buffers.
+    query: QueryScratch,
+    /// One shard's matches awaiting global-id encoding.
+    matches: Vec<SetId>,
 }
 
 /// The per-shard scheme seed, derived from the configured master seed so
@@ -488,28 +507,74 @@ impl ShardedIndex {
     /// matching global ids (ascending), the snapshot's sequence number,
     /// and the candidates probed.
     pub fn query(&self, elems: Vec<ElementId>) -> (Vec<u64>, u64, u64) {
-        let set = Self::canonical(elems);
-        let guards = self.lock_all_read();
-        let seen_seq = self.seq.load(Ordering::SeqCst);
+        // hotlint: allow(hot-scratch, fn): convenience wrapper for tests and one-shot callers — the worker pool threads a per-worker ServeScratch through query_scratch.
         let mut ids = Vec::new();
-        let mut probed = 0u64;
-        for (i, (shard, guard)) in self.shards.iter().zip(&guards).enumerate() {
-            let (matches, shard_probed) = guard.query_counted(&set);
-            probed += shard_probed as u64;
-            shard.counters.queries.fetch_add(1, Ordering::Relaxed);
-            shard
-                .counters
-                .candidates_probed
-                .fetch_add(shard_probed as u64, Ordering::Relaxed);
-            shard
-                .counters
-                .verified_hits
-                .fetch_add(matches.len() as u64, Ordering::Relaxed);
-            ids.extend(matches.into_iter().map(|local| self.encode_id(local, i)));
-        }
-        drop(guards);
-        ids.sort_unstable();
+        let (seen_seq, probed) = self.query_scratch(&elems, &mut ServeScratch::default(), &mut ids);
         (ids, seen_seq, probed)
+    }
+
+    /// [`Self::query`] with caller-provided buffers: clears `out`, fills it
+    /// with the matching global ids (ascending), and returns
+    /// `(seen_seq, probed)`. Allocation-free once the buffers have warmed
+    /// up — the worker pool's steady-state read path.
+    pub fn query_scratch(
+        &self,
+        elems: &[ElementId],
+        scratch: &mut ServeScratch,
+        out: &mut Vec<u64>,
+    ) -> (u64, u64) {
+        // `scratch.set` is taken out so `scratch` can be handed down the
+        // recursion; restored below (no allocation, keeps the buffer warm).
+        let mut set = std::mem::take(&mut scratch.set);
+        set.clear();
+        set.extend_from_slice(elems);
+        set.sort_unstable();
+        set.dedup();
+        out.clear();
+        let mut probed = 0u64;
+        let seen_seq = self.query_rec(0, &set, scratch, out, &mut probed);
+        out.sort_unstable();
+        scratch.set = set;
+        (seen_seq, probed)
+    }
+
+    /// Recursive whole-index read acquisition: frame `i` read-locks shard
+    /// `i`, recurses to `i + 1`, and queries shard `i` on unwind while its
+    /// guard is still held. The deepest frame loads `seq` with **all**
+    /// guards held, and every guard is acquired before that load and
+    /// released only after its shard's query — so each shard is queried in
+    /// exactly the state it had at the `seq` load, giving the same snapshot
+    /// consistency as [`ShardedIndex::lock_all_read`] without materializing
+    /// a guard vector (the read path must not allocate).
+    fn query_rec(
+        &self,
+        i: usize,
+        set: &[ElementId],
+        scratch: &mut ServeScratch,
+        out: &mut Vec<u64>,
+        probed: &mut u64,
+    ) -> u64 {
+        // locklint: allow(multi-shard-order, fn): ascending recursive acquisition — frame i read-locks shard i before recursing to i+1, so locks are taken in index order like lock_all_read's sweep; the debug-build lock witness re-checks (rank, key) monotonicity on every acquire.
+        let Some(shard) = self.shards.get(i) else {
+            return self.seq.load(Ordering::SeqCst);
+        };
+        let guard = shard.index.read();
+        let seen_seq = self.query_rec(i + 1, set, scratch, out, probed);
+        let mut matches = std::mem::take(&mut scratch.matches);
+        let shard_probed = guard.query_counted_scratch(set, &mut scratch.query, &mut matches);
+        *probed += shard_probed as u64;
+        shard.counters.queries.fetch_add(1, Ordering::Relaxed);
+        shard
+            .counters
+            .candidates_probed
+            .fetch_add(shard_probed as u64, Ordering::Relaxed);
+        shard
+            .counters
+            .verified_hits
+            .fetch_add(matches.len() as u64, Ordering::Relaxed);
+        out.extend(matches.iter().map(|&local| self.encode_id(local, i)));
+        scratch.matches = matches;
+        seen_seq
     }
 
     /// Atomically queries then inserts: the returned matches are exactly
@@ -688,7 +753,7 @@ struct Inner {
 }
 
 impl Inner {
-    fn execute(&self, req: Request) -> Response {
+    fn execute(&self, req: Request, scratch: &mut ServeScratch) -> Response {
         // Admission validation: reject sets beyond the configured size
         // bound with a clean wire error. Without this (and the index-layer
         // guards underneath), an oversized set could panic a worker — the
@@ -720,7 +785,11 @@ impl Inner {
                 WriteResult::StoreFailed(msg) => Response::Error(msg),
             },
             Request::Query { elems } => {
-                let (ids, seen_seq, probed) = self.index.query(elems);
+                // The response owns its ids, so one Vec per reply is
+                // inherent to the protocol; everything else the query
+                // touches reuses the worker's scratch.
+                let mut ids = Vec::new();
+                let (seen_seq, probed) = self.index.query_scratch(&elems, scratch, &mut ids);
                 Response::Matches {
                     ids,
                     seen_seq,
@@ -757,6 +826,9 @@ impl Inner {
 }
 
 fn worker_loop(inner: Arc<Inner>, rx: channel::Receiver<Msg>) {
+    // One scratch per worker: steady-state queries reuse these buffers
+    // instead of allocating per request (DESIGN.md §5g).
+    let mut scratch = ServeScratch::default();
     while let Ok(msg) = rx.recv() {
         let job = match msg {
             Msg::Stop => break,
@@ -774,7 +846,7 @@ fn worker_loop(inner: Arc<Inner>, rx: channel::Receiver<Msg>) {
             std::thread::sleep(inner.cfg.worker_delay);
         }
         let start = Instant::now();
-        let resp = inner.execute(job.req);
+        let resp = inner.execute(job.req, &mut scratch);
         inner.metrics.service_time.record(start.elapsed());
         // A requester that gave up is not an error; drop the response.
         let _ = job.reply.send(resp);

@@ -146,6 +146,11 @@ struct WalFile {
     appended_bytes: u64,
     durable_bytes: u64,
     last_sync: Instant,
+    /// Reused append-path encode buffers: record payload and framed bytes.
+    /// Living inside the WAL critical section, they make steady-state
+    /// appends allocation-free once warmed (DESIGN.md §5g).
+    payload_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
 }
 
 impl WalFile {
@@ -265,6 +270,8 @@ impl Store {
                     appended_bytes: valid_bytes,
                     durable_bytes: valid_bytes,
                     last_sync: Instant::now(),
+                    payload_buf: Vec::new(),
+                    frame_buf: Vec::new(),
                 },
             ),
             poisoned: AtomicBool::new(false),
@@ -311,11 +318,17 @@ impl Store {
         let seq = assign_seq();
         let record = WalRecord { seq, op };
         let result = (|| {
-            let payload = wal::encode_record(&record)?;
-            let mut framed = Vec::with_capacity(payload.len() + 9);
-            write_frame(&mut framed, &payload)?;
-            wal.file.write_all(&framed)?;
-            Ok::<u64, io::Error>(framed.len() as u64)
+            let WalFile {
+                file,
+                payload_buf,
+                frame_buf,
+                ..
+            } = &mut *wal;
+            wal::encode_record_into(&record, payload_buf)?;
+            frame_buf.clear();
+            write_frame(frame_buf, payload_buf)?;
+            file.write_all(frame_buf)?;
+            Ok::<u64, io::Error>(frame_buf.len() as u64)
         })();
         match result {
             Ok(n) => {

@@ -111,23 +111,35 @@ pub(crate) fn decode_set(input: &mut impl Read) -> io::Result<Vec<u32>> {
     Ok(set)
 }
 
-/// Encodes a record payload (to be framed by `ssj_io::frame::write_frame`).
-pub fn encode_record(record: &WalRecord) -> io::Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(16);
+/// Encodes a record payload into the caller-provided buffer (cleared
+/// first; to be framed by `ssj_io::frame::write_frame`). The append path
+/// reuses one buffer per WAL, so steady-state writes don't allocate a
+/// fresh payload vector per record.
+pub fn encode_record_into(record: &WalRecord, out: &mut Vec<u8>) -> io::Result<()> {
+    out.clear();
     match &record.op {
         WalOp::Insert { shard, set } => {
             out.push(OP_INSERT);
-            write_varint(&mut out, record.seq)?;
-            write_varint(&mut out, u64::from(*shard))?;
-            encode_set(&mut out, set)?;
+            write_varint(out, record.seq)?;
+            write_varint(out, u64::from(*shard))?;
+            encode_set(out, set)?;
         }
         WalOp::Remove { shard, local } => {
             out.push(OP_REMOVE);
-            write_varint(&mut out, record.seq)?;
-            write_varint(&mut out, u64::from(*shard))?;
-            write_varint(&mut out, u64::from(*local))?;
+            write_varint(out, record.seq)?;
+            write_varint(out, u64::from(*shard))?;
+            write_varint(out, u64::from(*local))?;
         }
     }
+    Ok(())
+}
+
+/// Encodes a record payload into a fresh vector (see
+/// [`encode_record_into`]).
+pub fn encode_record(record: &WalRecord) -> io::Result<Vec<u8>> {
+    // hotlint: allow(hot-scratch, fn): convenience wrapper for tests and one-shot callers — the append path reuses a per-WAL buffer through encode_record_into.
+    let mut out = Vec::with_capacity(16);
+    encode_record_into(record, &mut out)?;
     Ok(out)
 }
 

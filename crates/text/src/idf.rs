@@ -42,7 +42,7 @@ mod tests {
     fn collection_aligns_with_input_order() {
         let strings: Vec<String> = vec!["a b".into(), "c".into()];
         let (collection, _) = tokenize_with_idf(&strings, 0);
-        assert_eq!(collection.set_len(0), 2);
-        assert_eq!(collection.set_len(1), 1);
+        assert_eq!(collection.len_of(0), 2);
+        assert_eq!(collection.len_of(1), 1);
     }
 }

@@ -302,7 +302,7 @@ mod tests {
         let strings: Vec<String> = vec!["abc".into(), "abcd".into()];
         let c = gram_collection(&strings, 1);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.set_len(0), 3);
-        assert_eq!(c.set_len(1), 4);
+        assert_eq!(c.len_of(0), 3);
+        assert_eq!(c.len_of(1), 4);
     }
 }

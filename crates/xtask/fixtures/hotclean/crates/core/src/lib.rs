@@ -1,0 +1,33 @@
+//! Fixture: canonical hot-path discipline — hotlint must report zero
+//! findings (the deliberate sites are annotated with justifications).
+
+fn verify_pairs_into(pairs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    for &p in pairs {
+        if keep(p) {
+            out.push(p);
+        }
+    }
+}
+
+fn keep(p: u64) -> bool {
+    p % 2 == 0
+}
+
+fn query(corpus: &Corpus, scratch: &mut Scratch) -> usize {
+    // hotlint: allow(hot-scratch, fn): one bounded Vec per call — sized by the shard count, not the candidate count.
+    let mut shard_totals = Vec::new();
+    scratch.ids.clear();
+    collect_ids(corpus, &mut scratch.ids);
+    shard_totals.push(scratch.ids.len());
+    shard_totals.len()
+}
+
+fn collect_ids(corpus: &Corpus, out: &mut Vec<u64>) {
+    out.extend_from_slice(&corpus.ids);
+}
+
+fn encode_set(set: &[u32], out: &mut Vec<u8>) {
+    // hotlint: allow(hot-blocking, fn): in-memory Vec<u8> sink — file writes happen outside the hot path.
+    out.write_all(&[set.len() as u8]).unwrap();
+}

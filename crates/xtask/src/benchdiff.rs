@@ -1,0 +1,435 @@
+//! `cargo xtask benchdiff` — regression gate over the committed perf
+//! baselines (`BENCH_join.json`, `BENCH_serve.json`).
+//!
+//! The bench harnesses append one JSON line per run. `ci.sh` re-runs the
+//! quick configurations into temporary files and this pass diffs them
+//! against the committed baselines:
+//!
+//! * **Counters are deterministic** (seeded datasets, exact candidate
+//!   generation), so `signatures`, `candidates`, `f2`, `output_pairs`
+//!   and the serve preload/op counts must match the baseline *exactly* —
+//!   a drifted counter means the algorithm changed, not the machine.
+//! * **Timings vary** with the machine and load, so wall-clock numbers
+//!   (`total_secs`, `throughput`, `p99_us`) are only held to a generous
+//!   tolerance factor (default 4×), enough to catch order-of-magnitude
+//!   regressions without flaking on noise. Sub-threshold baselines are
+//!   skipped entirely.
+//! * The serve bench's `total_matches` depends on client interleaving
+//!   (queries race concurrent inserts) and is not compared.
+//!
+//! Baseline files may hold multiple appended records; the *last* record
+//! per configuration key wins, so re-running a bench locally and
+//! committing the grown file updates the baseline.
+
+use ssj_io::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Committed baseline file names (at the workspace root).
+pub const JOIN_BASELINE: &str = "BENCH_join.json";
+/// Committed serve baseline file name.
+pub const SERVE_BASELINE: &str = "BENCH_serve.json";
+
+/// Timing checks are skipped when the baseline is below this (seconds or
+/// microseconds, per metric) — too small to compare meaningfully.
+const MIN_SECS: f64 = 0.01;
+const MIN_US: f64 = 50.0;
+
+/// What to diff.
+#[derive(Debug)]
+pub struct BenchdiffConfig {
+    /// Current join_bench output (JSON lines) to compare.
+    pub current_join: Option<PathBuf>,
+    /// Current serve_bench output (JSON lines) to compare.
+    pub current_serve: Option<PathBuf>,
+    /// Timing tolerance factor (current must stay within `baseline *
+    /// factor`, throughput within `baseline / factor`).
+    pub factor: f64,
+}
+
+impl Default for BenchdiffConfig {
+    fn default() -> Self {
+        BenchdiffConfig {
+            current_join: None,
+            current_serve: None,
+            factor: 4.0,
+        }
+    }
+}
+
+/// Engine failure: unreadable or unparsable input.
+#[derive(Debug)]
+pub enum BenchdiffError {
+    /// File could not be read.
+    Io(PathBuf, std::io::Error),
+    /// A record line did not parse as the expected JSON shape.
+    Parse(PathBuf, usize, String),
+}
+
+impl fmt::Display for BenchdiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchdiffError::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            BenchdiffError::Parse(path, line, msg) => {
+                write!(f, "{}:{line}: {msg}", path.display())
+            }
+        }
+    }
+}
+
+/// Outcome of one benchdiff run.
+#[derive(Debug, Default)]
+pub struct BenchdiffReport {
+    /// Individual comparisons performed (for the summary line).
+    pub checks: usize,
+    /// Human-readable regression descriptions; empty means within band.
+    pub regressions: Vec<String>,
+    /// Non-fatal notes (skipped cells, tiny baselines).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for BenchdiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for note in &self.notes {
+            writeln!(f, "benchdiff: note: {note}")?;
+        }
+        for r in &self.regressions {
+            writeln!(f, "benchdiff: REGRESSION: {r}")?;
+        }
+        writeln!(
+            f,
+            "benchdiff: {} check(s), {} regression(s)",
+            self.checks,
+            self.regressions.len()
+        )
+    }
+}
+
+/// Runs the diff of the configured current files against the committed
+/// baselines at `root`.
+pub fn run_benchdiff(
+    root: &Path,
+    config: &BenchdiffConfig,
+) -> Result<BenchdiffReport, BenchdiffError> {
+    let mut report = BenchdiffReport::default();
+    if let Some(current) = &config.current_join {
+        diff_join(
+            &root.join(JOIN_BASELINE),
+            current,
+            config.factor,
+            &mut report,
+        )?;
+    }
+    if let Some(current) = &config.current_serve {
+        diff_serve(
+            &root.join(SERVE_BASELINE),
+            current,
+            config.factor,
+            &mut report,
+        )?;
+    }
+    Ok(report)
+}
+
+/// One parsed JSON-line record.
+type Record = BTreeMap<String, Value>;
+
+/// Reads a JSON-lines file into the last record per key.
+fn records_by_key(
+    path: &Path,
+    key_of: impl Fn(&Record) -> Result<String, String>,
+) -> Result<BTreeMap<String, Record>, BenchdiffError> {
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| BenchdiffError::Io(path.to_path_buf(), e))?;
+    let mut out = BTreeMap::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value =
+            json::parse(line).map_err(|e| BenchdiffError::Parse(path.to_path_buf(), idx + 1, e))?;
+        let record = value
+            .as_object()
+            .map_err(|e| BenchdiffError::Parse(path.to_path_buf(), idx + 1, e))?
+            .clone();
+        let key =
+            key_of(&record).map_err(|e| BenchdiffError::Parse(path.to_path_buf(), idx + 1, e))?;
+        out.insert(key, record);
+    }
+    Ok(out)
+}
+
+fn field<'a>(record: &'a Record, name: &str) -> Result<&'a Value, String> {
+    record.get(name).ok_or_else(|| format!("missing `{name}`"))
+}
+
+fn num(record: &Record, name: &str) -> Result<f64, String> {
+    field(record, name)?.as_f64()
+}
+
+fn count(record: &Record, name: &str) -> Result<u64, String> {
+    field(record, name)?.as_u64()
+}
+
+/// Join records are keyed by everything that determines the counters.
+fn join_key(record: &Record) -> Result<String, String> {
+    Ok(format!(
+        "{} algo={} gamma={} n={} threads={} seed={}",
+        field(record, "dataset")?.as_str()?,
+        field(record, "algo")?.as_str()?,
+        num(record, "gamma")?,
+        count(record, "input_size")?,
+        count(record, "threads")?,
+        count(record, "seed")?,
+    ))
+}
+
+/// Serve records are keyed by the full benchmark configuration.
+fn serve_key(record: &Record) -> Result<String, String> {
+    let cfg = field(record, "config")?.as_object()?;
+    let get = |name: &str| -> Result<f64, String> {
+        cfg.get(name)
+            .ok_or_else(|| format!("missing config.{name}"))?
+            .as_f64()
+    };
+    Ok(format!(
+        "sets={} clients={} ops={} shards={} gamma={} qf={} seed={}",
+        get("sets")?,
+        get("clients")?,
+        get("ops_per_client")?,
+        get("shards")?,
+        get("gamma")?,
+        get("query_fraction")?,
+        get("seed")?,
+    ))
+}
+
+fn diff_join(
+    baseline_path: &Path,
+    current_path: &Path,
+    factor: f64,
+    report: &mut BenchdiffReport,
+) -> Result<(), BenchdiffError> {
+    let baseline = records_by_key(baseline_path, join_key)?;
+    let current = records_by_key(current_path, join_key)?;
+    if baseline.is_empty() {
+        report
+            .regressions
+            .push(format!("{}: no baseline records", baseline_path.display()));
+        return Ok(());
+    }
+    for (key, base) in &baseline {
+        report.checks += 1;
+        let Some(cur) = current.get(key) else {
+            report
+                .regressions
+                .push(format!("join [{key}]: cell missing from current run"));
+            continue;
+        };
+        for name in ["signatures", "candidates", "f2", "output_pairs"] {
+            match (count(base, name), count(cur, name)) {
+                (Ok(b), Ok(c)) if b == c => {}
+                (Ok(b), Ok(c)) => report.regressions.push(format!(
+                    "join [{key}]: counter `{name}` drifted: baseline {b}, current {c} \
+                     (counters are seeded-deterministic — the algorithm changed)"
+                )),
+                (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("join [{key}]: {e}")),
+            }
+        }
+        timing_band(
+            &format!("join [{key}] total_secs"),
+            num(base, "total_secs"),
+            num(cur, "total_secs"),
+            factor,
+            MIN_SECS,
+            report,
+        );
+    }
+    Ok(())
+}
+
+fn diff_serve(
+    baseline_path: &Path,
+    current_path: &Path,
+    factor: f64,
+    report: &mut BenchdiffReport,
+) -> Result<(), BenchdiffError> {
+    let baseline = records_by_key(baseline_path, serve_key)?;
+    let current = records_by_key(current_path, serve_key)?;
+    if baseline.is_empty() {
+        report
+            .regressions
+            .push(format!("{}: no baseline records", baseline_path.display()));
+        return Ok(());
+    }
+    for (key, base) in &baseline {
+        report.checks += 1;
+        let Some(cur) = current.get(key) else {
+            report
+                .regressions
+                .push(format!("serve [{key}]: cell missing from current run"));
+            continue;
+        };
+        // Deterministic counts: every preloaded set and measured op must
+        // still happen.
+        for counter in ["preload_sets", "measured_ops"] {
+            match (count(base, counter), count(cur, counter)) {
+                (Ok(b), Ok(c)) if b == c => {}
+                (Ok(b), Ok(c)) => report.regressions.push(format!(
+                    "serve [{key}]: `{counter}` drifted: baseline {b}, current {c}"
+                )),
+                (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("serve [{key}]: {e}")),
+            }
+        }
+        // Throughput: lower is worse; compare against baseline / factor.
+        match (num(base, "throughput"), num(cur, "throughput")) {
+            (Ok(b), Ok(c)) => {
+                if c < b / factor {
+                    report.regressions.push(format!(
+                        "serve [{key}]: throughput fell {b:.0} -> {c:.0} ops/s \
+                         (tolerance {factor}x)"
+                    ));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("serve [{key}]: {e}")),
+        }
+        // Tail latency: higher is worse.
+        let p99 = |r: &Record| -> Result<f64, String> {
+            field(r, "query_latency")?
+                .as_object()?
+                .get("p99_us")
+                .ok_or_else(|| "missing query_latency.p99_us".to_string())?
+                .as_f64()
+        };
+        timing_band(
+            &format!("serve [{key}] query p99_us"),
+            p99(base),
+            p99(cur),
+            factor,
+            MIN_US,
+            report,
+        );
+    }
+    Ok(())
+}
+
+/// Current timing must stay within `baseline * factor`; tiny baselines
+/// are noted and skipped.
+fn timing_band(
+    what: &str,
+    base: Result<f64, String>,
+    cur: Result<f64, String>,
+    factor: f64,
+    min_meaningful: f64,
+    report: &mut BenchdiffReport,
+) {
+    match (base, cur) {
+        (Ok(b), Ok(c)) => {
+            if b < min_meaningful {
+                let mut note = String::new();
+                let _ = write!(
+                    note,
+                    "{what}: baseline {b} too small to band-check; skipped"
+                );
+                report.notes.push(note);
+            } else if c > b * factor {
+                report.regressions.push(format!(
+                    "{what}: {b} -> {c} exceeds the {factor}x tolerance band"
+                ));
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("{what}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_lines(dir: &Path, name: &str, lines: &[&str]) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, lines.join("\n")).expect("fixture write");
+        path
+    }
+
+    fn join_record(candidates: u64, total_secs: f64) -> String {
+        format!(
+            "{{\"schema\":1,\"bench\":\"join\",\"dataset\":\"address\",\"algo\":\"PEN\",\
+             \"gamma\":0.8,\"input_size\":2000,\"threads\":1,\"seed\":42,\
+             \"signatures\":100,\"candidates\":{candidates},\"f2\":7,\"output_pairs\":7,\
+             \"sig_gen_secs\":0.1,\"cand_gen_secs\":0.1,\"verify_secs\":0.1,\
+             \"total_secs\":{total_secs},\"unix_secs\":0}}"
+        )
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("benchdiff-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        dir
+    }
+
+    #[test]
+    fn exact_counters_and_banded_timings() {
+        let dir = tmpdir("join");
+        write_lines(&dir, JOIN_BASELINE, &[&join_record(500, 1.0)]);
+        let current = write_lines(&dir, "current.json", &[&join_record(500, 2.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(current),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+        assert_eq!(report.checks, 1);
+
+        // Counter drift is a regression even with identical timing.
+        let drifted = write_lines(&dir, "drift.json", &[&join_record(501, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(drifted),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert!(report.regressions[0].contains("candidates"), "{report}");
+
+        // A 5x slowdown breaks the default 4x band.
+        let slow = write_lines(&dir, "slow.json", &[&join_record(500, 5.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(slow),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert!(report.regressions[0].contains("tolerance band"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_record_per_key_wins_and_missing_cells_regress() {
+        let dir = tmpdir("last");
+        write_lines(
+            &dir,
+            JOIN_BASELINE,
+            &[&join_record(111, 1.0), &join_record(500, 1.0)],
+        );
+        let ok = write_lines(&dir, "ok.json", &[&join_record(500, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(ok),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+
+        let empty = write_lines(&dir, "empty.json", &[""]);
+        let config = BenchdiffConfig {
+            current_join: Some(empty),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert!(report.regressions[0].contains("missing"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

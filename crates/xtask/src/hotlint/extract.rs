@@ -1,0 +1,339 @@
+//! Source → per-function event lists for the hotlint pass.
+//!
+//! Mirrors `locklint::extract`, on the same masked source and the shared
+//! structural machinery in [`crate::callgraph`], but scans for a
+//! different token vocabulary: heap allocations, clones, default-hasher
+//! map construction, blocking operations (locklint's registry,
+//! cross-checked), and calls for hot-property propagation.
+
+use super::{ALLOC_CHAINS, ALLOC_MACROS, ALLOC_TYPES, CALL_CUT, CLONE_CHAINS, HASHER_TYPES};
+use crate::callgraph::{
+    fn_spans, is_ident, let_binding, line_of, line_start_offsets, nested_ranges, parse_annotations,
+    FnSpan, ITER_MARKERS, KEYWORDS,
+};
+use crate::locklint::{BLOCKING_CALLS, BLOCKING_CHAINS};
+use crate::scan::{mask_non_code, strip_test_regions};
+
+pub use crate::callgraph::Annotation;
+
+/// One occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub enum HotEvent {
+    /// A heap-allocating token.
+    Alloc {
+        /// What allocated (e.g. `Vec::new`, `collect`).
+        what: String,
+        /// 1-based source line.
+        line: usize,
+        /// Inside a loop body / per-item iterator closure.
+        in_loop: bool,
+        /// `let`-bound at body top level — a per-call temporary.
+        top_let: bool,
+    },
+    /// `.clone()` / `.cloned()` / `.to_owned()`.
+    CloneCall {
+        /// The clone-flavored method used.
+        what: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// Default-hasher `HashMap`/`HashSet` construction.
+    HasherDefault {
+        /// The constructor path matched.
+        what: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A blocking operation (locklint's registry).
+    Block {
+        /// Human description (e.g. `fsync`).
+        desc: &'static str,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A call to a (possible) workspace function, for propagation.
+    Call {
+        /// Callee name as written.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// A function found in a file, with its extracted event list.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Function name as written after `fn`.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based first and last line of the body (inclusive).
+    pub body_lines: (usize, usize),
+    /// Events extracted from the body (nested fns excluded).
+    pub events: Vec<HotEvent>,
+}
+
+impl FnInfo {
+    /// Whether `line` falls inside this function (signature or body).
+    pub fn contains_line(&self, line: usize) -> bool {
+        line >= self.start_line && line <= self.body_lines.1
+    }
+}
+
+/// Extraction result for one file.
+#[derive(Debug)]
+pub struct FileExtract {
+    /// Repo-relative path.
+    pub path: String,
+    /// Functions with their event lists.
+    pub fns: Vec<FnInfo>,
+    /// Suppression annotations (from raw comment lines).
+    pub annotations: Vec<Annotation>,
+}
+
+/// Masks `raw`, finds functions, and extracts events + annotations.
+pub fn extract_file(relpath: &str, raw: &str) -> FileExtract {
+    let masked = strip_test_regions(&mask_non_code(raw));
+    let line_starts = line_start_offsets(&masked);
+    let spans = fn_spans(&masked);
+
+    let fns = spans
+        .iter()
+        .enumerate()
+        .map(|(i, span)| {
+            let nested = nested_ranges(&spans, i);
+            FnInfo {
+                name: span.name.clone(),
+                start_line: line_of(&line_starts, span.kw_pos),
+                body_lines: (
+                    line_of(&line_starts, span.body_start),
+                    line_of(&line_starts, span.body_end.saturating_sub(1)),
+                ),
+                events: scan_events(&masked, span, &nested, &line_starts),
+            }
+        })
+        .collect();
+
+    FileExtract {
+        path: relpath.to_string(),
+        fns,
+        annotations: parse_annotations(raw, "hotlint"),
+    }
+}
+
+fn scan_events(
+    masked: &str,
+    span: &FnSpan,
+    skip: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<HotEvent> {
+    let bytes = masked.as_bytes();
+    let mut events = Vec::new();
+    let mut depth = 1usize; // inside the body's `{`
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut pending_loop = false;
+    let mut stmt_start = span.body_start + 1;
+    let mut i = span.body_start + 1;
+    let end = span.body_end.saturating_sub(1);
+
+    // `in_loop` for an allocation: lexically inside a loop/closure body,
+    // or downstream of a per-item iterator adapter on the same line —
+    // except for `collect`, which is the chain's one-shot sink.
+    let in_loop_at = |pos: usize, loop_depths: &[usize], is_collect: bool| -> bool {
+        if !loop_depths.is_empty() {
+            return true;
+        }
+        if is_collect {
+            return false;
+        }
+        let line = line_of(line_starts, pos);
+        let prefix = &masked[line_starts[line - 1]..pos];
+        ITER_MARKERS.iter().any(|m| prefix.contains(m))
+    };
+
+    while i < end {
+        if let Some(&(_, skip_end)) = skip.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = skip_end;
+            stmt_start = i;
+            continue;
+        }
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                if pending_loop {
+                    loop_depths.push(depth);
+                    pending_loop = false;
+                }
+                stmt_start = i + 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                while loop_depths.last().is_some_and(|&d| d > depth) {
+                    loop_depths.pop();
+                }
+                stmt_start = i + 1;
+                i += 1;
+            }
+            b';' => {
+                stmt_start = i + 1;
+                pending_loop = false;
+                i += 1;
+            }
+            b'.' => {
+                let rest = &masked[i..end];
+                if let Some(marker) = ITER_MARKERS.iter().find(|m| rest.starts_with(**m)) {
+                    pending_loop = true;
+                    i += marker.len();
+                    continue;
+                }
+                if let Some(pat) = ALLOC_CHAINS.iter().find(|p| rest.starts_with(**p)) {
+                    let what = pat
+                        .trim_start_matches('.')
+                        .trim_end_matches(['(', ':', '<']);
+                    let is_collect = what == "collect";
+                    events.push(HotEvent::Alloc {
+                        what: what.to_string(),
+                        line: line_of(line_starts, i),
+                        in_loop: in_loop_at(i, &loop_depths, is_collect),
+                        top_let: depth == 1 && let_binding(&masked[stmt_start..i]).is_some(),
+                    });
+                    i += pat.len();
+                } else if let Some(pat) = CLONE_CHAINS.iter().find(|p| rest.starts_with(**p)) {
+                    events.push(HotEvent::CloneCall {
+                        what: pat
+                            .trim_start_matches('.')
+                            .trim_end_matches('(')
+                            .to_string(),
+                        line: line_of(line_starts, i),
+                    });
+                    i += pat.len();
+                } else if let Some(&(pat, desc)) =
+                    BLOCKING_CHAINS.iter().find(|&&(p, _)| rest.starts_with(p))
+                {
+                    events.push(HotEvent::Block {
+                        desc,
+                        line: line_of(line_starts, i),
+                    });
+                    i += pat.len();
+                } else {
+                    i += 1;
+                }
+            }
+            _ if is_ident(b) && !b.is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) => {
+                let word_start = i;
+                let mut j = i;
+                while j < end && is_ident(bytes[j]) {
+                    j += 1;
+                }
+                let word = &masked[word_start..j];
+                if word == "for" || word == "while" || word == "loop" {
+                    pending_loop = true;
+                    i = j;
+                    continue;
+                }
+                if KEYWORDS.contains(&word) {
+                    i = j;
+                    continue;
+                }
+                let line = line_of(line_starts, word_start);
+                let after = &masked[j..end];
+                // Allocating constructor paths: `Vec::new(`, `Box::new(`, …
+                if ALLOC_TYPES.contains(&word) {
+                    if let Some(suffix) = ctor_suffix(after) {
+                        events.push(HotEvent::Alloc {
+                            what: format!("{word}::{suffix}"),
+                            line,
+                            in_loop: in_loop_at(word_start, &loop_depths, false),
+                            top_let: depth == 1
+                                && let_binding(&masked[stmt_start..word_start]).is_some(),
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Default-hasher maps: `HashMap::new(`, `HashSet::default(`, …
+                // (word-boundary match, so `FxHashMap::default()` is exempt).
+                if HASHER_TYPES.contains(&word) {
+                    if let Some(suffix) = ctor_suffix(after) {
+                        events.push(HotEvent::HasherDefault {
+                            what: format!("{word}::{suffix}"),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Next non-whitespace byte decides what this ident is.
+                let mut k = j;
+                while k < end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                let next = if k < end { bytes[k] } else { 0 };
+                if next == b'!' {
+                    // Allocating macros are in scope; others are not.
+                    if ALLOC_MACROS.contains(&word) {
+                        events.push(HotEvent::Alloc {
+                            what: format!("{word}!"),
+                            line,
+                            in_loop: in_loop_at(word_start, &loop_depths, false),
+                            top_let: depth == 1
+                                && let_binding(&masked[stmt_start..word_start]).is_some(),
+                        });
+                    }
+                    i = j;
+                    continue;
+                }
+                if next != b'(' {
+                    i = j;
+                    continue;
+                }
+                let dotted = word_start > 0 && bytes[word_start - 1] == b'.';
+                if let Some(&(_, desc)) = BLOCKING_CALLS.iter().find(|&&(n, _)| n == word) {
+                    events.push(HotEvent::Block { desc, line });
+                    i = j;
+                    continue;
+                }
+                if dotted && CALL_CUT.contains(&word) {
+                    i = j;
+                    continue;
+                }
+                // Constructor-convention names never carry hotness (see
+                // `is_ctor_name`): the name-union resolver would otherwise
+                // spread the hot property from one `Foo::new(…)` call onto
+                // every workspace constructor.
+                if super::is_ctor_name(word) {
+                    i = j;
+                    continue;
+                }
+                if word.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Type constructor / enum variant, not a workspace fn.
+                    i = j;
+                    continue;
+                }
+                events.push(HotEvent::Call {
+                    name: word.to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    events
+}
+
+/// If `after` (text following a type name) is `::ctor(`, the ctor name.
+fn ctor_suffix(after: &str) -> Option<&'static str> {
+    for ctor in ["new", "with_capacity", "from", "default"] {
+        let whole = after
+            .strip_prefix("::")
+            .and_then(|r| r.strip_prefix(ctor))
+            .is_some_and(|r| r.starts_with('('));
+        if whole {
+            return Some(ctor);
+        }
+    }
+    None
+}

@@ -35,8 +35,11 @@
 //!   allowlist entries.
 
 pub mod allowlist;
+pub mod benchdiff;
+pub mod callgraph;
 pub mod crashtest;
 pub mod difftest;
+pub mod hotlint;
 pub mod locklint;
 pub mod rules;
 pub mod scan;

@@ -1,15 +1,17 @@
 //! Call-graph summaries and per-function replay for locklint.
 //!
-//! Calls are resolved by *name union*: a call to `flush` is assumed to
-//! possibly reach every workspace function named `flush`. That is
-//! deliberately conservative — no type information is available — and is
-//! what the [`super::DATA_METHODS`] registry exists to counterbalance.
+//! Calls are resolved by *name union* through the shared
+//! [`crate::callgraph::Graph`]: a call to `flush` is assumed to possibly
+//! reach every workspace function named `flush`. That is deliberately
+//! conservative — no type information is available — and is what the
+//! [`super::DATA_METHODS`] registry exists to counterbalance.
 
 use super::extract::{Event, FileExtract};
 use super::{
     BLOCKING_UNDER_LOCK, CLASSES, GUARD_LIFETIME, LOCK_ORDER, LOCK_ORDER_CYCLE, LOCK_SITES,
     MULTI_SHARD_ORDER,
 };
+use crate::callgraph::{FnKey, Graph};
 use crate::Violation;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,18 +40,30 @@ struct Held {
     depth: usize,
 }
 
+/// Builds the shared name-union graph from locklint's event lists.
+fn build_graph(files: &[FileExtract]) -> Graph {
+    Graph::build(files.iter().enumerate().flat_map(|(fi, file)| {
+        file.fns.iter().enumerate().map(move |(gi, f)| {
+            let callees = f
+                .events
+                .iter()
+                .filter_map(|ev| match ev {
+                    Event::Call { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            ((fi, gi), f.name.clone(), callees)
+        })
+    }))
+}
+
 /// Runs summaries + replay over all extracted files.
 pub fn analyze(files: &[FileExtract]) -> Outcome {
-    // Name → every (file, fn) with that name, for union resolution.
-    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        for (gi, f) in file.fns.iter().enumerate() {
-            by_name.entry(&f.name).or_default().push((fi, gi));
-        }
-    }
+    let graph = build_graph(files);
 
-    // Fixpoint propagation of may_acquire / may_block.
-    let mut summaries: BTreeMap<(usize, usize), Summary> = BTreeMap::new();
+    // Seed summaries from each function's direct events, then propagate
+    // may_acquire / may_block to a fixpoint over the call graph.
+    let mut summaries: BTreeMap<FnKey, Summary> = BTreeMap::new();
     for (fi, file) in files.iter().enumerate() {
         for (gi, f) in file.fns.iter().enumerate() {
             let mut s = Summary::default();
@@ -65,38 +79,10 @@ pub fn analyze(files: &[FileExtract]) -> Outcome {
             summaries.insert((fi, gi), s);
         }
     }
-    loop {
-        let mut changed = false;
-        for (fi, file) in files.iter().enumerate() {
-            for (gi, f) in file.fns.iter().enumerate() {
-                let mut s = match summaries.get(&(fi, gi)) {
-                    Some(s) => s.clone(),
-                    None => continue,
-                };
-                for ev in &f.events {
-                    let Event::Call { name, .. } = ev else {
-                        continue;
-                    };
-                    for target in by_name.get(name.as_str()).map_or(&[][..], |v| v) {
-                        if *target == (fi, gi) {
-                            continue;
-                        }
-                        if let Some(t) = summaries.get(target) {
-                            s.may_block |= t.may_block;
-                            s.may_acquire.extend(t.may_acquire.iter().copied());
-                        }
-                    }
-                }
-                if summaries.get(&(fi, gi)) != Some(&s) {
-                    summaries.insert((fi, gi), s);
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    graph.fixpoint(&mut summaries, |s, t| {
+        s.may_block |= t.may_block;
+        s.may_acquire.extend(t.may_acquire.iter().copied());
+    });
 
     // Replay each function against the summaries.
     let mut findings = Vec::new();
@@ -180,7 +166,7 @@ pub fn analyze(files: &[FileExtract]) -> Outcome {
                         }
                         let mut may_block = false;
                         let mut may_acquire = BTreeSet::new();
-                        for target in by_name.get(name.as_str()).map_or(&[][..], |v| v) {
+                        for target in graph.resolve(name) {
                             if let Some(t) = summaries.get(target) {
                                 may_block |= t.may_block;
                                 may_acquire.extend(t.may_acquire.iter().copied());

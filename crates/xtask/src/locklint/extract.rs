@@ -6,9 +6,20 @@
 //! and line numbers computed here are valid against the raw file too;
 //! annotations are the one thing parsed from the *raw* lines, because
 //! they live in comments.
+//!
+//! The structural machinery (function spans, line mapping, annotation
+//! syntax, call-graph types) is shared with `hotlint` and lives in
+//! [`crate::callgraph`]; this module owns only the lock-specific event
+//! model and its token scan.
 
 use super::{SiteKind, BLOCKING_CALLS, BLOCKING_CHAINS, DATA_METHODS, LOCK_SITES};
+use crate::callgraph::{
+    fn_spans, is_ident, let_binding, line_of, line_start_offsets, nested_ranges, parse_annotations,
+    single_ident_arg, FnSpan, ITER_MARKERS, KEYWORDS,
+};
 use crate::scan::{mask_non_code, strip_test_regions};
+
+pub use crate::callgraph::Annotation;
 
 /// One ordered occurrence inside a function body.
 #[derive(Debug, Clone)]
@@ -78,19 +89,6 @@ impl FnInfo {
     }
 }
 
-/// A `// locklint: allow(…)` suppression found in the raw source.
-#[derive(Debug)]
-pub struct Annotation {
-    /// Rule name inside `allow(…)`.
-    pub rule: String,
-    /// `allow(<rule>, fn)` — covers the whole enclosing function.
-    pub fn_level: bool,
-    /// 1-based line of the annotation comment.
-    pub line: usize,
-    /// Justification text after `):`, trimmed.
-    pub reason: String,
-}
-
 /// Extraction result for one file.
 #[derive(Debug)]
 pub struct FileExtract {
@@ -114,14 +112,7 @@ pub fn extract_file(relpath: &str, raw: &str) -> FileExtract {
         .map(|(i, span)| {
             // Skip nested fn bodies: they are extracted as their own
             // functions and resolved through the call graph.
-            let nested: Vec<(usize, usize)> = spans
-                .iter()
-                .enumerate()
-                .filter(|&(j, s)| {
-                    j != i && s.kw_pos > span.body_start && s.body_end <= span.body_end
-                })
-                .map(|(_, s)| (s.kw_pos, s.body_end))
-                .collect();
+            let nested = nested_ranges(&spans, i);
             FnInfo {
                 name: span.name.clone(),
                 start_line: line_of(&line_starts, span.kw_pos),
@@ -137,125 +128,9 @@ pub fn extract_file(relpath: &str, raw: &str) -> FileExtract {
     FileExtract {
         path: relpath.to_string(),
         fns,
-        annotations: parse_annotations(raw),
+        annotations: parse_annotations(raw, "locklint"),
     }
 }
-
-/// Byte span of one `fn` in masked source.
-struct FnSpan {
-    name: String,
-    /// Offset of the `fn` keyword.
-    kw_pos: usize,
-    /// Offset of the body's `{`.
-    body_start: usize,
-    /// Offset one past the body's `}`.
-    body_end: usize,
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn line_start_offsets(text: &str) -> Vec<usize> {
-    let mut starts = vec![0];
-    for (i, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-/// 1-based line containing byte offset `pos`.
-fn line_of(starts: &[usize], pos: usize) -> usize {
-    starts.partition_point(|&s| s <= pos)
-}
-
-fn fn_spans(masked: &str) -> Vec<FnSpan> {
-    let bytes = masked.as_bytes();
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let boundary_before = i == 0 || !is_ident(bytes[i - 1]);
-        let boundary_after = i + 2 >= bytes.len() || !is_ident(bytes[i + 2]);
-        if !(bytes[i] == b'f' && bytes[i + 1] == b'n' && boundary_before && boundary_after) {
-            i += 1;
-            continue;
-        }
-        let kw_pos = i;
-        let mut j = i + 2;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        let name_start = j;
-        while j < bytes.len() && is_ident(bytes[j]) {
-            j += 1;
-        }
-        if j == name_start {
-            // `fn(` pointer type or `Fn` trait syntax — not a definition.
-            i += 2;
-            continue;
-        }
-        let name = masked[name_start..j].to_string();
-        // Find the body `{`, or `;` for a bodyless trait declaration.
-        let mut body_start = None;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => {
-                    body_start = Some(j);
-                    break;
-                }
-                b';' => break,
-                _ => j += 1,
-            }
-        }
-        let Some(body_start) = body_start else {
-            i = j + 1;
-            continue;
-        };
-        // Match braces to the end of the body.
-        let mut depth = 0usize;
-        let mut k = body_start;
-        let mut body_end = bytes.len();
-        while k < bytes.len() {
-            match bytes[k] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        body_end = k + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        spans.push(FnSpan {
-            name,
-            kw_pos,
-            body_start,
-            body_end,
-        });
-        // Continue scanning *inside* the body too: nested fns get their
-        // own spans, and the enclosing scan skips their ranges.
-        i = body_start + 1;
-    }
-    spans
-}
-
-const KEYWORDS: [&str; 22] = [
-    "if", "else", "match", "for", "while", "loop", "return", "let", "fn", "in", "as", "move",
-    "mut", "ref", "break", "continue", "where", "impl", "dyn", "unsafe", "await", "box",
-];
-
-const ITER_MARKERS: [&str; 5] = [
-    ".map(",
-    ".for_each(",
-    ".filter(",
-    ".flat_map(",
-    ".filter_map(",
-];
 
 fn scan_events(
     masked: &str,
@@ -446,80 +321,4 @@ fn acquire_event(
         depth,
         line,
     }
-}
-
-/// `let [mut] <ident> … = …<acquire>` → the bound guard name.
-fn let_binding(stmt_prefix: &str) -> Option<String> {
-    let trimmed = stmt_prefix.trim_start();
-    let rest = trimmed.strip_prefix("let ")?;
-    let rest = rest.trim_start();
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-    let end = rest
-        .bytes()
-        .position(|b| !is_ident(b))
-        .unwrap_or(rest.len());
-    if end == 0 || !rest[end..].contains('=') {
-        return None;
-    }
-    Some(rest[..end].to_string())
-}
-
-/// For `drop(<ident>)`: the ident, if the argument list is exactly one.
-fn single_ident_arg(masked: &str, open_paren: usize, end: usize) -> Option<String> {
-    let bytes = masked.as_bytes();
-    let mut j = open_paren + 1;
-    let arg_start = j;
-    while j < end && bytes[j] != b')' && bytes[j] != b'\n' {
-        j += 1;
-    }
-    if j >= end || bytes[j] != b')' {
-        return None;
-    }
-    let arg = masked[arg_start..j].trim();
-    if !arg.is_empty()
-        && arg.bytes().all(is_ident)
-        && !arg.bytes().next().is_some_and(|b| b.is_ascii_digit())
-    {
-        Some(arg.to_string())
-    } else {
-        None
-    }
-}
-
-/// Parses `// locklint: allow(<rule>[, fn]): reason` from raw lines.
-fn parse_annotations(raw: &str) -> Vec<Annotation> {
-    let mut out = Vec::new();
-    for (idx, line) in raw.lines().enumerate() {
-        let Some(at) = line.find("locklint: allow(") else {
-            continue;
-        };
-        // Only honor (and only police) real comment lines.
-        if !line[..at].contains("//") {
-            continue;
-        }
-        let args_start = at + "locklint: allow(".len();
-        let Some(close) = line[args_start..].find(')') else {
-            out.push(Annotation {
-                rule: String::new(),
-                fn_level: false,
-                line: idx + 1,
-                reason: String::new(),
-            });
-            continue;
-        };
-        let args = &line[args_start..args_start + close];
-        let (rule, fn_level) = match args.split_once(',') {
-            Some((r, scope)) => (r.trim(), scope.trim() == "fn"),
-            None => (args.trim(), false),
-        };
-        let after = &line[args_start + close + 1..];
-        let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
-        out.push(Annotation {
-            rule: rule.to_string(),
-            fn_level,
-            line: idx + 1,
-            reason,
-        });
-    }
-    out
 }

@@ -20,6 +20,23 @@ commands:
                         (exit 0 = clean, 1 = findings, 2 = engine error)
     --root <dir>        workspace root (default: walk up from cwd)
     --json              machine-readable report (findings + suppressions)
+  hotlint [options]     hot-path allocation/copy analysis: propagates a
+                        \"hot\" property from the verify/query/signature/
+                        WAL roots through the call graph and reports
+                        allocations, clones, default-hasher maps, and
+                        blocking I/O on hot paths
+                        (exit 0 = clean, 1 = findings, 2 = engine error)
+    --root <dir>        workspace root (default: walk up from cwd)
+    --json              machine-readable report (findings + suppressions)
+  benchdiff [options]   compare current bench results against the
+                        committed BENCH_join.json / BENCH_serve.json
+                        baselines: counters must match exactly, timings
+                        within a tolerance factor
+                        (exit 0 = within band, 1 = regression, 2 = error)
+    --root <dir>        workspace root (default: walk up from cwd)
+    --join <file>       current join_bench output to diff
+    --serve <file>      current serve_bench output to diff
+    --factor <x>        timing tolerance factor (default 4.0)
   difftest [options]    differential-test every signature scheme against
                         the naive oracle on seeded adversarial workloads
                         (exit 0 = agreement, 1 = divergences, 2 = bad usage)
@@ -44,6 +61,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("locklint") => locklint(&args[1..]),
+        Some("hotlint") => hotlint(&args[1..]),
+        Some("benchdiff") => benchdiff(&args[1..]),
         Some("difftest") => difftest(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         Some("--help" | "-h" | "help") => {
@@ -250,6 +269,127 @@ fn locklint(args: &[String]) -> ExitCode {
                 );
             }
             if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn hotlint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("error: unknown hotlint option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match xtask::hotlint::run_hotlint(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for v in &report.findings {
+                    println!("{v}");
+                }
+                println!(
+                    "xtask hotlint: {} finding(s), {} suppressed by annotation \
+                     ({} file(s), {} function(s), {} hot)",
+                    report.findings.len(),
+                    report.suppressed.len(),
+                    report.files,
+                    report.functions,
+                    report.hot_functions
+                );
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn benchdiff(args: &[String]) -> ExitCode {
+    let mut config = xtask::benchdiff::BenchdiffConfig::default();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--join" => match it.next() {
+                Some(p) => config.current_join = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --join needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--serve" => match it.next() {
+                Some(p) => config.current_serve = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --serve needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--factor" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(x)) if x >= 1.0 => config.factor = x,
+                _ => {
+                    eprintln!("error: --factor needs a number >= 1.0");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown benchdiff option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if config.current_join.is_none() && config.current_serve.is_none() {
+        eprintln!("error: benchdiff needs --join and/or --serve (current results to compare)");
+        return ExitCode::from(2);
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match xtask::benchdiff::run_benchdiff(&root, &config) {
+        Ok(report) => {
+            print!("{report}");
+            if report.regressions.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
