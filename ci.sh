@@ -30,6 +30,7 @@ cargo test -q --release -p ssj-store --features lock-witness
 echo "==> allocation witnesses (release: strict zero-alloc assertions)"
 cargo test -q --release -p ssj-core --test alloc_witness
 cargo test -q --release -p ssj-serve --test alloc_witness
+cargo test -q --release -p ssj-extern --test alloc_witness
 
 echo "==> perf baselines (quick benches + benchdiff)"
 cargo build --release -q -p ssj-bench --bin join_bench --bin serve_bench
@@ -46,5 +47,8 @@ cargo xtask crashtest --seeds 10
 
 echo "==> server smoke test"
 scripts/serve_smoke.sh
+
+echo "==> out-of-core spill smoke test"
+scripts/spill_smoke.sh
 
 echo "CI green."

@@ -127,6 +127,9 @@ pub struct Cli {
     pub output: Option<String>,
     /// Print join statistics to stderr.
     pub stats: bool,
+    /// Out-of-core memory budget in bytes — when set, the join spills to
+    /// disk partitions instead of building the full index in memory.
+    pub mem_budget: Option<u64>,
 }
 
 /// A parse failure with a user-facing message.
@@ -166,6 +169,12 @@ OPTIONS:
   --threads N         worker threads (default 1; 0 = auto-detect cores)
   --output FILE       write pairs here instead of stdout
   --stats             print phase timings and counters to stderr
+  --mem-budget B      out-of-core join under a hard memory budget of B
+                      bytes (suffixes k/m/g = powers of 1024); spills
+                      hash-ranged partitions to disk and streams them.
+                      Self-join only; jaccard/hamming/dice/cosine with
+                      the default pen algorithm. Results are identical
+                      to the in-memory join.
 
 SERVE OPTIONS (long-running similarity-search service, NDJSON protocol):
   --addr HOST:PORT    listen address (default 127.0.0.1:7878)
@@ -188,6 +197,8 @@ QUERY OPTIONS (one-shot client; prints the JSON response line):
   --remove ID         remove a set by id
   --get-stats         fetch server counters
   --shutdown          drain and stop the server
+  --compact           compact the server's snapshots+WAL into a segment
+  --seg-get ID        point-read a set by id from the newest segment
   --deadline-ms N     per-request queue deadline
 ";
 
@@ -347,6 +358,8 @@ fn parse_query(args: &[String]) -> Result<QueryOpts, ParseError> {
     let mut remove: Option<u64> = None;
     let mut stats = false;
     let mut shutdown = false;
+    let mut compact = false;
+    let mut seg_get: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
 
     let mut i = 0;
@@ -369,6 +382,14 @@ fn parse_query(args: &[String]) -> Result<QueryOpts, ParseError> {
             }
             "--get-stats" => stats = true,
             "--shutdown" => shutdown = true,
+            "--compact" => compact = true,
+            "--seg-get" => {
+                seg_get = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|_| ParseError("bad --seg-get id".into()))?,
+                )
+            }
             "--deadline-ms" => {
                 deadline_ms = Some(
                     next(&mut i)?
@@ -394,10 +415,14 @@ fn parse_query(args: &[String]) -> Result<QueryOpts, ParseError> {
     let chosen = usize::from(set.is_some())
         + usize::from(remove.is_some())
         + usize::from(stats)
-        + usize::from(shutdown);
+        + usize::from(shutdown)
+        + usize::from(compact)
+        + usize::from(seg_get.is_some());
     if chosen != 1 {
         return Err(ParseError(
-            "query needs exactly one of --set, --remove, --get-stats, --shutdown".into(),
+            "query needs exactly one of --set, --remove, --get-stats, \
+             --shutdown, --compact, --seg-get"
+                .into(),
         ));
     }
     let deadline_suffix = deadline_ms
@@ -414,6 +439,10 @@ fn parse_query(args: &[String]) -> Result<QueryOpts, ParseError> {
         format!("{{\"op\":\"remove\",\"id\":{id}{deadline_suffix}}}")
     } else if stats {
         format!("{{\"op\":\"stats\"{deadline_suffix}}}")
+    } else if compact {
+        format!("{{\"op\":\"compact\"{deadline_suffix}}}")
+    } else if let Some(id) = seg_get {
+        format!("{{\"op\":\"seg_get\",\"id\":{id}{deadline_suffix}}}")
     } else {
         "{\"op\":\"shutdown\"}".to_string()
     };
@@ -432,6 +461,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut threads = 1usize;
     let mut output = None;
     let mut stats = false;
+    let mut mem_budget: Option<u64> = None;
 
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&String, ParseError> {
@@ -466,6 +496,12 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             }
             "--output" => output = Some(next(&mut i)?.clone()),
             "--stats" => stats = true,
+            "--mem-budget" => {
+                mem_budget = Some(
+                    ssj_extern::parse_mem_budget(next(&mut i)?)
+                        .map_err(|e| ParseError(format!("bad --mem-budget: {e}")))?,
+                )
+            }
             other => return Err(ParseError(format!("unknown option {other:?}\n\n{USAGE}"))),
         }
         i += 1;
@@ -530,6 +566,23 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             "--input2 currently supports jaccard and hamming".into(),
         ));
     }
+    if mem_budget.is_some() {
+        if input2.is_some() {
+            return Err(ParseError(
+                "--mem-budget supports self-joins only (drop --input2)".into(),
+            ));
+        }
+        if matches!(mode, Mode::Edit { .. } | Mode::Weighted { .. }) {
+            return Err(ParseError(
+                "--mem-budget supports jaccard, hamming, dice, and cosine".into(),
+            ));
+        }
+        if algo != Algo::Pen {
+            return Err(ParseError(
+                "--mem-budget requires the pen algorithm (the default)".into(),
+            ));
+        }
+    }
     Ok(Cli {
         mode,
         input,
@@ -539,6 +592,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         threads: ssj_serve::resolve_workers(threads),
         output,
         stats,
+        mem_budget,
     })
 }
 
@@ -692,6 +746,48 @@ mod tests {
         assert!(parse_command(&args("query --addr h:1 --set 1 --shutdown")).is_err());
         assert!(parse_command(&args("query --addr h:1 --set 1 --op warp")).is_err());
         assert!(parse_command(&args("query --addr h:1 --set x")).is_err());
+    }
+
+    #[test]
+    fn parses_mem_budget_with_suffixes_and_guards_compatibility() {
+        let cli = parse(&args("jaccard --input a --threshold 0.8 --mem-budget 64m")).unwrap();
+        assert_eq!(cli.mem_budget, Some(64 << 20));
+        let cli = parse(&args("dice --input a --threshold 0.7 --mem-budget 4096")).unwrap();
+        assert_eq!(cli.mem_budget, Some(4096));
+        let cli = parse(&args("jaccard --input a --threshold 0.8")).unwrap();
+        assert_eq!(cli.mem_budget, None);
+
+        assert!(parse(&args("jaccard --input a --threshold 0.8 --mem-budget 0")).is_err());
+        assert!(parse(&args("jaccard --input a --threshold 0.8 --mem-budget lots")).is_err());
+        assert!(parse(&args(
+            "jaccard --input a --input2 b --threshold 0.8 --mem-budget 64m"
+        ))
+        .is_err());
+        assert!(parse(&args("edit --input a --k 2 --mem-budget 64m")).is_err());
+        assert!(parse(&args("weighted --input a --threshold 0.8 --mem-budget 64m")).is_err());
+        assert!(parse(&args(
+            "jaccard --input a --threshold 0.8 --algo pf --mem-budget 64m"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_segment_query_ops() {
+        let q = |s: &str| match parse_command(&args(s)) {
+            Ok(Command::Query(o)) => o,
+            other => panic!("expected query, got {other:?}"),
+        };
+        assert_eq!(q("query --addr h:1 --compact").line, r#"{"op":"compact"}"#);
+        assert_eq!(
+            q("query --addr h:1 --seg-get 42").line,
+            r#"{"op":"seg_get","id":42}"#
+        );
+        assert_eq!(
+            q("query --addr h:1 --compact --deadline-ms 9").line,
+            r#"{"op":"compact","deadline_ms":9}"#
+        );
+        assert!(parse_command(&args("query --addr h:1 --compact --seg-get 1")).is_err());
+        assert!(parse_command(&args("query --addr h:1 --seg-get many")).is_err());
     }
 
     #[test]

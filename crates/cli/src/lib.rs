@@ -19,6 +19,7 @@ use ssj_core::predicate::Predicate;
 use ssj_core::set::{SetCollection, WeightMap};
 use ssj_core::wtenum::{WtEnum, WtEnumJaccard};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Everything a run produces: the pairs and a stats summary line.
@@ -149,6 +150,59 @@ fn build_and_run(
     }
 }
 
+/// Distinguishes temp segments written by concurrent joins in one process.
+static EXTERN_SEG_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// Runs a self-join out-of-core under `budget` bytes: encodes the
+/// collection as a temporary segment, then drives the partitioned
+/// spill-and-stream executor. Results are identical to the in-memory
+/// path (DESIGN.md §5h); the parser restricts this to self-joins with
+/// the PartEnum scheme.
+fn run_external(pred: Predicate, left: &SetCollection, budget: u64) -> Result<Outcome, String> {
+    let max_len = left.max_set_len().max(1);
+    let scheme = GeneralPartEnum::new(pred, max_len, 0xc11)
+        .map_err(|e| format!("PartEnum does not support this predicate: {e}"))?;
+    let seg_path = std::env::temp_dir().join(format!(
+        "ssjoin_extern_{}_{}.seg",
+        std::process::id(),
+        EXTERN_SEG_SALT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let run = (|| {
+        ssj_extern::write_collection_segment(&seg_path, left, 0)?;
+        let mut seg = ssj_extern::Segment::open_path(&seg_path)?;
+        let cfg = ssj_extern::ExternConfig {
+            mem_budget: budget,
+            min_partitions: 1,
+            spill_dir: None,
+        };
+        ssj_extern::external_self_join(&mut seg, &scheme, pred, None, &cfg)
+    })();
+    std::fs::remove_file(&seg_path).ok();
+    let (pairs, s) = run.map_err(|e| format!("out-of-core join failed: {e}"))?;
+    Ok(Outcome {
+        stats_line: format!(
+            "signatures={} collisions={} candidates={} output={} partitions={} \
+             mem_budget={} peak_bytes={} spilled_records={} spill_bytes={} \
+             siggen={:.3}s spill={:.3}s probe={:.3}s postfilter={:.3}s",
+            s.signatures,
+            s.collisions,
+            s.candidates,
+            s.output_pairs,
+            s.partitions,
+            s.mem_budget,
+            s.peak_bytes,
+            s.spilled_records,
+            s.spill_bytes,
+            s.sig_secs,
+            s.spill_secs,
+            s.probe_secs,
+            s.verify_secs
+        ),
+        exact: true,
+        pairs,
+    })
+}
+
 /// Executes a parsed invocation against the filesystem.
 pub fn execute(cli: &Cli) -> Result<Outcome, String> {
     let left_lines = read_lines(&cli.input).map_err(|e| format!("{}: {e}", cli.input))?;
@@ -191,6 +245,12 @@ pub fn execute(cli: &Cli) -> Result<Outcome, String> {
         }
         Mode::Edit { .. } => unreachable!("handled above"),
     };
+
+    if let Some(budget) = cli.mem_budget {
+        // The parser guarantees a self-join with a PartEnum-compatible
+        // predicate and no weights.
+        return run_external(pred, &left, budget);
+    }
 
     let result = build_and_run(cli, pred, &left, right.as_ref(), weights)?;
     Ok(Outcome {
@@ -397,6 +457,79 @@ mod tests {
         .unwrap();
         let out = execute(&cli).unwrap();
         assert_eq!(out.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn mem_budget_join_matches_in_memory_join() {
+        // A workload big enough that a small budget actually partitions.
+        let lines: Vec<String> = (0..120)
+            .map(|i: u32| {
+                let base = i / 3; // triples of near-duplicate records
+                format!(
+                    "w{} w{} w{} w{} w{} extra{}",
+                    base,
+                    base + 1,
+                    base + 2,
+                    base + 3,
+                    base + 4,
+                    i % 3
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let input = temp_file("spill.txt", &refs);
+
+        let in_memory = execute(
+            &parse(&argvec(&format!(
+                "jaccard --input {} --threshold 0.6",
+                input.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!in_memory.pairs.is_empty(), "workload must produce matches");
+
+        for budget in ["64k", "1g"] {
+            let spilled = execute(
+                &parse(&argvec(&format!(
+                    "jaccard --input {} --threshold 0.6 --mem-budget {budget}",
+                    input.display()
+                )))
+                .unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                spilled.pairs, in_memory.pairs,
+                "--mem-budget {budget} diverged from the in-memory join"
+            );
+            assert!(spilled.exact);
+            assert!(spilled.stats_line.contains("partitions="));
+        }
+    }
+
+    #[test]
+    fn mem_budget_works_for_every_supported_mode() {
+        let input = temp_file("spillmode.txt", &["a b c d e", "a b c d e f", "x y z"]);
+        for mode in [
+            "jaccard --threshold 0.8",
+            "dice --threshold 0.85",
+            "cosine --threshold 0.85",
+            "hamming --k 2",
+        ] {
+            let plain =
+                execute(&parse(&argvec(&format!("{mode} --input {}", input.display()))).unwrap())
+                    .unwrap();
+            let spilled = execute(
+                &parse(&argvec(&format!(
+                    "{mode} --input {} --mem-budget 32m",
+                    input.display()
+                )))
+                .unwrap(),
+            )
+            .unwrap();
+            assert_eq!(spilled.pairs, plain.pairs, "mode={mode}");
+            assert_eq!(spilled.pairs, vec![(0, 1)], "mode={mode}");
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod stats;
 pub mod wtenum;
 
 pub use error::{Result, SsjError};
-pub use index::{JaccardIndex, SimilarityIndex};
+pub use index::{JaccardIndex, SigPostings, SimilarityIndex};
 pub use join::{join, self_join, JoinOptions, JoinResult};
 pub use partenum::{GeneralPartEnum, PartEnumHamming, PartEnumJaccard, PartEnumParams};
 pub use predicate::Predicate;

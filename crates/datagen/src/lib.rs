@@ -12,7 +12,10 @@
 //! * [`zipf`] — skewed-element collections for stress tests;
 //! * [`typo`] — the shared error model;
 //! * [`adversarial`] — seeded corner-case workloads for the differential
-//!   tester (`cargo xtask difftest`).
+//!   tester (`cargo xtask difftest`);
+//! * [`spill`] — skewed, heterogeneous workloads stressing the
+//!   out-of-core executor (`ssj-extern`): hot signature buckets, varied
+//!   set sizes, planted duplicate groups.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +24,7 @@
 pub mod address;
 pub mod adversarial;
 pub mod dblp;
+pub mod spill;
 pub mod typo;
 pub mod uniform;
 pub mod zipf;
@@ -28,6 +32,7 @@ pub mod zipf;
 pub use address::{generate_addresses, AddressConfig};
 pub use adversarial::{generate_adversarial, AdversarialWorkload};
 pub use dblp::{generate_dblp, DblpConfig};
+pub use spill::{generate_spill, SpillConfig};
 pub use typo::{apply_typos, drop_token, random_edit};
 pub use uniform::{generate_uniform, UniformConfig};
 pub use zipf::{generate_zipf, Zipf, ZipfConfig};

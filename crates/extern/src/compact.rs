@@ -1,0 +1,145 @@
+//! Snapshot → segment compaction: the final stage of `ssj-store`'s
+//! log → snapshot → segment progression.
+//!
+//! A snapshot is per-shard and optimized for whole-state restore; a
+//! segment is global, block-indexed, and optimized for point reads and
+//! streaming scans without loading everything. Compaction fuses the
+//! recovered shard states (snapshots plus replayed WAL tail) into one
+//! segment keyed by the serving layer's *global* id encoding
+//! `local · shards + shard` — the ids `ssjoin serve` hands out — so a
+//! point query against the segment uses the same ids clients already
+//! hold.
+
+use crate::segment::{SegmentInfo, SegmentWriter};
+use ssj_store::{Recovered, ShardState, WalOp};
+use std::io;
+use std::path::Path;
+
+/// Writes `states` (shard-local ids, ascending per shard) as one segment
+/// at `path`, keyed by global id `local · shards + shard`.
+pub fn segment_from_states(states: &[ShardState], path: &Path) -> io::Result<SegmentInfo> {
+    let shards = states.len() as u64;
+    let mut entries: Vec<(u64, &[u32])> = Vec::new();
+    for (shard, state) in states.iter().enumerate() {
+        for (local, set) in &state.live {
+            entries.push((u64::from(*local) * shards + shard as u64, set));
+        }
+    }
+    entries.sort_unstable_by_key(|&(id, _)| id);
+    let mut writer = SegmentWriter::create_at(path, 0)?;
+    for (id, set) in entries {
+        writer.push(id, set)?;
+    }
+    writer.seal()
+}
+
+/// Replays a [`Recovered`] store — snapshot states plus the WAL tail —
+/// into its logical set of live sets, then writes them as a segment.
+///
+/// Replay mirrors the serving layer's recovery: inserts assign
+/// shard-local ids in log order from each shard's `next_id`, removes
+/// tombstone by id and are idempotent.
+pub fn segment_from_recovered(rec: &Recovered, path: &Path) -> io::Result<SegmentInfo> {
+    let mut states: Vec<ShardState> = rec.shards.clone();
+    for record in &rec.wal {
+        match &record.op {
+            WalOp::Insert { shard, set } => {
+                let Some(state) = states.get_mut(*shard as usize) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("WAL insert names shard {shard}, store has {}", states.len()),
+                    ));
+                };
+                let id = state.next_id;
+                state.live.push((id, set.clone()));
+                state.next_id += 1;
+            }
+            WalOp::Remove { shard, local } => {
+                let Some(state) = states.get_mut(*shard as usize) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("WAL remove names shard {shard}, store has {}", states.len()),
+                    ));
+                };
+                if let Ok(pos) = state.live.binary_search_by_key(local, |&(id, _)| id) {
+                    state.live.remove(pos);
+                }
+            }
+        }
+    }
+    segment_from_states(&states, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{BlockCache, Segment};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ssj_compact_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn states_compact_into_globally_ordered_segment() {
+        let states = vec![
+            ShardState {
+                next_id: 2,
+                live: vec![(0, vec![1, 2, 3]), (1, vec![10, 20])],
+            },
+            ShardState {
+                next_id: 2,
+                live: vec![(1, vec![7])], // local 0 tombstoned
+            },
+        ];
+        let path = tmp("states");
+        let info = segment_from_states(&states, &path).unwrap();
+        assert_eq!(info.total_sets, 3);
+        let mut seg = Segment::open_path(&path).unwrap();
+        let mut cache = BlockCache::new(1 << 20);
+        let mut out = Vec::new();
+        // global ids: (0,shard0)=0, (1,shard0)=2, (1,shard1)=3
+        assert!(seg.lookup(0, &mut cache, &mut out).unwrap());
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(seg.lookup(2, &mut cache, &mut out).unwrap());
+        assert_eq!(out, vec![10, 20]);
+        assert!(seg.lookup(3, &mut cache, &mut out).unwrap());
+        assert_eq!(out, vec![7]);
+        assert!(!seg.lookup(1, &mut cache, &mut out).unwrap(), "tombstone");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovered_replays_wal_tail_before_compacting() {
+        use ssj_store::WalRecord;
+        let rec = Recovered {
+            shards: vec![ShardState {
+                next_id: 1,
+                live: vec![(0, vec![5, 6])],
+            }],
+            wal: vec![
+                WalRecord {
+                    seq: 1,
+                    op: WalOp::Insert {
+                        shard: 0,
+                        set: vec![8, 9],
+                    },
+                },
+                WalRecord {
+                    seq: 2,
+                    op: WalOp::Remove { shard: 0, local: 0 },
+                },
+            ],
+            seq: 3,
+            tail: ssj_store::TailStatus::Clean,
+        };
+        let path = tmp("recovered");
+        let info = segment_from_recovered(&rec, &path).unwrap();
+        assert_eq!(info.total_sets, 1, "insert survives, original removed");
+        let mut seg = Segment::open_path(&path).unwrap();
+        let mut cache = BlockCache::new(1 << 20);
+        let mut out = Vec::new();
+        assert!(seg.lookup(1, &mut cache, &mut out).unwrap());
+        assert_eq!(out, vec![8, 9]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

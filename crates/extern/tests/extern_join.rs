@@ -1,0 +1,185 @@
+//! End-to-end parity: the out-of-core executor must produce results
+//! byte-identical to the in-memory driver — same pairs, same collision
+//! and candidate counters — at any partition count, while respecting its
+//! memory budget. `cargo xtask difftest` sweeps this across 100 seeds;
+//! this test pins the invariant at unit-test scale with explicit
+//! configurations.
+
+use ssj_core::set::SetCollection;
+use ssj_core::{self_join, JoinOptions, PartEnumJaccard, Predicate};
+use ssj_datagen::{generate_uniform, UniformConfig};
+use ssj_extern::{external_self_join, write_collection_segment, ExternConfig, Segment};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NAME_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssj_extjoin_{tag}_{}_{}.seg",
+        std::process::id(),
+        NAME_SALT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn workload(seed: u64) -> SetCollection {
+    generate_uniform(UniformConfig {
+        base_sets: 250,
+        set_size: 14,
+        domain: 400,
+        similar_fraction: 0.3,
+        planted_similarity: 0.9,
+        seed,
+    })
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssj_extjoin_spill_{tag}_{}_{}",
+        std::process::id(),
+        NAME_SALT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn partitioned_join_matches_in_memory_exactly() {
+    let gamma = 0.8;
+    let collection = workload(0xE17);
+    let scheme =
+        PartEnumJaccard::new(gamma, collection.max_set_len().max(16), 5).expect("valid gamma");
+    let pred = Predicate::Jaccard { gamma };
+
+    let expected = self_join(&scheme, &collection, pred, None, JoinOptions::sequential());
+    assert!(
+        !expected.pairs.is_empty(),
+        "workload must produce matches for the parity check to bite"
+    );
+
+    let path = tmp_path("parity");
+    write_collection_segment(&path, &collection, 256).expect("write segment");
+
+    for min_partitions in [1usize, 2, 7] {
+        let mut seg = Segment::open_path(&path).expect("open segment");
+        let cfg = ExternConfig {
+            mem_budget: u64::MAX,
+            min_partitions,
+            spill_dir: Some(spill_dir("parity")),
+        };
+        let (pairs, stats) =
+            external_self_join(&mut seg, &scheme, pred, None, &cfg).expect("external join");
+        assert_eq!(
+            pairs, expected.pairs,
+            "pairs diverged at min_partitions={min_partitions}"
+        );
+        assert!(stats.partitions >= min_partitions);
+        assert_eq!(stats.signatures, expected.stats.signatures_r);
+        assert_eq!(
+            stats.collisions, expected.stats.signature_collisions,
+            "collision counter must be partition-invariant"
+        );
+        assert_eq!(stats.candidates, expected.stats.candidate_pairs);
+        assert_eq!(stats.output_pairs, expected.stats.output_pairs);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tight_budget_forces_partitions_and_bounds_peak() {
+    let gamma = 0.75;
+    let collection = workload(0xB4D9E7);
+    let scheme =
+        PartEnumJaccard::new(gamma, collection.max_set_len().max(16), 5).expect("valid gamma");
+    let pred = Predicate::Jaccard { gamma };
+    let expected = self_join(&scheme, &collection, pred, None, JoinOptions::sequential());
+
+    let path = tmp_path("budget");
+    write_collection_segment(&path, &collection, 0).expect("write segment");
+
+    // Small enough that one partition's posting map cannot hold everything,
+    // large enough for the per-block and batch floors.
+    let budget = 256 << 10;
+    let mut seg = Segment::open_path(&path).expect("open segment");
+    let cfg = ExternConfig {
+        mem_budget: budget,
+        min_partitions: 1,
+        spill_dir: Some(spill_dir("budget")),
+    };
+    let (pairs, stats) =
+        external_self_join(&mut seg, &scheme, pred, None, &cfg).expect("external join");
+    assert_eq!(pairs, expected.pairs, "budgeted run must stay exact");
+    assert!(
+        stats.partitions > 1,
+        "budget {budget} should have forced multiple partitions, got {}",
+        stats.partitions
+    );
+    assert!(
+        stats.peak_bytes <= budget,
+        "accounted peak {} exceeds budget {budget}",
+        stats.peak_bytes
+    );
+    assert!(stats.spilled_records == stats.signatures);
+    assert!(stats.spill_bytes > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn impossible_budget_fails_loudly_instead_of_overrunning() {
+    let collection = workload(0x71E);
+    let scheme =
+        PartEnumJaccard::new(0.8, collection.max_set_len().max(16), 5).expect("valid gamma");
+    let path = tmp_path("impossible");
+    write_collection_segment(&path, &collection, 0).expect("write segment");
+    let mut seg = Segment::open_path(&path).expect("open segment");
+    let cfg = ExternConfig {
+        mem_budget: 1 << 10, // 1 KiB: below even one decoded block
+        min_partitions: 1,
+        spill_dir: Some(spill_dir("impossible")),
+    };
+    let err = external_self_join(
+        &mut seg,
+        &scheme,
+        Predicate::Jaccard { gamma: 0.8 },
+        None,
+        &cfg,
+    )
+    .expect_err("1 KiB budget must be rejected");
+    assert!(
+        err.to_string().contains("memory budget exceeded"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_and_degenerate_inputs_round_trip() {
+    let scheme = PartEnumJaccard::new(0.8, 16, 5).expect("valid gamma");
+    let pred = Predicate::Jaccard { gamma: 0.8 };
+
+    // Empty collection: no blocks, no candidates, no pairs.
+    let empty = SetCollection::new();
+    let path = tmp_path("empty");
+    write_collection_segment(&path, &empty, 0).expect("write empty segment");
+    let mut seg = Segment::open_path(&path).expect("open empty segment");
+    let (pairs, stats) =
+        external_self_join(&mut seg, &scheme, pred, None, &ExternConfig::default())
+            .expect("empty join");
+    assert!(pairs.is_empty());
+    assert_eq!(stats.signatures, 0);
+    assert_eq!(stats.candidates, 0);
+    std::fs::remove_file(&path).ok();
+
+    // Duplicate sets: every duplicate pair must be found.
+    let mut dups = SetCollection::new();
+    for _ in 0..4 {
+        dups.push(vec![1, 2, 3, 4, 5]);
+    }
+    let path = tmp_path("dups");
+    write_collection_segment(&path, &dups, 0).expect("write dup segment");
+    let mut seg = Segment::open_path(&path).expect("open dup segment");
+    let (pairs, _) = external_self_join(&mut seg, &scheme, pred, None, &ExternConfig::default())
+        .expect("dup join");
+    let expected = self_join(&scheme, &dups, pred, None, JoinOptions::sequential());
+    assert_eq!(pairs, expected.pairs);
+    assert_eq!(pairs.len(), 6, "4 identical sets yield C(4,2) pairs");
+    std::fs::remove_file(&path).ok();
+}

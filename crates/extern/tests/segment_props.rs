@@ -1,0 +1,172 @@
+//! Property tests for the segment format (`ssj_extern::segment`),
+//! mirroring the WAL frame suite in `ssj-io`:
+//!
+//! 1. roundtrip — any collection of ascending-id canonical sets encodes
+//!    and decodes losslessly, through both block scans and point lookups;
+//! 2. truncation — cutting the file at *every* byte offset makes
+//!    `Segment::open_path` fail (a segment is written atomically, so unlike a
+//!    WAL there is no valid shorter prefix to salvage);
+//! 3. corruption — a single bit flip anywhere in the file is detected by
+//!    open or by the first read of the affected block, never silently
+//!    decoded into different sets.
+
+use proptest::prelude::*;
+use ssj_extern::{BlockCache, Segment, SegmentBlock, SegmentWriter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NAME_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssj_segprop_{tag}_{}_{}.seg",
+        std::process::id(),
+        NAME_SALT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Raw material for a segment: element vectors (canonicalized below) and
+/// id gaps. The compat proptest subset has no tuple strategies, so sets
+/// and gaps are drawn separately and zipped by [`build_entries`].
+fn sets_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..5_000, 0..30), 1..40)
+}
+
+fn gaps_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..40, 0..40)
+}
+
+/// Ascending (possibly gapped) ids with canonical (strictly sorted) sets.
+fn build_entries(raw_sets: Vec<Vec<u32>>, gaps: &[u64]) -> Vec<(u64, Vec<u32>)> {
+    let mut id = 0u64;
+    raw_sets
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut set)| {
+            set.sort_unstable();
+            set.dedup();
+            id += gaps.get(i).copied().unwrap_or(0);
+            let entry = (id, set);
+            id += 1; // strictly ascending even with a zero gap
+            entry
+        })
+        .collect()
+}
+
+fn write_entries(path: &std::path::Path, entries: &[(u64, Vec<u32>)], block_target: usize) {
+    let mut w = SegmentWriter::create_at(path, block_target).expect("create segment");
+    for (id, set) in entries {
+        w.push(*id, set).expect("push entry");
+    }
+    w.seal().expect("finish segment");
+}
+
+/// Reads every block and returns all `(id, set)` entries in order.
+fn read_everything(seg: &mut Segment) -> Vec<(u64, Vec<u32>)> {
+    let mut block = SegmentBlock::default();
+    let mut out = Vec::new();
+    for idx in 0..seg.blocks().len() {
+        seg.read_block(idx, &mut block).expect("read block");
+        for i in 0..block.len() {
+            out.push((block.id(i), block.set(i).to_vec()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scan and point-lookup both return exactly what was written — with a
+    /// tiny block target so multi-block layout, id gaps, and block
+    /// boundaries all get exercised.
+    #[test]
+    fn roundtrip_scan_and_lookup(raw_sets in sets_strategy(), gaps in gaps_strategy()) {
+        let entries = build_entries(raw_sets, &gaps);
+        let path = tmp_path("rt");
+        write_entries(&path, &entries, 48);
+        let mut seg = Segment::open_path(&path).expect("open segment");
+        prop_assert_eq!(seg.total_sets(), entries.len() as u64);
+        prop_assert_eq!(
+            seg.total_elems(),
+            entries.iter().map(|(_, s)| s.len() as u64).sum::<u64>()
+        );
+        prop_assert_eq!(read_everything(&mut seg), entries.clone());
+
+        let mut cache = BlockCache::new(1 << 16);
+        let mut out = Vec::new();
+        for (id, set) in &entries {
+            prop_assert!(seg.lookup(*id, &mut cache, &mut out).expect("lookup"));
+            prop_assert_eq!(&out, set);
+        }
+        // Ids in the gaps (and past the end) must come back absent.
+        let present: std::collections::BTreeSet<u64> =
+            entries.iter().map(|(id, _)| *id).collect();
+        let max_id = entries.last().map(|(id, _)| *id).unwrap_or(0);
+        for id in 0..max_id + 3 {
+            if !present.contains(&id) {
+                prop_assert!(!seg.lookup(id, &mut cache, &mut out).expect("lookup"));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A single bit flip anywhere — magic, block, footer, trailer — is
+    /// caught by open or by reading the blocks; it never mis-decodes.
+    #[test]
+    fn single_bit_flip_is_always_detected(
+        raw_sets in sets_strategy(),
+        gaps in gaps_strategy(),
+        flip_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let entries = build_entries(raw_sets, &gaps);
+        let path = tmp_path("fl");
+        write_entries(&path, &entries, 48);
+        let mut bytes = std::fs::read(&path).expect("read segment back");
+        let pos = (flip_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let flip_path = tmp_path("flbit");
+        std::fs::write(&flip_path, &bytes).expect("write flipped file");
+        let outcome = Segment::open_path(&flip_path).and_then(|mut seg| {
+            let mut block = SegmentBlock::default();
+            for idx in 0..seg.blocks().len() {
+                seg.read_block(idx, &mut block)?;
+            }
+            Ok(())
+        });
+        prop_assert!(
+            outcome.is_err(),
+            "bit {bit} flipped at byte {pos} of {} went undetected",
+            bytes.len()
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&flip_path).ok();
+    }
+}
+
+proptest! {
+    // Every case writes one truncated file per byte offset; keep the case
+    // count low so the sweep stays exhaustive per case but cheap overall.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Truncating the file at every offset is rejected at open.
+    #[test]
+    fn truncation_at_every_offset_is_rejected(raw_sets in sets_strategy(), gaps in gaps_strategy()) {
+        let entries = build_entries(raw_sets, &gaps);
+        let path = tmp_path("tr");
+        write_entries(&path, &entries, 48);
+        let bytes = std::fs::read(&path).expect("read segment back");
+        let cut_path = tmp_path("trcut");
+        for cut in 0..bytes.len() {
+            std::fs::write(&cut_path, &bytes[..cut]).expect("write truncation");
+            prop_assert!(
+                Segment::open_path(&cut_path).is_err(),
+                "truncation to {cut} of {} bytes opened successfully",
+                bytes.len()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cut_path).ok();
+    }
+}

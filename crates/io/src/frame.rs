@@ -209,6 +209,47 @@ pub fn read_all(bytes: &[u8]) -> (Vec<Vec<u8>>, Frame) {
     }
 }
 
+/// Decodes `bytes` as **exactly one** frame, with every non-frame outcome
+/// — torn, corrupt, empty, or trailing garbage — a hard `InvalidData`
+/// error.
+///
+/// The WAL reader tolerates a damaged tail because that is the expected
+/// crash artifact of an append-only log; a read-only artifact written
+/// atomically (a segment footer or block) has no such excuse, so any
+/// deviation is corruption and must fail loudly rather than degrade into
+/// a shorter — silently wrong — answer.
+pub fn read_single(bytes: &[u8]) -> io::Result<Vec<u8>> {
+    let mut reader = FrameReader::new(bytes);
+    let payload = match reader.next_frame()? {
+        Frame::Payload(p) => p,
+        Frame::CleanEof => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                "expected one frame, found none",
+            ))
+        }
+        Frame::Torn { offset } => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("frame torn at offset {offset}"),
+            ))
+        }
+        Frame::Corrupt { offset, reason } => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("frame corrupt at offset {offset}: {reason}"),
+            ))
+        }
+    };
+    match reader.next_frame()? {
+        Frame::CleanEof => Ok(payload),
+        _ => Err(io::Error::new(
+            ErrorKind::InvalidData,
+            "trailing bytes after the single expected frame",
+        )),
+    }
+}
+
 /// Sanity digest for whole-file verification (snapshot trailer).
 pub fn checksum(bytes: &[u8]) -> u32 {
     crc32(bytes)
@@ -272,6 +313,23 @@ mod tests {
         let (decoded, end) = read_all(&buf);
         assert!(decoded.is_empty());
         assert!(matches!(end, Frame::Corrupt { offset: 0, .. }), "{end:?}");
+    }
+
+    #[test]
+    fn read_single_accepts_exactly_one_clean_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"only").unwrap();
+        assert_eq!(read_single(&buf).unwrap(), b"only");
+        // Empty input, trailing bytes, truncation, and corruption are all
+        // hard errors — never a silently shorter answer.
+        assert!(read_single(&[]).is_err());
+        let mut two = buf.clone();
+        write_frame(&mut two, b"second").unwrap();
+        assert!(read_single(&two).is_err());
+        assert!(read_single(&buf[..buf.len() - 1]).is_err());
+        let mut flipped = buf.clone();
+        flipped[2] ^= 0x40;
+        assert!(read_single(&flipped).is_err());
     }
 
     #[test]

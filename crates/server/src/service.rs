@@ -83,6 +83,17 @@ pub enum Request {
     },
     /// Fetch counters; answers [`Response::Stats`].
     Stats,
+    /// Compact the durable state — snapshot states plus WAL tail — into
+    /// one read-optimized segment in the data directory; answers
+    /// [`Response::Compacted`]. Errors on a memory-only server.
+    Compact,
+    /// Point-read a set by global id from the newest segment; answers
+    /// [`Response::SegmentSet`]. Errors on a memory-only server or when
+    /// no segment has been compacted yet.
+    SegGet {
+        /// A global id previously returned by an insert.
+        id: u64,
+    },
 }
 
 /// The service's answer to a [`Request`].
@@ -135,6 +146,26 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
+    /// The durable state was compacted into a segment.
+    Compacted {
+        /// The snapshot's sequence number: the segment holds exactly the
+        /// writes numbered below it.
+        seq: u64,
+        /// Live sets written into the segment.
+        sets: u64,
+        /// The segment file's path inside the data directory.
+        file: String,
+    },
+    /// Answer to [`Request::SegGet`]: the set as stored in the newest
+    /// segment (`None` when the id is absent — unknown or tombstoned).
+    SegmentSet {
+        /// The requested global id.
+        id: u64,
+        /// The set's elements, ascending; `None` if absent.
+        elems: Option<Vec<ElementId>>,
+        /// Sequence number of the segment answering the read.
+        segment_seq: u64,
+    },
     /// The request queue was full; nothing was executed. Retry later.
     Overloaded,
     /// The request's deadline expired while it waited in the queue;
@@ -763,7 +794,9 @@ impl Inner {
             Request::Insert { elems }
             | Request::Query { elems }
             | Request::QueryInsert { elems } => elems.len() > self.cfg.max_set_len,
-            Request::Remove { .. } | Request::Stats => false,
+            Request::Remove { .. } | Request::Stats | Request::Compact | Request::SegGet { .. } => {
+                false
+            }
         };
         if oversized {
             return Response::Error(format!(
@@ -807,6 +840,57 @@ impl Inner {
                 WriteResult::StoreFailed(msg) => Response::Error(msg),
             },
             Request::Stats => Response::Stats(self.stats()),
+            Request::Compact => self.compact(),
+            Request::SegGet { id } => self.seg_get(id),
+        }
+    }
+
+    /// Compacts the full logical state into one segment in the data
+    /// directory, named for the sequence number it captures. The state is
+    /// taken via [`ShardedIndex::dump`], which releases every shard lock
+    /// before the segment write starts — compaction I/O never blocks
+    /// writers.
+    fn compact(&self) -> Response {
+        let Some(store) = self.index.store() else {
+            return Response::Error("compact requires a durable server (--data-dir)".into());
+        };
+        let (states, seq) = self.index.dump();
+        let path = store.dir().join(ssj_store::segment_file_name(seq));
+        match ssj_extern::segment_from_states(&states, &path) {
+            Ok(info) => Response::Compacted {
+                seq,
+                sets: info.total_sets,
+                file: path.display().to_string(),
+            },
+            Err(e) => Response::Error(format!("compact failed: {e}")),
+        }
+    }
+
+    /// Point-reads a global id from the newest segment on disk.
+    fn seg_get(&self, id: u64) -> Response {
+        let Some(store) = self.index.store() else {
+            return Response::Error("seg_get requires a durable server (--data-dir)".into());
+        };
+        let segments = match ssj_store::list_segment_files(store.dir()) {
+            Ok(s) => s,
+            Err(e) => return Response::Error(format!("seg_get failed: {e}")),
+        };
+        let Some((segment_seq, path)) = segments.last() else {
+            return Response::Error("no segment yet: run compact first".into());
+        };
+        let result = ssj_extern::Segment::open_path(path).and_then(|mut seg| {
+            let mut cache = ssj_extern::BlockCache::new(1 << 20);
+            let mut elems = Vec::new();
+            let found = seg.lookup(id, &mut cache, &mut elems)?;
+            Ok(found.then_some(elems))
+        });
+        match result {
+            Ok(elems) => Response::SegmentSet {
+                id,
+                elems,
+                segment_seq: *segment_seq,
+            },
+            Err(e) => Response::Error(format!("seg_get failed: {e}")),
         }
     }
 
@@ -1135,6 +1219,87 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn compact_and_seg_get_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ssj_serve_compact_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..cfg(2)
+        })
+        .expect("valid config");
+        let h = server.handle();
+        let insert = |elems: Vec<u32>| match h.call(Request::Insert { elems }) {
+            Response::Inserted { id, .. } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let kept = insert(vec![3, 1, 2]);
+        let removed = insert(vec![10, 20]);
+        match h.call(Request::Remove { id: removed }) {
+            Response::Removed { found: true, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::Compact) {
+            Response::Compacted { seq, sets, file } => {
+                assert_eq!(sets, 1, "tombstoned set must not be compacted");
+                assert_eq!(seq, 3);
+                assert!(std::path::Path::new(&file).exists());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::SegGet { id: kept }) {
+            Response::SegmentSet {
+                id,
+                elems: Some(elems),
+                segment_seq,
+            } => {
+                assert_eq!(id, kept);
+                assert_eq!(elems, vec![1, 2, 3], "segment stores the canonical set");
+                assert_eq!(segment_seq, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::SegGet { id: removed }) {
+            Response::SegmentSet { elems: None, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_ops_require_a_durable_server() {
+        let server = Server::start(cfg(2)).expect("valid config");
+        let h = server.handle();
+        match h.call(Request::Compact) {
+            Response::Error(msg) => assert!(msg.contains("data-dir"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::SegGet { id: 0 }) {
+            Response::Error(msg) => assert!(msg.contains("data-dir"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn seg_get_before_any_compact_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("ssj_serve_nocompact_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..cfg(2)
+        })
+        .expect("valid config");
+        let h = server.handle();
+        match h.call(Request::SegGet { id: 0 }) {
+            Response::Error(msg) => assert!(msg.contains("compact"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -447,6 +447,42 @@ impl Store {
     }
 }
 
+/// File name of the read-only segment produced by compacting the logical
+/// state at write sequence `seq` (the log → snapshot → segment
+/// progression's final stage; the segment format itself lives in
+/// `ssj-extern`). Zero-padded hex so lexicographic order equals seq order.
+///
+/// Segment writers stage through a sibling `.tmp` path, which recovery's
+/// stray-tmp sweep removes — a crash mid-compaction leaves no partial
+/// segment behind.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("segment-{seq:016x}.seg")
+}
+
+/// Segments present in `dir`, ascending by the write sequence encoded in
+/// their names. Files that merely resemble segments (unparseable seq) are
+/// ignored, like unrelated files; whether a listed segment is *valid* is
+/// decided by the segment reader's own checksums when it is opened.
+pub fn list_segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("segment-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        if let Ok(seq) = u64::from_str_radix(stem, 16) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

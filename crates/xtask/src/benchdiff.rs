@@ -239,6 +239,29 @@ fn diff_join(
                 (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("join [{key}]: {e}")),
             }
         }
+        // Spill-executor counters, carried only by EXT cells. Compared
+        // exactly when the baseline has them (they are deterministic
+        // given sets/seed/budget); older records without them still
+        // pass. `peak_rss_kb` is machine-dependent and never compared.
+        for name in [
+            "mem_budget",
+            "partitions",
+            "peak_bytes",
+            "spilled_records",
+            "spill_bytes",
+        ] {
+            if base.get(name).is_none() {
+                continue;
+            }
+            match (count(base, name), count(cur, name)) {
+                (Ok(b), Ok(c)) if b == c => {}
+                (Ok(b), Ok(c)) => report.regressions.push(format!(
+                    "join [{key}]: spill counter `{name}` drifted: baseline {b}, current {c} \
+                     (spill counters are deterministic given sets/seed/budget)"
+                )),
+                (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("join [{key}]: {e}")),
+            }
+        }
         timing_band(
             &format!("join [{key}] total_secs"),
             num(base, "total_secs"),
@@ -403,6 +426,54 @@ mod tests {
         let report = run_benchdiff(&dir, &config).expect("runs");
         assert_eq!(report.regressions.len(), 1, "{report}");
         assert!(report.regressions[0].contains("tolerance band"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn ext_record(partitions: u64, peak_rss_kb: u64, total_secs: f64) -> String {
+        format!(
+            "{{\"schema\":1,\"bench\":\"join\",\"dataset\":\"address\",\"algo\":\"EXT\",\
+             \"gamma\":0.8,\"input_size\":2000,\"threads\":1,\"seed\":42,\
+             \"signatures\":100,\"candidates\":500,\"f2\":7,\"output_pairs\":7,\
+             \"sig_gen_secs\":0.1,\"cand_gen_secs\":0.1,\"verify_secs\":0.1,\
+             \"total_secs\":{total_secs},\"mem_budget\":262144,\"partitions\":{partitions},\
+             \"peak_bytes\":200000,\"spilled_records\":100,\"spill_bytes\":1700,\
+             \"peak_rss_kb\":{peak_rss_kb},\"unix_secs\":0}}"
+        )
+    }
+
+    #[test]
+    fn spill_counters_diffed_only_when_baseline_has_them() {
+        let dir = tmpdir("spill");
+        write_lines(&dir, JOIN_BASELINE, &[&ext_record(4, 50_000, 1.0)]);
+
+        // Identical spill counters pass; peak_rss_kb may drift freely.
+        let same = write_lines(&dir, "same.json", &[&ext_record(4, 90_000, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(same),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+
+        // A drifted partition count is a regression.
+        let drifted = write_lines(&dir, "drift.json", &[&ext_record(5, 50_000, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(drifted),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert!(report.regressions[0].contains("partitions"), "{report}");
+
+        // A baseline record without spill counters never requires them.
+        write_lines(&dir, JOIN_BASELINE, &[&join_record(500, 1.0)]);
+        let plain = write_lines(&dir, "plain.json", &[&join_record(500, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(plain),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,6 +14,12 @@
 //! * **flip-snap** — flip one bit anywhere in a snapshot file (header,
 //!   body, or checksum);
 //! * **stray-tmp** — leave a garbage `.snap.tmp` from a crashed snapshot;
+//! * **mid-spill** — leave the debris of a crash mid-spill: a partial
+//!   `part-N.spill.tmp` partition file and a half-written `.seg.tmp`
+//!   segment (both must be swept, and neither may be listed as a segment);
+//! * **flip-segment** — compact the acked state into a real segment, then
+//!   flip one bit anywhere in it: the flip must surface as a hard error on
+//!   open or block scan, and must not disturb WAL recovery;
 //! * **clean** — no mutation at all (control).
 //!
 //! Recovery then reopens the directory and the recovered state is compared
@@ -389,6 +395,65 @@ fn scenario_stray_tmp(cp: &CrashPoint, dir: &Path) -> Scenario {
     check_recovery(cp, dir, cp.ops.len() as u64).map_err(|e| format!("stray tmp file: {e}"))
 }
 
+fn scenario_mid_spill(cp: &CrashPoint, dir: &Path) -> Scenario {
+    // A crash mid-spill leaves partial partition files, and a crash
+    // mid-compaction a half-written segment; both stage through
+    // tmp-suffixed names, so recovery must sweep them aside and the
+    // segment listing must not mistake them for segments.
+    fs::write(
+        dir.join(ssj_extern::spill::partition_file_name(0)),
+        b"partial spill garbage",
+    )
+    .map_err(|e| format!("write stray spill: {e}"))?;
+    let seg_tmp = format!("{}.tmp", ssj_store::segment_file_name(42));
+    fs::write(dir.join(&seg_tmp), b"half a segment").map_err(|e| format!("write seg tmp: {e}"))?;
+    let listed = ssj_store::list_segment_files(dir).map_err(|e| format!("list segments: {e}"))?;
+    if !listed.is_empty() {
+        return Err(format!(
+            "tmp-suffixed debris was listed as {} segment(s): {listed:?}",
+            listed.len()
+        ));
+    }
+    check_recovery(cp, dir, cp.ops.len() as u64).map_err(|e| format!("mid-spill debris: {e}"))
+}
+
+/// Opens `path` as a segment and reads every block — the full set of
+/// checksums the format carries. Any undetected corruption escapes here.
+fn scan_segment(path: &Path) -> std::io::Result<()> {
+    let mut seg = ssj_extern::Segment::open_path(path)?;
+    let mut block = ssj_extern::SegmentBlock::default();
+    for idx in 0..seg.blocks().len() {
+        seg.read_block(idx, &mut block)?;
+    }
+    Ok(())
+}
+
+fn scenario_flip_segment(cp: &CrashPoint, dir: &Path, rng: &mut Rng) -> Scenario {
+    // Compact the full acked state into a real segment, then flip one bit
+    // anywhere — magic, block frames, footer, or trailer. The format is
+    // CRC-framed end to end, so every flip must be *detected* (on open or
+    // on a block read), and the corrupt segment sitting in the data dir
+    // must not disturb WAL recovery.
+    let (states, seq) = oracle_state(cp, cp.ops.len() as u64)?;
+    let path = dir.join(ssj_store::segment_file_name(seq));
+    ssj_extern::segment_from_states(&states, &path)
+        .map_err(|e| format!("segment write failed: {e}"))?;
+    scan_segment(&path).map_err(|e| format!("pristine segment failed its own scan: {e}"))?;
+    let mut bytes = fs::read(&path).map_err(|e| format!("read segment: {e}"))?;
+    let pos = rng.below(bytes.len() as u64) as usize;
+    let bit = 1u8 << rng.below(8);
+    bytes[pos] ^= bit;
+    fs::write(&path, &bytes).map_err(|e| format!("write segment: {e}"))?;
+    if scan_segment(&path).is_ok() {
+        return Err(format!(
+            "flipped byte {pos} bit {bit:#04x} of the segment yet open + full block scan \
+             reported success"
+        ));
+    }
+    check_recovery(cp, dir, cp.ops.len() as u64)
+        .map_err(|e| format!("corrupt segment broke recovery: {e}"))
+}
+
 /// Runs the configured sweep (or replay). Returns every divergence.
 pub fn run(config: &CrashtestConfig) -> Vec<Divergence> {
     let seeds: Vec<u64> = match config.replay {
@@ -442,12 +507,14 @@ fn run_seed(seed: u64, scratch: &Path, verbose: bool, divergences: &mut Vec<Dive
     // scenario RNG is derived from the seed so replays are exact.
     let mut rng = Rng::new(seed ^ 0xC4A5_47E5);
     type ScenarioFn = Box<dyn FnMut(&CrashPoint, &Path, &mut Rng) -> Scenario>;
-    let scenarios: [(&'static str, ScenarioFn); 5] = [
+    let scenarios: [(&'static str, ScenarioFn); 7] = [
         ("clean", Box::new(|cp, d, _| scenario_clean(cp, d))),
         ("truncate", Box::new(scenario_truncate)),
         ("flip-wal", Box::new(scenario_flip_wal)),
         ("flip-snap", Box::new(scenario_flip_snap)),
         ("stray-tmp", Box::new(|cp, d, _| scenario_stray_tmp(cp, d))),
+        ("mid-spill", Box::new(|cp, d, _| scenario_mid_spill(cp, d))),
+        ("flip-segment", Box::new(scenario_flip_segment)),
     ];
     for (name, mut scenario) in scenarios {
         let dir = scratch.join(name);

@@ -42,6 +42,10 @@ pub enum SchemeKind {
     /// The `ssj-serve` wire path: insert + query every set over an
     /// in-process scripted connection.
     Serve,
+    /// The out-of-core spill executor under jaccard: the workload is
+    /// written to a segment and joined at several forced partition
+    /// counts, which must all agree with each other and the oracle.
+    Extern,
 }
 
 impl SchemeKind {
@@ -57,6 +61,7 @@ impl SchemeKind {
         SchemeKind::Identity,
         SchemeKind::Lsh,
         SchemeKind::Serve,
+        SchemeKind::Extern,
     ];
 
     /// CLI name (`--schemes` takes a comma-separated list of these).
@@ -72,6 +77,7 @@ impl SchemeKind {
             Self::Identity => "identity",
             Self::Lsh => "lsh",
             Self::Serve => "serve",
+            Self::Extern => "extern",
         }
     }
 
@@ -88,6 +94,7 @@ impl SchemeKind {
             Self::Identity => "Identity",
             Self::Lsh => "Lsh",
             Self::Serve => "Serve",
+            Self::Extern => "Extern",
         }
     }
 
@@ -97,11 +104,12 @@ impl SchemeKind {
     }
 
     /// Thread counts this scheme runs at. LSH uses its own sequential
-    /// candidate pass and the server owns its worker pool, so both run
-    /// once per seed.
+    /// candidate pass, the server owns its worker pool, and the extern
+    /// executor streams partitions sequentially (its internal partition
+    /// sweep is the interesting axis), so each runs once per seed.
     pub fn thread_counts(self) -> &'static [usize] {
         match self {
-            Self::Lsh => &[1],
+            Self::Lsh | Self::Extern => &[1],
             Self::Serve => &[2],
             _ => THREAD_MATRIX,
         }

@@ -34,7 +34,8 @@ pub fn predicate_of(kind: SchemeKind, w: &AdversarialWorkload) -> Predicate {
         | SchemeKind::Prefix
         | SchemeKind::Identity
         | SchemeKind::Lsh
-        | SchemeKind::Serve => Predicate::Jaccard { gamma: w.gamma },
+        | SchemeKind::Serve
+        | SchemeKind::Extern => Predicate::Jaccard { gamma: w.gamma },
         SchemeKind::GeneralMaxFraction => Predicate::MaxFraction { gamma: w.gamma },
         SchemeKind::WtEnum => Predicate::WeightedOverlap { t: w.weighted_t },
         SchemeKind::WtEnumJaccard => Predicate::WeightedJaccard { gamma: w.gamma_w },
@@ -126,7 +127,74 @@ fn run_scheme(kind: SchemeKind, w: &AdversarialWorkload, threads: usize) -> RunR
         SchemeKind::Identity => Ok(self_join(&IdentityScheme, &collection, pred, None, opts).pairs),
         SchemeKind::Lsh => Ok(lsh_pairs(w, &collection, pred, seed)),
         SchemeKind::Serve => serve_pairs(w, threads),
+        SchemeKind::Extern => extern_pairs(w, &collection, pred, seed),
     }
+}
+
+/// Partition counts the extern run is forced through: single-partition
+/// (degenerates to one streamed load), the minimal split, and a prime
+/// count that never divides the workload evenly.
+const EXTERN_PARTITION_SWEEP: [usize; 3] = [1, 2, 7];
+
+/// The out-of-core spill executor: writes the workload to a temporary
+/// segment, then joins it at every partition count in
+/// [`EXTERN_PARTITION_SWEEP`]. Partitioning is semantically invisible, so
+/// all runs must return the identical pair set (and the caller compares
+/// that set against the oracle like any exact scheme).
+fn extern_pairs(
+    w: &AdversarialWorkload,
+    collection: &SetCollection,
+    pred: Predicate,
+    seed: u64,
+) -> RunResult {
+    let max_len = w.max_set_len().max(1);
+    let scheme = GeneralPartEnum::new(pred, max_len, seed)
+        .map_err(|e| format!("construction failed: {e}"))?;
+    let path = std::env::temp_dir().join(format!(
+        "ssjoin_difftest_{}_{}.seg",
+        std::process::id(),
+        w.seed
+    ));
+    let run = (|| {
+        ssj_extern::write_collection_segment(&path, collection, 0)
+            .map_err(|e| format!("segment write failed: {e}"))?;
+        let mut agreed: Option<(usize, Vec<(u32, u32)>)> = None;
+        for min_parts in EXTERN_PARTITION_SWEEP {
+            let mut seg = ssj_extern::Segment::open_path(&path)
+                .map_err(|e| format!("segment open failed: {e}"))?;
+            let cfg = ssj_extern::ExternConfig {
+                mem_budget: 1 << 30,
+                min_partitions: min_parts,
+                spill_dir: None,
+            };
+            let (pairs, stats) =
+                ssj_extern::external_self_join(&mut seg, &scheme, pred, None, &cfg)
+                    .map_err(|e| format!("extern join (min_partitions {min_parts}) failed: {e}"))?;
+            if stats.partitions < min_parts {
+                return Err(format!(
+                    "asked for at least {min_parts} partition(s), ran {}",
+                    stats.partitions
+                ));
+            }
+            match &agreed {
+                None => agreed = Some((min_parts, pairs)),
+                Some((first_parts, first)) if *first != pairs => {
+                    return Err(format!(
+                        "partition counts disagree: {} pair(s) at min_partitions {first_parts} \
+                         vs {} at {min_parts}",
+                        first.len(),
+                        pairs.len()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        agreed
+            .map(|(_, pairs)| pairs)
+            .ok_or_else(|| "empty partition sweep".to_string())
+    })();
+    std::fs::remove_file(&path).ok();
+    run
 }
 
 /// LSH is inexact, so it bypasses the join driver (whose debug-build

@@ -87,8 +87,10 @@ pub const SUPPRESSIBLE_RULES: [&str; 6] = [
 /// * the serve read path — `query` / `query_counted` /
 ///   `query_candidates` answer every service request;
 /// * WAL record encoding — `encode_record_into` / `encode_set` run per
-///   write inside the store's critical section.
-pub const HOT_ROOTS: [&str; 14] = [
+///   write inside the store's critical section;
+/// * `probe_partition` — the external executor's per-partition candidate
+///   enumeration, run once per spill partition over every posting list.
+pub const HOT_ROOTS: [&str; 15] = [
     "verify_pairs_into",
     "intersection_size",
     "intersection_at_least",
@@ -103,6 +105,7 @@ pub const HOT_ROOTS: [&str; 14] = [
     "query_candidates",
     "encode_record_into",
     "encode_set",
+    "probe_partition",
 ];
 
 /// Std container/iterator/primitive method names excluded from name-union

@@ -44,7 +44,7 @@ commands:
     --schemes <a,b,..>  comma-separated scheme subset; any of:
                         pe-hamming, pe-jaccard, general-jaccard,
                         general-maxfraction, wtenum, wtenum-jaccard,
-                        prefix, identity, lsh, serve
+                        prefix, identity, lsh, serve, extern
     --replay <seed>     verbosely re-run one seed (for minimized repros)
   crashtest [options]   crash-fault injection against the durable store:
                         seeded workloads, adversarial WAL/snapshot
