@@ -152,6 +152,15 @@ fn parse_args(args: &[String]) -> Result<BenchArgs, String> {
     Ok(parsed)
 }
 
+/// Bitmap-filter verification counters emitted with every cell. Both are
+/// seeded-deterministic (they depend only on the deduplicated candidate
+/// set and the per-set bitmaps) and exact-diffed by benchdiff.
+#[derive(Clone, Copy)]
+struct BitmapCounters {
+    pruned: u64,
+    survivors: u64,
+}
+
 /// Spill-executor fields appended to the EXT cell's JSON record. All but
 /// `peak_rss_kb` are seeded-deterministic and exact-diffed by benchdiff.
 struct ExtExtras {
@@ -185,7 +194,7 @@ fn run_ext(
     gamma: f64,
     seed: u64,
     budget: u64,
-) -> Result<(RunRecord, ExtExtras), String> {
+) -> Result<(RunRecord, ExtExtras, BitmapCounters), String> {
     let pred = Predicate::Jaccard { gamma };
     let scheme = GeneralPartEnum::new(pred, collection.max_set_len().max(1), seed)
         .map_err(|e| format!("EXT scheme construction failed: {e}"))?;
@@ -199,6 +208,7 @@ fn run_ext(
             mem_budget: budget,
             min_partitions: 1,
             spill_dir: None,
+            ..Default::default()
         };
         let (_pairs, stats) = ssj_extern::external_self_join(&mut seg, &scheme, pred, None, &cfg)
             .map_err(|e| format!("EXT join failed: {e}"))?;
@@ -234,7 +244,11 @@ fn run_ext(
         spill_bytes: stats.spill_bytes,
         peak_rss_kb: peak_rss_kb(),
     };
-    Ok((record, extras))
+    let bitmap = BitmapCounters {
+        pruned: stats.bitmap_pruned,
+        survivors: stats.bitmap_survivors,
+    };
+    Ok((record, extras, bitmap))
 }
 
 /// One JSON line in the `BENCH_join.json` schema `cargo xtask benchdiff`
@@ -243,6 +257,7 @@ fn run_ext(
 fn to_json_record(
     r: &RunRecord,
     ext: Option<&ExtExtras>,
+    bitmap: BitmapCounters,
     threads: usize,
     seed: u64,
     unix_secs: u64,
@@ -264,6 +279,7 @@ fn to_json_record(
         "{{\"schema\":1,\"bench\":\"join\",\"dataset\":\"{}\",\"algo\":\"{}\",\
          \"gamma\":{},\"input_size\":{},\"threads\":{threads},\"seed\":{seed},\
          \"signatures\":{},\"candidates\":{},\"f2\":{},\"output_pairs\":{},\
+         \"bitmap_pruned\":{},\"bitmap_survivors\":{},\
          \"sig_gen_secs\":{:.6},\"cand_gen_secs\":{:.6},\"verify_secs\":{:.6},\
          \"total_secs\":{:.6}{ext_fields},\"unix_secs\":{unix_secs}}}",
         r.dataset,
@@ -274,6 +290,8 @@ fn to_json_record(
         r.candidates,
         r.f2,
         r.output_pairs,
+        bitmap.pruned,
+        bitmap.survivors,
         r.sig_gen_secs,
         r.cand_gen_secs,
         r.verify_secs,
@@ -309,10 +327,14 @@ fn main() -> ExitCode {
     let collection = address_tokens(parsed.sets);
     let mut records = Vec::new();
     for &algo in &parsed.algos {
-        let (record, extras) = match algo {
+        let (record, extras, bitmap) = match algo {
             CellAlgo::Mem(algo) => {
                 let (result, notes) =
                     run_jaccard(&collection, parsed.gamma, algo, parsed.threads, parsed.seed);
+                let bitmap = BitmapCounters {
+                    pruned: result.stats.bitmap_pruned,
+                    survivors: result.stats.bitmap_survivors,
+                };
                 let record = RunRecord::from_result(
                     "baseline",
                     "address",
@@ -322,11 +344,11 @@ fn main() -> ExitCode {
                     &result,
                     notes,
                 );
-                (record, None)
+                (record, None, bitmap)
             }
             CellAlgo::Ext => {
                 match run_ext(&collection, parsed.gamma, parsed.seed, parsed.mem_budget) {
-                    Ok((record, extras)) => (record, Some(extras)),
+                    Ok((record, extras, bitmap)) => (record, Some(extras), bitmap),
                     Err(e) => {
                         eprintln!("join_bench: {e}");
                         return ExitCode::FAILURE;
@@ -335,15 +357,16 @@ fn main() -> ExitCode {
             }
         };
         println!(
-            "{:<4}  sig {:>9}  cand {:>9}  f2 {:>11}  out {:>7}  total {:>8.3}s",
+            "{:<4}  sig {:>9}  cand {:>9}  f2 {:>11}  out {:>7}  bmprune {:>9}  total {:>8.3}s",
             record.algo,
             record.signatures,
             record.candidates,
             record.f2,
             record.output_pairs,
+            bitmap.pruned,
             record.total_secs,
         );
-        records.push((record, extras));
+        records.push((record, extras, bitmap));
     }
     if let Some(path) = &parsed.bench_out {
         let unix_secs = std::time::SystemTime::now()
@@ -352,7 +375,9 @@ fn main() -> ExitCode {
             .unwrap_or(0);
         let lines: Vec<String> = records
             .iter()
-            .map(|(r, e)| to_json_record(r, e.as_ref(), parsed.threads, parsed.seed, unix_secs))
+            .map(|(r, e, b)| {
+                to_json_record(r, e.as_ref(), *b, parsed.threads, parsed.seed, unix_secs)
+            })
             .collect();
         match append_records(path, &lines) {
             Ok(()) => eprintln!("join_bench: appended {} record(s) to {path}", lines.len()),

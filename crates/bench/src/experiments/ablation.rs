@@ -48,6 +48,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
             JoinOptions {
                 threads,
                 verify: true,
+                ..JoinOptions::default()
             },
         );
         records.push(RunRecord::from_result(
@@ -72,6 +73,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
         JoinOptions {
             threads,
             verify: true,
+            ..JoinOptions::default()
         },
     );
     records.push(RunRecord::from_result(
@@ -139,6 +141,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
             JoinOptions {
                 threads,
                 verify: true,
+                ..JoinOptions::default()
             },
         );
         records.push(RunRecord::from_result(
@@ -169,6 +172,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
             JoinOptions {
                 threads,
                 verify: true,
+                ..JoinOptions::default()
             },
         );
         assert_eq!(

@@ -36,6 +36,7 @@ fn run_binary(
     let opts = JoinOptions {
         threads,
         verify: true,
+        ..JoinOptions::default()
     };
     let max_len = r.max_set_len().max(s.max_set_len()).max(1);
     match algo {

@@ -50,6 +50,7 @@ pub fn run(scale: Scale, threads: usize) -> Vec<RunRecord> {
             JoinOptions {
                 threads,
                 verify: true,
+                ..JoinOptions::default()
             },
         );
         let mut rec = RunRecord::from_result(

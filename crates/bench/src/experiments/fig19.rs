@@ -33,6 +33,7 @@ fn run_algo(
     let opts = JoinOptions {
         threads,
         verify: true,
+        ..JoinOptions::default()
     };
     match algo {
         "WEN" => {

@@ -161,6 +161,7 @@ pub fn run_jaccard(
     let opts = JoinOptions {
         threads,
         verify: true,
+        ..JoinOptions::default()
     };
     match algo {
         JaccardAlgo::Pen => {

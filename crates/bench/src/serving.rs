@@ -129,6 +129,12 @@ pub struct ServingReport {
     pub write_latency: LatencySummary,
     /// Total matches returned across all queries.
     pub total_matches: u64,
+    /// Candidates inspected by the verification stage, summed over all
+    /// shards (preload included — the counters are cumulative).
+    pub candidates_probed: u64,
+    /// Candidates rejected by the bitmap filter before the exact
+    /// predicate ran, summed over all shards.
+    pub bitmap_pruned: u64,
     /// Overloaded responses during measurement.
     pub overloaded: u64,
     /// Timeout responses during measurement.
@@ -165,7 +171,8 @@ impl ServingReport {
             "serving benchmark: {} preloaded sets, {} clients x {} ops\n\
              preload: {:.2}s ({:.0} inserts/s)\n\
              measured: {} ops in {:.2}s -> {:.0} req/s \
-             (overloaded={}, timeouts={}, matches={})\n{}",
+             (overloaded={}, timeouts={}, matches={})\n\
+             verify: {} candidates probed, {} bitmap-pruned\n{}",
             self.preload_sets,
             cfg.clients,
             cfg.ops_per_client,
@@ -177,6 +184,8 @@ impl ServingReport {
             self.overloaded,
             self.timeouts,
             self.total_matches,
+            self.candidates_probed,
+            self.bitmap_pruned,
             table,
         )
     }
@@ -229,8 +238,13 @@ impl ServingReport {
         out.push(',');
         latency(&mut out, "write_latency", &self.write_latency);
         out.push_str(&format!(
-            ",\"total_matches\":{},\"overloaded\":{},\"timeouts\":{},\"live_sets\":[",
-            self.total_matches, self.overloaded, self.timeouts
+            ",\"total_matches\":{},\"candidates_probed\":{},\"bitmap_pruned\":{},\
+             \"overloaded\":{},\"timeouts\":{},\"live_sets\":[",
+            self.total_matches,
+            self.candidates_probed,
+            self.bitmap_pruned,
+            self.overloaded,
+            self.timeouts
         ));
         for (i, n) in self.live_sets.iter().enumerate() {
             if i > 0 {
@@ -405,6 +419,8 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingReport {
         query_latency: LatencySummary::from_samples(&mut query),
         write_latency: LatencySummary::from_samples(&mut write),
         total_matches: matches,
+        candidates_probed: stats.shards.iter().map(|s| s.candidates_probed).sum(),
+        bitmap_pruned: stats.shards.iter().map(|s| s.bitmap_pruned).sum(),
         overloaded,
         timeouts,
         live_sets: stats.live_sets,
@@ -468,6 +484,16 @@ mod tests {
         assert_eq!(get_u64("unix_secs"), 1_754_000_000);
         assert_eq!(get_u64("measured_ops"), report.measured_ops);
         assert_eq!(get_u64("total_matches"), report.total_matches);
+        assert_eq!(get_u64("candidates_probed"), report.candidates_probed);
+        assert_eq!(get_u64("bitmap_pruned"), report.bitmap_pruned);
+        // 300 preloaded sets over a small domain collide heavily: the
+        // verification stage must have probed candidates, and some of
+        // them must have been rejected by the bitmap filter.
+        assert!(report.candidates_probed > 0, "{report:?}");
+        assert!(
+            report.bitmap_pruned <= report.candidates_probed,
+            "{report:?}"
+        );
         let config = obj["config"].as_object().expect("config object");
         assert_eq!(config["sets"].as_u64().unwrap(), cfg.sets as u64);
         assert_eq!(config["seed"].as_u64().unwrap(), cfg.seed);

@@ -90,6 +90,7 @@ fn build_and_run(
     let opts = JoinOptions {
         threads: cli.threads,
         verify: true,
+        ..JoinOptions::default()
     };
     let max_len = left
         .max_set_len()
@@ -174,6 +175,7 @@ fn run_external(pred: Predicate, left: &SetCollection, budget: u64) -> Result<Ou
             mem_budget: budget,
             min_partitions: 1,
             spill_dir: None,
+            ..Default::default()
         };
         ssj_extern::external_self_join(&mut seg, &scheme, pred, None, &cfg)
     })();

@@ -16,7 +16,15 @@ use crate::hash::{FxHashMap, FxHashSet};
 use crate::predicate::Predicate;
 use crate::set::{ElementId, SetCollection, SetId, WeightMap};
 use crate::signature::{SigScratch, Signature, SignatureScheme};
+use crate::verify::{write_bitmap, BitmapIndex, MAX_BITMAP_WORDS};
 use std::sync::Arc;
+
+/// Bitmap stride for the incremental serve index: 128 bits per set. Batch
+/// joins auto-size from the collection mean, but an incremental index fixes
+/// its width at construction (sets arrive one at a time), so it takes the
+/// middle rung of the ladder — wide enough for typical serve workloads,
+/// cheap enough (16 bytes/set) to keep beside the postings.
+const SERVE_BITMAP_WORDS: usize = 2;
 
 /// Reusable buffers for the verified-lookup path (DESIGN.md §5g).
 ///
@@ -40,6 +48,21 @@ pub struct QueryScratch {
     inner_matches: Vec<SetId>,
     /// Scheme-internal temporaries.
     sig_scratch: SigScratch,
+    /// Query bitmap for the point-query prune (only the index's stride is
+    /// used; fixed-size so the scratch stays allocation-free).
+    qwords: [u64; MAX_BITMAP_WORDS],
+    /// Candidates the bitmap bound rejected in the most recent query.
+    bitmap_pruned: usize,
+}
+
+impl QueryScratch {
+    /// Candidates the bitmap filter pruned (bound below the required
+    /// overlap, no exact merge) in the most recent query through this
+    /// scratch. Feeds the serving layer's per-shard `bitmap_pruned`
+    /// counter.
+    pub fn last_bitmap_pruned(&self) -> usize {
+        self.bitmap_pruned
+    }
 }
 
 /// An inverted signature index over an owned, growing collection.
@@ -56,6 +79,10 @@ pub struct SimilarityIndex<S: SignatureScheme> {
     weights: Option<Arc<WeightMap>>,
     sets: SetCollection,
     postings: FxHashMap<Signature, Vec<SetId>>,
+    /// One 128-bit bitmap per stored set, pushed in id order beside the
+    /// postings: point queries check the popcount bound before touching
+    /// set storage (DESIGN.md §5i).
+    bitmaps: BitmapIndex,
     deleted: FxHashSet<SetId>,
     sig_buf: Vec<Signature>,
 }
@@ -73,6 +100,7 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
             weights,
             sets: SetCollection::new(),
             postings: FxHashMap::default(),
+            bitmaps: BitmapIndex::new(SERVE_BITMAP_WORDS),
             deleted: FxHashSet::default(),
             sig_buf: Vec::new(),
         }
@@ -102,6 +130,7 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
     /// input use [`Self::try_insert`].
     pub fn insert(&mut self, elems: Vec<ElementId>) -> SetId {
         let id = self.sets.push(elems);
+        self.bitmaps.push(self.sets.set(id));
         let len = self.sets.len_of(id);
         let in_range = match self.scheme.max_signable_len() {
             Some(max) => len <= max,
@@ -220,6 +249,7 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
         out: &mut Vec<SetId>,
     ) -> usize {
         out.clear();
+        scratch.bitmap_pruned = 0;
         scratch.sorted.clear();
         scratch.sorted.extend_from_slice(query);
         scratch.sorted.sort_unstable();
@@ -241,10 +271,39 @@ impl<S: SignatureScheme> SimilarityIndex<S> {
             &mut scratch.candidates,
         );
         let probed = scratch.candidates.len();
-        out.extend(scratch.candidates.iter().copied().filter(|&id| {
-            self.pred
+        // Bitmap fast path: one query bitmap, then the popcount bound vs
+        // each candidate's stored bitmap — pruned candidates never touch
+        // set storage. `required_overlap` is necessary for the predicate,
+        // so survivors are a superset of the true matches and the exact
+        // evaluate below keeps results byte-identical.
+        let wps = self.bitmaps.words_per_set();
+        let q_len = scratch.sorted.len();
+        let q_pop = write_bitmap(&scratch.sorted, &mut scratch.qwords[..wps]);
+        let mut pruned = 0usize;
+        for &id in scratch.candidates.iter() {
+            let set_len = self.sets.len_of(id);
+            if let Some(required) = self.pred.required_overlap(q_len, set_len) {
+                if required > 0
+                    && self.bitmaps.bound_vs(
+                        &scratch.qwords[..wps],
+                        q_pop,
+                        q_len,
+                        id as usize,
+                        set_len,
+                    ) < required
+                {
+                    pruned += 1;
+                    continue;
+                }
+            }
+            if self
+                .pred
                 .evaluate(&scratch.sorted, self.sets.set(id), self.weights.as_deref())
-        }));
+            {
+                out.push(id);
+            }
+        }
+        scratch.bitmap_pruned = pruned;
         probed
     }
 
@@ -460,6 +519,7 @@ impl JaccardIndex {
             // consistently; fall back to a size-bounded linear scan (rare —
             // only until the first insert of comparable size grows coverage).
             out.clear();
+            scratch.bitmap_pruned = 0;
             scratch.sorted.clear();
             scratch.sorted.extend_from_slice(query);
             scratch.sorted.sort_unstable();
@@ -856,6 +916,45 @@ mod tests {
         let (fm, fp) = jidx.query_counted(&(0..200).collect::<Vec<_>>());
         assert!(fm.is_empty());
         assert_eq!(fp, 0, "size filter excludes the only indexed set");
+    }
+
+    #[test]
+    fn bitmap_prune_is_transparent_and_counted() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xb175e);
+        let gamma = 0.5;
+        let scheme = PartEnumJaccard::new(gamma, 64, 5).expect("valid gamma");
+        let mut idx = SimilarityIndex::new(scheme, Predicate::Jaccard { gamma }, None);
+        let sets: Vec<Vec<u32>> = (0..120)
+            .map(|_| {
+                let len = rng.gen_range(5..25);
+                let mut s: Vec<u32> = (0..len).map(|_| rng.gen_range(0..64u32)).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        for s in &sets {
+            idx.insert(s.clone());
+        }
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let mut total_pruned = 0usize;
+        for q in &sets {
+            let probed = idx.query_counted_scratch(q, &mut scratch, &mut out);
+            assert!(scratch.last_bitmap_pruned() <= probed);
+            total_pruned += scratch.last_bitmap_pruned();
+            // Oracle: linear scan with the exact predicate — the bitmap
+            // prune must never change what a query returns.
+            let expect: Vec<SetId> = (0..crate::cast::set_id(idx.sets.len()))
+                .filter(|&id| Predicate::Jaccard { gamma }.evaluate(q, idx.sets.set(id), None))
+                .collect();
+            assert_eq!(out, expect);
+        }
+        assert!(
+            total_pruned > 0,
+            "workload should exercise the prune branch"
+        );
     }
 
     #[test]

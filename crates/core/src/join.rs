@@ -18,6 +18,7 @@ use crate::predicate::Predicate;
 use crate::set::{SetCollection, SetId, WeightMap};
 use crate::signature::{Signature, SignatureScheme};
 use crate::stats::JoinStats;
+use crate::verify::{BitmapIndex, BitmapVerifier, ExactVerifier, Verifier};
 use std::time::Instant;
 
 /// Execution options for the join driver.
@@ -29,6 +30,11 @@ pub struct JoinOptions {
     /// e.g. for string joins, where verification uses edit distance on the
     /// original strings instead of the SSJoin predicate (Section 8.2).
     pub verify: bool,
+    /// Front the post-filter with the bitmap intersection bound
+    /// ([`crate::verify::BitmapVerifier`]) for unweighted predicates.
+    /// Output is byte-identical either way (difftest compares both); off
+    /// skips building the per-collection bitmaps.
+    pub bitmap_filter: bool,
 }
 
 impl Default for JoinOptions {
@@ -36,6 +42,7 @@ impl Default for JoinOptions {
         Self {
             threads: 1,
             verify: true,
+            bitmap_filter: true,
         }
     }
 }
@@ -50,7 +57,15 @@ impl JoinOptions {
     pub fn parallel(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
-            verify: true,
+            ..Self::default()
+        }
+    }
+
+    /// The same options with the bitmap filter toggled.
+    pub fn with_bitmap_filter(self, on: bool) -> Self {
+        Self {
+            bitmap_filter: on,
+            ..self
         }
     }
 }
@@ -282,27 +297,30 @@ fn decode_pair(encoded: u64) -> (SetId, SetId) {
     )
 }
 
-/// Post-filters encoded candidate pairs with the predicate, writing the
+/// Post-filters encoded candidate pairs with a [`Verifier`], writing the
 /// surviving pairs into the caller-provided `out` (cleared first).
 ///
-/// The parallel path writes survivors directly into disjoint chunks of
-/// `out` and compacts them in place, so verification allocates nothing per
-/// candidate pair — workers never build intermediate result vectors (the
-/// counting-allocator witness in `tests/alloc_witness.rs` pins this for the
-/// sequential path).
-pub fn verify_pairs_into(
+/// The verifier decides each pair ([`ExactVerifier`] for the plain
+/// predicate path, [`BitmapVerifier`] for the bound-then-merge fast
+/// path — both produce identical output). The parallel path writes
+/// survivors directly into disjoint chunks of `out` and compacts them in
+/// place, so verification allocates nothing per candidate pair — workers
+/// never build intermediate result vectors (the counting-allocator
+/// witness in `tests/alloc_witness.rs` pins this for the sequential path,
+/// with both verifier flavors).
+pub fn verify_pairs_into<V: Verifier>(
     pairs: &[u64],
     left: &SetCollection,
     right: &SetCollection,
-    pred: Predicate,
-    weights: Option<&WeightMap>,
+    verifier: &V,
     threads: usize,
     out: &mut Vec<(SetId, SetId)>,
 ) {
     out.clear();
     let check = |encoded: u64| -> Option<(SetId, SetId)> {
         let (a, b) = decode_pair(encoded);
-        pred.evaluate(left.set(a), right.set(b), weights)
+        verifier
+            .verify_pair(a, b, left.set(a), right.set(b))
             .then_some((a, b))
     };
     if threads <= 1 || pairs.len() < 4096 {
@@ -345,6 +363,53 @@ pub fn verify_pairs_into(
     out.truncate(write);
 }
 
+/// Runs step 4 with the verifier `opts` selects: bitmap-filtered for
+/// unweighted predicates when `opts.bitmap_filter` is on (recording the
+/// filter counters in `stats`), the plain exact path otherwise. `same`
+/// marks a self-join, so one bitmap build serves both sides; binary joins
+/// share a width (chosen from the combined mean set size) so the filter
+/// always applies.
+#[allow(clippy::too_many_arguments)]
+fn verify_with_options(
+    encoded: &[u64],
+    left: &SetCollection,
+    right: &SetCollection,
+    same: bool,
+    pred: Predicate,
+    weights: Option<&WeightMap>,
+    opts: JoinOptions,
+    stats: &mut JoinStats,
+    pairs: &mut Vec<(SetId, SetId)>,
+) {
+    if opts.bitmap_filter && !pred.is_weighted() {
+        let wps = if same {
+            BitmapIndex::words_for_mean(left.avg_set_len())
+        } else {
+            let sets = left.len() + right.len();
+            let elems = left.total_elements() + right.total_elements();
+            BitmapIndex::words_for_mean(if sets == 0 {
+                0.0
+            } else {
+                elems as f64 / sets as f64
+            })
+        };
+        let left_bm = BitmapIndex::for_collection_width(left, wps);
+        let right_bm = if same {
+            None
+        } else {
+            Some(BitmapIndex::for_collection_width(right, wps))
+        };
+        let right_ref = right_bm.as_ref().unwrap_or(&left_bm);
+        let verifier = BitmapVerifier::new(pred, weights, &left_bm, right_ref);
+        verify_pairs_into(encoded, left, right, &verifier, opts.threads, pairs);
+        stats.bitmap_pruned = verifier.bitmap_pruned();
+        stats.bitmap_survivors = verifier.bitmap_survivors();
+    } else {
+        let verifier = ExactVerifier::new(pred, weights);
+        verify_pairs_into(encoded, left, right, &verifier, opts.threads, pairs);
+    }
+}
+
 /// Computes a self-SSJoin of `collection` under `pred` using `scheme`
 /// (Figure 2 with `R = S`). Returns all pairs `(a, b)`, `a < b`, satisfying
 /// the predicate — plus every candidate pair when `opts.verify` is off.
@@ -381,14 +446,8 @@ pub fn self_join(
     let t2 = Instant::now();
     let mut pairs = Vec::new();
     if opts.verify {
-        verify_pairs_into(
-            &encoded,
-            collection,
-            collection,
-            pred,
-            weights,
-            opts.threads,
-            &mut pairs,
+        verify_with_options(
+            &encoded, collection, collection, true, pred, weights, opts, &mut stats, &mut pairs,
         );
     } else {
         pairs.extend(encoded.iter().map(|&p| decode_pair(p)));
@@ -442,7 +501,9 @@ pub fn join(
     let t2 = Instant::now();
     let mut pairs = Vec::new();
     if opts.verify {
-        verify_pairs_into(&encoded, r, s, pred, weights, opts.threads, &mut pairs);
+        verify_with_options(
+            &encoded, r, s, false, pred, weights, opts, &mut stats, &mut pairs,
+        );
     } else {
         pairs.extend(encoded.iter().map(|&p| decode_pair(p)));
     }
@@ -584,6 +645,55 @@ mod tests {
         let result = self_join(&scheme, &collection, pred, None, opts);
         assert_eq!(result.pairs.len() as u64, result.stats.candidate_pairs);
         assert_eq!(result.stats.false_positives, 0);
+    }
+
+    #[test]
+    fn bitmap_filter_is_transparent_and_counted() {
+        let collection = small_random_collection(8, 200);
+        let pred = Predicate::Jaccard { gamma: 0.7 };
+        let scheme = PartEnumJaccard::new(0.7, collection.max_set_len(), 4).unwrap();
+        let on = self_join(&scheme, &collection, pred, None, JoinOptions::default());
+        let off = self_join(
+            &scheme,
+            &collection,
+            pred,
+            None,
+            JoinOptions::default().with_bitmap_filter(false),
+        );
+        // Byte-identical output either way; the filter only reorders work.
+        assert_eq!(on.pairs, off.pairs);
+        assert_eq!(on.stats.candidate_pairs, off.stats.candidate_pairs);
+        // Every candidate was either pruned by the bound or exact-merged.
+        assert_eq!(
+            on.stats.bitmap_pruned + on.stats.bitmap_survivors,
+            on.stats.candidate_pairs
+        );
+        assert!(on.stats.bitmap_pruned > 0, "workload should prune");
+        assert_eq!(off.stats.bitmap_pruned, 0);
+        assert_eq!(off.stats.bitmap_survivors, 0);
+    }
+
+    #[test]
+    fn binary_join_bitmap_filter_is_transparent() {
+        let r = small_random_collection(9, 80);
+        let s = small_random_collection(10, 80);
+        let pred = Predicate::Jaccard { gamma: 0.5 };
+        let max_len = r.max_set_len().max(s.max_set_len());
+        let scheme = PartEnumJaccard::new(0.5, max_len, 6).unwrap();
+        let on = join(&scheme, &r, &s, pred, None, JoinOptions::default());
+        let off = join(
+            &scheme,
+            &r,
+            &s,
+            pred,
+            None,
+            JoinOptions::default().with_bitmap_filter(false),
+        );
+        assert_eq!(on.pairs, off.pairs);
+        assert_eq!(
+            on.stats.bitmap_pruned + on.stats.bitmap_survivors,
+            on.stats.candidate_pairs
+        );
     }
 
     #[test]

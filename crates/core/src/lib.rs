@@ -43,6 +43,7 @@
 //! | [`predicate`] | §2, §6 | [`Predicate`] with size/hamming bounds |
 //! | [`signature`] | §3 | the [`SignatureScheme`] trait |
 //! | [`join`] | §3, Fig. 2 | the shared join driver |
+//! | [`verify`] | §3 step 4 | pluggable verification, bitmap filter |
 //! | [`partenum`] | §4–6 | PartEnum (hamming, jaccard, general) |
 //! | [`wtenum`] | §7 | WtEnum and its weighted-jaccard wrapper |
 //! | [`stats`] | §3.2 | F2 / filtering-effectiveness instrumentation |
@@ -67,6 +68,7 @@ pub mod signature;
 pub mod similarity;
 pub mod sketch;
 pub mod stats;
+pub mod verify;
 pub mod wtenum;
 
 pub use error::{Result, SsjError};
@@ -79,6 +81,7 @@ pub use set::{ElementId, SetCollection, SetId, WeightMap};
 pub use signature::{Signature, SignatureScheme};
 pub use sketch::F2Sketch;
 pub use stats::JoinStats;
+pub use verify::{BitmapIndex, BitmapVerifier, ExactVerifier, Verifier};
 pub use wtenum::{WtEnum, WtEnumJaccard};
 
 /// One-stop imports for typical use.
@@ -90,5 +93,6 @@ pub mod prelude {
     pub use crate::set::{ElementId, SetCollection, SetId, WeightMap};
     pub use crate::signature::{Signature, SignatureScheme};
     pub use crate::stats::JoinStats;
+    pub use crate::verify::{BitmapIndex, BitmapVerifier, ExactVerifier, Verifier};
     pub use crate::wtenum::{WtEnum, WtEnumJaccard};
 }

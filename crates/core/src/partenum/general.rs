@@ -218,6 +218,7 @@ impl SignatureScheme for GeneralPartEnum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predicate::floor_tol;
     use rand::prelude::*;
 
     fn share_sig(scheme: &GeneralPartEnum, a: &[u32], b: &[u32]) -> bool {
@@ -244,8 +245,11 @@ mod tests {
         for trial in 0..100 {
             let m = rng.gen_range(30..100usize);
             let shared: Vec<u32> = (0..m as u32).collect();
-            // extras on one side, keeping |r∩s| = m ≥ γ·max.
-            let max_extra = ((m as f64 / gamma) - m as f64).floor() as usize;
+            // extras on one side, keeping |r∩s| = m ≥ γ·max. Tolerant
+            // floor: raw `.floor() as usize` under-counts when the exact
+            // value sits a ulp below an integer, so the test would never
+            // construct the maximal legal pair.
+            let max_extra = floor_tol((m as f64 / gamma) - m as f64);
             let ea = rng.gen_range(0..=max_extra);
             let mut a = shared.clone();
             a.extend((0..ea as u32).map(|x| 10_000 + x));

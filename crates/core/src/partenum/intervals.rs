@@ -101,6 +101,7 @@ impl SizeIntervals {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predicate::{ceil_tol, floor_tol};
 
     #[test]
     fn example5_intervals() {
@@ -153,9 +154,12 @@ mod tests {
             let iv = SizeIntervals::new(gamma, 3000);
             for s_size in 1..=1000usize {
                 let i = iv.interval_of(s_size).expect("covered size");
-                // Lemma 1: γ·|s| ≤ |r| ≤ |s|/γ.
-                let lo = (gamma * s_size as f64).ceil() as usize;
-                let hi = (s_size as f64 / gamma).floor() as usize;
+                // Lemma 1: γ·|s| ≤ |r| ≤ |s|/γ. Tolerant rounding — a raw
+                // `.ceil()`/`.floor()` turns float noise (0.07·100 =
+                // 7.000000000000001) into an off-by-one that silently
+                // skips the true boundary size.
+                let lo = ceil_tol(gamma * s_size as f64);
+                let hi = floor_tol(s_size as f64 / gamma);
                 for r_size in [lo.max(1), hi] {
                     let j = iv.interval_of(r_size).expect("covered size");
                     assert!(
@@ -164,6 +168,18 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn lemma1_bounds_match_rational_arithmetic() {
+        // γ = 7/10: the exact Lemma 1 bounds are ⌈7s/10⌉ and ⌊10s/7⌋.
+        // Binary float noise must not shift either of them — the raw
+        // `.ceil() as usize` this replaces got ⌈γ·s⌉ wrong whenever the
+        // product landed a ulp above the true integer.
+        for s in 1..=1000usize {
+            assert_eq!(ceil_tol(0.7 * s as f64), (7 * s).div_ceil(10), "s={s}");
+            assert_eq!(floor_tol(s as f64 / 0.7), 10 * s / 7, "s={s}");
         }
     }
 

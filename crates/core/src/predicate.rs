@@ -129,6 +129,17 @@ impl Predicate {
     /// `(lr, ls)` — the `eᵢ` expression of Section 2, maximized over the
     /// conjuncts. Returns `None` for weighted predicates (their requirement
     /// is on weighted intersection, not cardinality).
+    ///
+    /// **Contract** (pinned by `evaluate_consistency_with_required_overlap`
+    /// and relied on by the bitmap filter in [`crate::verify`]): for every
+    /// unweighted predicate, `Some(req)` is *exact* —
+    /// [`Predicate::evaluate`] holds **iff** `|r ∩ s| ≥ req`. In
+    /// particular it is a necessary condition, so any sound upper bound on
+    /// the intersection below `req` proves a pair cannot match. When no
+    /// overlap count can satisfy the predicate at these sizes (cosine with
+    /// exactly one empty side, where the similarity is 0 regardless of
+    /// overlap), the result exceeds `min(lr, ls)` so the condition is
+    /// unsatisfiable, matching `evaluate`.
     pub fn required_overlap(&self, lr: usize, ls: usize) -> Option<usize> {
         match *self {
             // Js ≥ γ  ⟺  |r∩s| ≥ γ/(1+γ)·(|r|+|s|)   (Section 2.3)
@@ -141,8 +152,14 @@ impl Predicate {
             Predicate::MaxFraction { gamma } => Some(ceil_tol(gamma * lr.max(ls) as f64)),
             // Dice ≥ γ  ⟺  |r∩s| ≥ γ/2·(|r|+|s|)
             Predicate::Dice { gamma } => Some(ceil_tol(gamma / 2.0 * (lr + ls) as f64)),
-            // Cosine ≥ γ  ⟺  |r∩s| ≥ γ·√(|r|·|s|)
+            // Cosine ≥ γ  ⟺  |r∩s| ≥ γ·√(|r|·|s|) — except with exactly
+            // one empty side, where √(lr·ls) = 0 would claim `Some(0)`
+            // ("anything matches") while cosine(r, ∅) = 0 < γ: evaluate
+            // rejects. Return an unsatisfiable requirement instead.
             Predicate::Cosine { gamma } => {
+                if (lr == 0) != (ls == 0) {
+                    return Some(1);
+                }
                 Some(ceil_tol(gamma * ((lr as f64) * (ls as f64)).sqrt()))
             }
             Predicate::WeightedJaccard { .. } | Predicate::WeightedOverlap { .. } => None,
@@ -337,20 +354,75 @@ mod tests {
         assert_eq!(p.hamming_bound(100, 100), Some(20));
     }
 
+    /// Builds `(r, s)` with `|r| = lr`, `|s| = ls`, `|r ∩ s| = o` exactly.
+    fn pair_with_overlap(lr: usize, ls: usize, o: usize) -> (Vec<u32>, Vec<u32>) {
+        let r: Vec<u32> = (0..lr as u32).collect();
+        let s: Vec<u32> = (0..o as u32)
+            .chain(10_000..10_000 + (ls - o) as u32)
+            .collect();
+        (r, s)
+    }
+
+    /// The contract pinned in the `required_overlap` docs: for every
+    /// unweighted predicate, `evaluate` holds **iff** the exact
+    /// intersection reaches `required_overlap(lr, ls)` — swept over every
+    /// feasible overlap at boundary sizes (including empty and singleton
+    /// sides, and the γ·size-lands-near-an-integer cases that expose raw
+    /// `ceil`/`floor` float noise).
     #[test]
     fn evaluate_consistency_with_required_overlap() {
-        // evaluate() and required_overlap() must agree on the boundary.
-        let p = Predicate::Jaccard { gamma: 0.8 };
-        let r: Vec<u32> = (0..20).collect();
-        // Share exactly 18 of 20 elements: Js = 18/22 = 0.818 ≥ 0.8.
-        let s: Vec<u32> = (0..18).chain([100, 101]).collect();
-        assert!(p.evaluate(&r, &s, None));
-        assert!(
-            crate::similarity::intersection_size(&r, &s) >= p.required_overlap(20, 20).unwrap()
-        );
-        // Share 17: Js = 17/23 = 0.739 < 0.8.
-        let s2: Vec<u32> = (0..17).chain([100, 101, 102]).collect();
-        assert!(!p.evaluate(&r, &s2, None));
+        let preds = [
+            Predicate::Jaccard { gamma: 0.5 },
+            Predicate::Jaccard { gamma: 0.7 },
+            Predicate::Jaccard { gamma: 0.8 },
+            Predicate::Jaccard { gamma: 1.0 },
+            Predicate::Hamming { k: 0 },
+            Predicate::Hamming { k: 1 },
+            Predicate::Hamming { k: 4 },
+            Predicate::Dice { gamma: 0.6 },
+            Predicate::Dice { gamma: 0.8 },
+            Predicate::Cosine { gamma: 0.5 },
+            Predicate::Cosine { gamma: 0.7 },
+            Predicate::Cosine { gamma: 0.9 },
+            Predicate::MaxFraction { gamma: 0.07 },
+            Predicate::MaxFraction { gamma: 0.5 },
+            Predicate::MaxFraction { gamma: 0.9 },
+            Predicate::Overlap { t: 0 },
+            Predicate::Overlap { t: 1 },
+            Predicate::Overlap { t: 3 },
+        ];
+        let sizes = [0usize, 1, 2, 3, 4, 5, 8, 9, 10, 19, 20, 21, 100];
+        for pred in preds {
+            for lr in sizes {
+                for ls in sizes {
+                    let req = pred
+                        .required_overlap(lr, ls)
+                        .unwrap_or_else(|| panic!("{pred:?} is unweighted"));
+                    for o in 0..=lr.min(ls) {
+                        let (r, s) = pair_with_overlap(lr, ls, o);
+                        assert_eq!(
+                            pred.evaluate(&r, &s, None),
+                            o >= req,
+                            "pred={pred:?} lr={lr} ls={ls} overlap={o} required={req}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_required_overlap_rejects_one_empty_side() {
+        // cosine(∅, s) = 0 < γ for nonempty s: evaluate rejects, so
+        // required_overlap must be unsatisfiable — not the old Some(0)
+        // that told bound-based consumers "anything matches".
+        let p = Predicate::Cosine { gamma: 0.9 };
+        assert!(!p.evaluate(&[], &[1, 2, 3], None));
+        assert!(p.required_overlap(0, 3).is_some_and(|req| req > 0));
+        assert!(p.required_overlap(3, 0).is_some_and(|req| req > 0));
+        // Both empty: cosine(∅, ∅) = 1 ≥ γ, overlap 0 suffices.
+        assert!(p.evaluate(&[], &[], None));
+        assert_eq!(p.required_overlap(0, 0), Some(0));
     }
 
     #[test]

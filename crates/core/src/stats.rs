@@ -29,6 +29,14 @@ pub struct JoinStats {
     pub false_positives: u64,
     /// Pairs satisfying the predicate.
     pub output_pairs: u64,
+    /// Candidates the bitmap filter rejected before the exact merge
+    /// (0 when the filter is off or the predicate is weighted).
+    /// Deterministic: depends only on the deduplicated candidate set.
+    pub bitmap_pruned: u64,
+    /// Candidates that passed the bitmap bound and reached the exact
+    /// merge (`bitmap_pruned + bitmap_survivors = candidate_pairs` when
+    /// the filter ran).
+    pub bitmap_survivors: u64,
     /// Wall-clock seconds in signature generation (steps 1–2).
     pub sig_gen_secs: f64,
     /// Wall-clock seconds in candidate-pair generation (step 3).

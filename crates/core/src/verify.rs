@@ -1,0 +1,533 @@
+//! Pluggable candidate verification with a bitmap-filter fast path
+//! (DESIGN.md §5i).
+//!
+//! Verification — the exact intersection after candidate generation
+//! (Figure 2, step 4) — is the hot loop of every scheme. The [`Verifier`]
+//! trait makes that step pluggable: [`ExactVerifier`] is the classic
+//! [`Predicate::evaluate`] path, and [`BitmapVerifier`] front-loads it
+//! with the *Bitmap Filter* fast path of arXiv:1711.07295 — one
+//! fixed-width bitmap word-array per set, built once per collection, whose
+//! popcount intersection bound rejects most false-positive candidates
+//! before any linear merge touches the element arrays.
+//!
+//! ## The bound
+//!
+//! Each set `r` is summarized by OR-ing a hash of every element into a
+//! `w`-bit bitmap `bm_r` (`w ∈ {64, 128, 256}`, auto-chosen from the mean
+//! set size). Let `c_r = |r| − popcount(bm_r)` be `r`'s collision excess
+//! (how many elements were lost to in-set hash collisions). Intersection
+//! elements hash identically on both sides, so they set bits inside
+//! `bm_r & bm_s`; at most `c_r` of them can share a bit with another
+//! element of `r` (and symmetrically for `s`), giving the sound bound
+//!
+//! ```text
+//! |r ∩ s| ≤ popcount(bm_r & bm_s) + min(c_r, c_s)
+//! ```
+//!
+//! The additive correction dominates the multiplicative and XOR/hamming
+//! style corrections (`popcount(AND) + (c_r + c_s)/2`, since
+//! `min ≤ avg`); the raw `popcount(AND)` alone is **not** an upper bound,
+//! because distinct intersection elements can collide into one bit. A
+//! candidate is pruned iff the bound is below
+//! [`Predicate::required_overlap`], which is a *necessary* overlap for the
+//! predicate — so pruning never drops a true pair, and survivors fall
+//! through to the exact merge: output stays byte-identical to the exact
+//! path (`cargo xtask difftest` compares bitmap-on and bitmap-off runs).
+
+use crate::predicate::Predicate;
+use crate::set::{ElementId, SetCollection, SetId, WeightMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bound on bitmap words per set (256 bits). Fixed-size query
+/// scratch arrays (`[u64; MAX_BITMAP_WORDS]`) rely on this.
+pub const MAX_BITMAP_WORDS: usize = 4;
+
+/// Multiplicative hash constant (the golden-ratio splitmix increment);
+/// the high bits of `e · C` index the bitmap. Every bitmap producer —
+/// batch build, serve index, serve query scratch, extern table — must use
+/// [`write_bitmap`] so bits agree across layers.
+const BIT_HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Fills `words` (whose length must be 1, 2, or 4 — a power of two no
+/// larger than [`MAX_BITMAP_WORDS`]) with the bitmap of `set` and returns
+/// its popcount. Clears `words` first; allocation-free.
+#[inline]
+pub fn write_bitmap(set: &[ElementId], words: &mut [u64]) -> u32 {
+    debug_assert!(
+        matches!(words.len(), 1 | 2 | 4),
+        "bitmap width must be 64/128/256 bits"
+    );
+    for w in words.iter_mut() {
+        *w = 0;
+    }
+    let mask = words.len() * 64 - 1;
+    for &e in set {
+        // High multiplicative-hash bits: low element bits influence every
+        // output bit, so dense ascending domains still spread.
+        let h = u64::from(e).wrapping_mul(BIT_HASH_MUL);
+        let bit = (h >> 40) as usize & mask;
+        words[bit >> 6] |= 1u64 << (bit & 63);
+    }
+    let mut pop = 0u32;
+    for &w in words.iter() {
+        pop += w.count_ones();
+    }
+    pop
+}
+
+/// Sound upper bound on `|r ∩ s|` from two same-width bitmaps, their
+/// popcounts, and the exact set sizes (see the module docs for the
+/// derivation). Allocation-free; hot (registered in hotlint's roots).
+#[inline]
+pub fn overlap_bound(
+    r_words: &[u64],
+    r_pop: u32,
+    r_len: usize,
+    s_words: &[u64],
+    s_pop: u32,
+    s_len: usize,
+) -> usize {
+    debug_assert_eq!(r_words.len(), s_words.len());
+    let mut and_pop = 0u32;
+    for (&x, &y) in r_words.iter().zip(s_words.iter()) {
+        and_pop += (x & y).count_ones();
+    }
+    let slack_r = r_len.saturating_sub(r_pop as usize);
+    let slack_s = s_len.saturating_sub(s_pop as usize);
+    and_pop as usize + slack_r.min(slack_s)
+}
+
+/// One fixed-width bitmap per set, stored flat (`words_per_set` stride)
+/// with precomputed popcounts — the per-collection half of
+/// [`BitmapVerifier`], also embedded in the serve index and the extern
+/// executor's verification pass.
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    words_per_set: usize,
+    words: Vec<u64>,
+    popcounts: Vec<u32>,
+}
+
+impl BitmapIndex {
+    /// An empty index whose bitmaps are `words_per_set · 64` bits wide.
+    /// `words_per_set` outside {1, 2, 4} is clamped to the nearest legal
+    /// stride.
+    pub fn new(words_per_set: usize) -> Self {
+        let words_per_set = match words_per_set {
+            0 | 1 => 1,
+            2 | 3 => 2,
+            _ => MAX_BITMAP_WORDS,
+        };
+        Self {
+            words_per_set,
+            words: Vec::new(),
+            popcounts: Vec::new(),
+        }
+    }
+
+    /// Deterministic width auto-choice from the mean set size: aim for
+    /// roughly three bits per element, in the 64/128/256-bit ladder.
+    pub fn words_for_mean(mean_len: f64) -> usize {
+        if mean_len <= 20.0 {
+            1
+        } else if mean_len <= 48.0 {
+            2
+        } else {
+            MAX_BITMAP_WORDS
+        }
+    }
+
+    /// Builds bitmaps for every set of a collection, auto-choosing the
+    /// width from its mean set size.
+    pub fn for_collection(collection: &SetCollection) -> Self {
+        Self::for_collection_width(collection, Self::words_for_mean(collection.avg_set_len()))
+    }
+
+    /// Builds bitmaps for every set of a collection at an explicit width
+    /// (binary joins pick one width from the combined mean so both sides
+    /// agree).
+    pub fn for_collection_width(collection: &SetCollection, words_per_set: usize) -> Self {
+        let mut index = Self::new(words_per_set);
+        index.words.reserve(collection.len() * index.words_per_set);
+        index.popcounts.reserve(collection.len());
+        for (_, set) in collection.iter() {
+            index.push(set);
+        }
+        index
+    }
+
+    /// Reserves room for `additional` more bitmaps, so a sized build
+    /// allocates exactly once (capacity-based accounting stays exact).
+    pub fn reserve(&mut self, additional: usize) {
+        self.words.reserve_exact(additional * self.words_per_set);
+        self.popcounts.reserve_exact(additional);
+    }
+
+    /// Appends the bitmap of the next set (ids are assigned densely in
+    /// push order, mirroring `SetCollection` / the serve index).
+    pub fn push(&mut self, set: &[ElementId]) {
+        let start = self.words.len();
+        self.words.resize(start + self.words_per_set, 0);
+        let pop = write_bitmap(set, &mut self.words[start..]);
+        self.popcounts.push(pop);
+    }
+
+    /// Number of bitmaps stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.popcounts.len()
+    }
+
+    /// Whether no bitmaps are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.popcounts.is_empty()
+    }
+
+    /// The configured stride (1, 2, or 4 words per set).
+    #[inline]
+    pub fn words_per_set(&self) -> usize {
+        self.words_per_set
+    }
+
+    /// The bitmap words of set `id`.
+    #[inline]
+    pub fn words_of(&self, id: usize) -> &[u64] {
+        let lo = id * self.words_per_set;
+        &self.words[lo..lo + self.words_per_set]
+    }
+
+    /// Popcount of set `id`'s bitmap.
+    #[inline]
+    pub fn popcount_of(&self, id: usize) -> u32 {
+        self.popcounts[id]
+    }
+
+    /// Sound upper bound on `|r ∩ s|` for stored sets `a` and `b` of exact
+    /// sizes `la`, `lb`.
+    #[inline]
+    pub fn bound(&self, a: usize, b: usize, la: usize, lb: usize) -> usize {
+        overlap_bound(
+            self.words_of(a),
+            self.popcounts[a],
+            la,
+            self.words_of(b),
+            self.popcounts[b],
+            lb,
+        )
+    }
+
+    /// Sound upper bound on `|q ∩ s|` between an external (query) bitmap
+    /// and stored set `id` — the serve point-query form.
+    #[inline]
+    pub fn bound_vs(
+        &self,
+        q_words: &[u64],
+        q_pop: u32,
+        q_len: usize,
+        id: usize,
+        id_len: usize,
+    ) -> usize {
+        overlap_bound(
+            q_words,
+            q_pop,
+            q_len,
+            self.words_of(id),
+            self.popcounts[id],
+            id_len,
+        )
+    }
+
+    /// Deterministic accounted size in bytes (word array + popcounts),
+    /// used by the extern executor's `MemBudget` ledger.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.words.capacity() * 8 + self.popcounts.capacity() * 4) as u64
+    }
+}
+
+/// A pluggable verification strategy for candidate pairs.
+///
+/// `verify_pair` must return exactly [`Predicate::evaluate`]'s decision —
+/// implementations may only *accelerate* rejection (e.g. via a sound
+/// upper bound on the intersection), never change the outcome. Shared
+/// across worker threads by the join driver, hence `Sync`; counters are
+/// relaxed atomics.
+pub trait Verifier: Sync {
+    /// Exact predicate decision for candidate pair `(a, b)` whose element
+    /// slices are `r` and `s`.
+    fn verify_pair(&self, a: SetId, b: SetId, r: &[ElementId], s: &[ElementId]) -> bool;
+
+    /// Candidates rejected by a filter bound without an exact merge.
+    fn bitmap_pruned(&self) -> u64 {
+        0
+    }
+
+    /// Candidates that reached the exact merge (for a filtering verifier,
+    /// `bitmap_pruned + bitmap_survivors` = candidates seen).
+    fn bitmap_survivors(&self) -> u64 {
+        0
+    }
+}
+
+impl<V: Verifier + ?Sized> Verifier for &V {
+    fn verify_pair(&self, a: SetId, b: SetId, r: &[ElementId], s: &[ElementId]) -> bool {
+        (**self).verify_pair(a, b, r, s)
+    }
+
+    fn bitmap_pruned(&self) -> u64 {
+        (**self).bitmap_pruned()
+    }
+
+    fn bitmap_survivors(&self) -> u64 {
+        (**self).bitmap_survivors()
+    }
+}
+
+/// The default verifier: today's exact [`Predicate::evaluate`] path,
+/// nothing else.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactVerifier<'a> {
+    pred: Predicate,
+    weights: Option<&'a WeightMap>,
+}
+
+impl<'a> ExactVerifier<'a> {
+    /// An exact verifier for `pred` (weighted predicates need `weights`).
+    pub fn new(pred: Predicate, weights: Option<&'a WeightMap>) -> Self {
+        Self { pred, weights }
+    }
+}
+
+impl Verifier for ExactVerifier<'_> {
+    #[inline]
+    fn verify_pair(&self, _a: SetId, _b: SetId, r: &[ElementId], s: &[ElementId]) -> bool {
+        self.pred.evaluate(r, s, self.weights)
+    }
+}
+
+/// Bitmap-filtered verification: checks the popcount intersection bound
+/// against [`Predicate::required_overlap`] before falling through to the
+/// exact merge. Wraps per-side [`BitmapIndex`]es (the same index twice
+/// for self-joins).
+pub struct BitmapVerifier<'a> {
+    pred: Predicate,
+    weights: Option<&'a WeightMap>,
+    left: &'a BitmapIndex,
+    right: &'a BitmapIndex,
+    pruned: AtomicU64,
+    survivors: AtomicU64,
+}
+
+impl<'a> BitmapVerifier<'a> {
+    /// A bitmap-filtered verifier over prebuilt per-side bitmap indexes.
+    /// Both sides must share a stride (they do when both came from
+    /// [`BitmapIndex::new`] with the same width, or from the same
+    /// collection for self-joins); mismatched strides skip the filter.
+    pub fn new(
+        pred: Predicate,
+        weights: Option<&'a WeightMap>,
+        left: &'a BitmapIndex,
+        right: &'a BitmapIndex,
+    ) -> Self {
+        Self {
+            pred,
+            weights,
+            left,
+            right,
+            pruned: AtomicU64::new(0),
+            survivors: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Verifier for BitmapVerifier<'_> {
+    #[inline]
+    fn verify_pair(&self, a: SetId, b: SetId, r: &[ElementId], s: &[ElementId]) -> bool {
+        // required_overlap is a *necessary* overlap: pruning on
+        // `bound < required` is sound. Weighted predicates return `None`
+        // (their requirement is on weighted intersection) and skip the
+        // filter; `required == 0` can never prune, so skip the popcounts.
+        if self.left.words_per_set() == self.right.words_per_set() {
+            if let Some(required) = self.pred.required_overlap(r.len(), s.len()) {
+                if required > 0
+                    && overlap_bound(
+                        self.left.words_of(a as usize),
+                        self.left.popcount_of(a as usize),
+                        r.len(),
+                        self.right.words_of(b as usize),
+                        self.right.popcount_of(b as usize),
+                        s.len(),
+                    ) < required
+                {
+                    self.pruned.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        self.survivors.fetch_add(1, Ordering::Relaxed);
+        self.pred.evaluate(r, s, self.weights)
+    }
+
+    fn bitmap_pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    fn bitmap_survivors(&self) -> u64 {
+        self.survivors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::intersection_size;
+    use rand::prelude::*;
+
+    fn random_set(rng: &mut StdRng, max_len: usize, domain: u32) -> Vec<ElementId> {
+        let len = rng.gen_range(0..=max_len);
+        let mut s: Vec<ElementId> = (0..len).map(|_| rng.gen_range(0..domain)).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    #[test]
+    fn write_bitmap_is_deterministic_and_bounded() {
+        let set: Vec<ElementId> = (0..100).collect();
+        for words in [1usize, 2, 4] {
+            let mut a = [0u64; MAX_BITMAP_WORDS];
+            let mut b = [0u64; MAX_BITMAP_WORDS];
+            let pa = write_bitmap(&set, &mut a[..words]);
+            let pb = write_bitmap(&set, &mut b[..words]);
+            assert_eq!(a, b);
+            assert_eq!(pa, pb);
+            assert!(pa as usize <= set.len());
+            assert!(pa as usize <= words * 64);
+            assert!(pa > 0);
+        }
+        let mut w = [u64::MAX; 2];
+        assert_eq!(write_bitmap(&[], &mut w), 0, "empty set clears the words");
+        assert_eq!(w, [0, 0]);
+    }
+
+    /// Property sweep: the bitmap bound is a sound upper bound on the
+    /// exact intersection, at every width, over seeded random pairs
+    /// including empty and singleton sets.
+    #[test]
+    fn overlap_bound_is_sound_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(0xb17a0);
+        for trial in 0..2000 {
+            let domain = [8u32, 64, 1024][trial % 3];
+            let r = random_set(&mut rng, 40, domain);
+            let s = random_set(&mut rng, 40, domain);
+            for words in [1usize, 2, 4] {
+                let mut rw = [0u64; MAX_BITMAP_WORDS];
+                let mut sw = [0u64; MAX_BITMAP_WORDS];
+                let rp = write_bitmap(&r, &mut rw[..words]);
+                let sp = write_bitmap(&s, &mut sw[..words]);
+                let bound = overlap_bound(&rw[..words], rp, r.len(), &sw[..words], sp, s.len());
+                let exact = intersection_size(&r, &s);
+                assert!(
+                    bound >= exact,
+                    "bound {bound} < exact {exact} for |r|={}, |s|={}, width={}",
+                    r.len(),
+                    s.len(),
+                    words * 64
+                );
+                assert!(bound <= r.len().min(s.len()) + r.len().max(s.len()));
+            }
+        }
+    }
+
+    /// Property sweep: `BitmapVerifier` never changes a decision — it
+    /// agrees with `Predicate::evaluate` (and hence `ExactVerifier`) on
+    /// every pair, for every unweighted predicate, so it can never prune
+    /// a true pair.
+    #[test]
+    fn bitmap_verifier_matches_exact_verifier() {
+        let mut rng = StdRng::seed_from_u64(0xb17a1);
+        let preds = [
+            Predicate::Jaccard { gamma: 0.5 },
+            Predicate::Jaccard { gamma: 0.9 },
+            Predicate::Hamming { k: 3 },
+            Predicate::Dice { gamma: 0.8 },
+            Predicate::Cosine { gamma: 0.7 },
+            Predicate::MaxFraction { gamma: 0.6 },
+            Predicate::Overlap { t: 2 },
+        ];
+        for _ in 0..40 {
+            let mut collection = SetCollection::new();
+            for _ in 0..30 {
+                collection.push(random_set(&mut rng, 30, 48));
+            }
+            let bitmaps = BitmapIndex::for_collection(&collection);
+            for pred in preds {
+                let exact = ExactVerifier::new(pred, None);
+                let filtered = BitmapVerifier::new(pred, None, &bitmaps, &bitmaps);
+                for a in 0..collection.len() as SetId {
+                    for b in 0..collection.len() as SetId {
+                        let (r, s) = (collection.set(a), collection.set(b));
+                        assert_eq!(
+                            filtered.verify_pair(a, b, r, s),
+                            exact.verify_pair(a, b, r, s),
+                            "pred={pred:?} a={a} b={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_verifier_counts_pruned_and_survivors() {
+        // Disjoint high-threshold pairs must mostly prune; counters add up.
+        let mut collection = SetCollection::new();
+        for i in 0..20u32 {
+            collection.push((i * 100..i * 100 + 10).collect());
+        }
+        let bitmaps = BitmapIndex::for_collection(&collection);
+        let pred = Predicate::Jaccard { gamma: 0.9 };
+        let v = BitmapVerifier::new(pred, None, &bitmaps, &bitmaps);
+        let mut seen = 0u64;
+        for a in 0..collection.len() as SetId {
+            for b in a + 1..collection.len() as SetId {
+                v.verify_pair(a, b, collection.set(a), collection.set(b));
+                seen += 1;
+            }
+        }
+        assert_eq!(v.bitmap_pruned() + v.bitmap_survivors(), seen);
+        assert!(v.bitmap_pruned() > 0, "disjoint sets should prune");
+    }
+
+    #[test]
+    fn width_ladder_is_deterministic() {
+        assert_eq!(BitmapIndex::words_for_mean(0.0), 1);
+        assert_eq!(BitmapIndex::words_for_mean(20.0), 1);
+        assert_eq!(BitmapIndex::words_for_mean(21.0), 2);
+        assert_eq!(BitmapIndex::words_for_mean(48.0), 2);
+        assert_eq!(BitmapIndex::words_for_mean(200.0), 4);
+        assert_eq!(BitmapIndex::new(0).words_per_set(), 1);
+        assert_eq!(BitmapIndex::new(3).words_per_set(), 2);
+        assert_eq!(BitmapIndex::new(9).words_per_set(), 4);
+    }
+
+    #[test]
+    fn index_layout_round_trips() {
+        let collection: SetCollection = vec![vec![1, 2, 3], vec![], vec![5, 6, 7, 8]]
+            .into_iter()
+            .collect();
+        let idx = BitmapIndex::for_collection(&collection);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.words_per_set(), 1, "mean ≈ 2.3 picks the 64-bit width");
+        assert_eq!(idx.words_of(1), &[0u64]);
+        assert_eq!(idx.popcount_of(1), 0);
+        assert!(idx.popcount_of(0) > 0);
+        assert!(idx.approx_bytes() >= (3 * idx.words_per_set() * 8 + 12) as u64);
+        // bound() and bound_vs() agree for the same pair.
+        let mut q = [0u64; MAX_BITMAP_WORDS];
+        let wps = idx.words_per_set();
+        let qp = write_bitmap(collection.set(0), &mut q[..wps]);
+        assert_eq!(idx.bound(0, 2, 3, 4), idx.bound_vs(&q[..wps], qp, 3, 2, 4));
+    }
+}

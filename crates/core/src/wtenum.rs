@@ -26,6 +26,7 @@
 //! proportional to the number of distinct prefixes (plus pruned branches).
 
 use crate::hash::{FxHashSet, SigBuilder};
+use crate::predicate::ceil_tol;
 use crate::set::{ElementId, WeightMap};
 use crate::signature::{Signature, SignatureScheme};
 use std::sync::Arc;
@@ -289,9 +290,12 @@ impl WtEnumJaccard {
         if w <= self.base {
             return 1;
         }
-        // smallest j with base·ratio^{j-1} >= w.
+        // smallest j with base·ratio^{j-1} >= w. Tolerant ceil: when the
+        // log ratio lands a ulp above an integer, a raw `.ceil()` would
+        // bump the weight into the next interval and its probes would
+        // miss γ-tight partners sitting at the true boundary.
         let ratio = 1.0 / self.gamma;
-        let j = ((w / self.base).ln() / ratio.ln()).ceil() as usize + 1;
+        let j = ceil_tol((w / self.base).ln() / ratio.ln()) + 1;
         j.min(self.instances.len())
     }
 }

@@ -13,7 +13,9 @@
 //!   for both PartEnum (unweighted) and WtEnum (weighted) schemes;
 //! * candidate verification through `verify_pairs_into` with `threads: 1`
 //!   (the parallel path spawns scoped threads, which allocate stacks by
-//!   design — hotlint's annotations in `join.rs` document that).
+//!   design — hotlint's annotations in `join.rs` document that), under
+//!   both the exact verifier and the bitmap-filtered verifier (whose
+//!   warmed bound-then-merge loop must also allocate nothing).
 //!
 //! The strict zero assertions are release-only: debug builds run the same
 //! passes (so the paths stay exercised under `cargo test`) but tolerate
@@ -28,6 +30,7 @@ use ssj_core::index::{JaccardIndex, QueryScratch};
 use ssj_core::join::verify_pairs_into;
 use ssj_core::set::{ElementId, SetCollection, SetId, WeightMap};
 use ssj_core::signature::{SigScratch, SignatureScheme};
+use ssj_core::verify::{BitmapIndex, BitmapVerifier, ExactVerifier, Verifier};
 use ssj_core::{PartEnumJaccard, Predicate, WtEnumJaccard};
 
 // --- counting allocator -------------------------------------------------
@@ -245,8 +248,9 @@ fn warmed_sequential_verification_allocates_nothing() {
         .collect();
     let pred = Predicate::Jaccard { gamma: 0.5 };
 
+    let verifier = ExactVerifier::new(pred, None);
     let mut out: Vec<(SetId, SetId)> = Vec::new();
-    verify_pairs_into(&pairs, &collection, &collection, pred, None, 1, &mut out);
+    verify_pairs_into(&pairs, &collection, &collection, &verifier, 1, &mut out);
     let warm_survivors = out.len();
     assert!(warm_survivors > 0, "warm-up verified no pairs");
 
@@ -255,8 +259,7 @@ fn warmed_sequential_verification_allocates_nothing() {
             black_box(&pairs),
             &collection,
             &collection,
-            pred,
-            None,
+            &verifier,
             1,
             &mut out,
         );
@@ -264,4 +267,47 @@ fn warmed_sequential_verification_allocates_nothing() {
     });
     assert_eq!(survivors, warm_survivors);
     assert_steady_state("verify_pairs_into (threads=1)", allocs);
+}
+
+#[test]
+fn warmed_bitmap_verification_allocates_nothing() {
+    let sets = random_sets(100, 300, 4, 20, 0x5eed_0006);
+    let mut collection = SetCollection::new();
+    for set in &sets {
+        collection.push(set.clone());
+        collection.push(set[..set.len() - 1].to_vec());
+    }
+
+    let n = collection.len() as u64;
+    let pairs: Vec<u64> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a << 32) | b))
+        .collect();
+    let pred = Predicate::Jaccard { gamma: 0.5 };
+
+    // Bitmaps are built once per collection, outside the hot loop; the
+    // witness covers the warmed bound-then-merge verification pass.
+    let bitmaps = BitmapIndex::for_collection(&collection);
+    let verifier = BitmapVerifier::new(pred, None, &bitmaps, &bitmaps);
+    let mut out: Vec<(SetId, SetId)> = Vec::new();
+    verify_pairs_into(&pairs, &collection, &collection, &verifier, 1, &mut out);
+    let warm_survivors = out.len();
+    assert!(warm_survivors > 0, "warm-up verified no pairs");
+    assert!(
+        verifier.bitmap_pruned() > 0,
+        "workload should exercise the pruning branch"
+    );
+
+    let (allocs, survivors) = count_allocs(|| {
+        verify_pairs_into(
+            black_box(&pairs),
+            &collection,
+            &collection,
+            &verifier,
+            1,
+            &mut out,
+        );
+        out.len()
+    });
+    assert_eq!(survivors, warm_survivors);
+    assert_steady_state("verify_pairs_into (bitmap filter, threads=1)", allocs);
 }

@@ -30,6 +30,7 @@ use crate::spill::{partition_of, read_partition, remove_partitions, SpillWriter}
 use ssj_core::predicate::Predicate;
 use ssj_core::set::{SetId, WeightMap};
 use ssj_core::signature::{SigScratch, Signature, SignatureScheme};
+use ssj_core::verify::BitmapIndex;
 use ssj_core::SigPostings;
 use std::io::{self, ErrorKind};
 use std::path::PathBuf;
@@ -63,6 +64,12 @@ pub struct ExternConfig {
     /// Where spill files go; `None` picks a fresh directory under the
     /// system temp dir, removed on completion.
     pub spill_dir: Option<PathBuf>,
+    /// Build a per-set bitmap table during the spill pass and check the
+    /// popcount bound before the verify pass reads sets back from disk
+    /// (DESIGN.md §5i). Automatically skipped for weighted predicates,
+    /// and degraded to off (never an error) when the table does not fit
+    /// the memory budget.
+    pub bitmap_filter: bool,
 }
 
 impl Default for ExternConfig {
@@ -71,6 +78,7 @@ impl Default for ExternConfig {
             mem_budget: u64::MAX,
             min_partitions: 1,
             spill_dir: None,
+            bitmap_filter: true,
         }
     }
 }
@@ -95,6 +103,14 @@ pub struct ExternStats {
     pub collisions: u64,
     /// Distinct candidate pairs after the global dedup.
     pub candidates: u64,
+    /// Candidates the bitmap table rejected before any segment read
+    /// (0 when the filter is off, degraded, or the predicate is
+    /// weighted). Deterministic: depends only on the candidate list.
+    pub bitmap_pruned: u64,
+    /// Candidates that passed the bitmap bound and went through the
+    /// exact verify (`bitmap_pruned + bitmap_survivors = candidates`
+    /// when the table was built).
+    pub bitmap_survivors: u64,
     /// Pairs surviving verification.
     pub output_pairs: u64,
     /// Postings written to spill files.
@@ -137,6 +153,60 @@ pub fn probe_partition(postings: &SigPostings, pairs: &mut Vec<u64>) -> u64 {
         }
     }
     collisions
+}
+
+/// Deterministic per-set charge for the verify pass's bitmap table:
+/// `words_per_set · 8` bitmap bytes plus the popcount (4), segment id
+/// (4), and set length (4). Independent of allocator behavior, so
+/// accounted peaks reproduce exactly.
+fn bitmap_set_bytes(words_per_set: usize) -> u64 {
+    words_per_set as u64 * 8 + 12
+}
+
+/// Per-set bitmaps keyed by (possibly sparse) segment id, built during
+/// the spill pass's existing stream so the verify pass can reject
+/// candidates *before* any block read (DESIGN.md §5i). Exact set lengths
+/// ride along — the popcount bound needs them, and fetching them from
+/// disk would defeat the point.
+struct BitmapTable {
+    /// Segment ids in ascending push order (the spill pass streams the
+    /// segment in id order), so slot lookup is a binary search.
+    ids: Vec<u32>,
+    /// Exact (canonical) set lengths, parallel to `ids`.
+    lens: Vec<u32>,
+    bitmaps: BitmapIndex,
+}
+
+impl BitmapTable {
+    fn with_capacity(words_per_set: usize, sets: usize) -> Self {
+        let mut bitmaps = BitmapIndex::new(words_per_set);
+        bitmaps.reserve(sets);
+        Self {
+            ids: Vec::with_capacity(sets),
+            lens: Vec::with_capacity(sets),
+            bitmaps,
+        }
+    }
+
+    fn push(&mut self, id: u32, set: &[u32]) {
+        debug_assert!(
+            self.ids.last().is_none_or(|&prev| prev < id),
+            "segment ids must arrive ascending for binary-search lookup"
+        );
+        self.ids.push(id);
+        self.lens.push(set.len() as u32);
+        self.bitmaps.push(set);
+    }
+
+    /// Sound upper bound on the overlap of candidate ids `a` and `b`,
+    /// plus their exact lengths; `None` when either id is unknown (left
+    /// for the exact path, which reports the missing set properly).
+    fn bound(&self, a: u32, b: u32) -> Option<(usize, usize, usize)> {
+        let sa = self.ids.binary_search(&a).ok()?;
+        let sb = self.ids.binary_search(&b).ok()?;
+        let (la, lb) = (self.lens[sa] as usize, self.lens[sb] as usize);
+        Some((self.bitmaps.bound(sa, sb, la, lb), la, lb))
+    }
 }
 
 /// Charges the ledger up to a new high-water mark. Reused buffers keep
@@ -185,6 +255,8 @@ pub fn external_self_join<S: SignatureScheme>(
     // them, and reject ids outside the SetId domain.
     let t0 = Instant::now();
     let mut total_sigs = 0u64;
+    let mut total_sets = 0u64;
+    let mut total_elems = 0u64;
     for idx in 0..segment.blocks().len() {
         segment.read_block(idx, &mut block)?;
         charge_high_water(
@@ -194,6 +266,8 @@ pub fn external_self_join<S: SignatureScheme>(
             "block",
         )?;
         for i in 0..block.len() {
+            total_sets += 1;
+            total_elems += block.set(i).len() as u64;
             if u32::try_from(block.id(i)).is_err() {
                 return Err(io::Error::new(
                     ErrorKind::InvalidData,
@@ -225,6 +299,20 @@ pub fn external_self_join<S: SignatureScheme>(
         .max(cfg.min_partitions.min(MAX_PARTITIONS as usize) as u64) as usize;
     stats.partitions = partitions;
 
+    // Bitmap table: width from the Pass-1 mean set size, charged up front
+    // at its exact deterministic size. A budget too tight for the table
+    // degrades gracefully to the plain exact path — never an error.
+    let mut table: Option<BitmapTable> = None;
+    let mut bitmap_charge = 0u64;
+    if cfg.bitmap_filter && !pred.is_weighted() && total_sets > 0 {
+        let wps = BitmapIndex::words_for_mean(total_elems as f64 / total_sets as f64);
+        let charge = total_sets.saturating_mul(bitmap_set_bytes(wps));
+        if budget.charge(charge).is_ok() {
+            bitmap_charge = charge;
+            table = Some(BitmapTable::with_capacity(wps, total_sets as usize));
+        }
+    }
+
     // Pass 2: spill. Batch buffers are charged for the whole pass.
     let t1 = Instant::now();
     let spill_dir = match &cfg.spill_dir {
@@ -253,6 +341,9 @@ pub fn external_self_join<S: SignatureScheme>(
             )?;
             for i in 0..block.len() {
                 let id = block.id(i) as SetId;
+                if let Some(t) = table.as_mut() {
+                    t.push(id, block.set(i));
+                }
                 sigs.clear();
                 scheme.signatures_scratch(block.set(i), &mut scratch, &mut sigs);
                 sigs.sort_unstable();
@@ -334,6 +425,17 @@ pub fn external_self_join<S: SignatureScheme>(
     for &packed in &pairs {
         let a = (packed >> 32) as u32;
         let b = packed as u32;
+        if let Some(t) = &table {
+            if let Some((bound, la, lb)) = t.bound(a, b) {
+                if let Some(required) = pred.required_overlap(la, lb) {
+                    if required > 0 && bound < required {
+                        stats.bitmap_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            stats.bitmap_survivors += 1;
+        }
         if cur_a != Some(a) {
             if !segment.lookup(u64::from(a), &mut cache, &mut buf_a)? {
                 return Err(missing_candidate(a));
@@ -353,6 +455,8 @@ pub fn external_self_join<S: SignatureScheme>(
             out.push((a, b));
         }
     }
+    drop(table);
+    budget.release(bitmap_charge);
     stats.output_pairs = out.len() as u64;
     stats.verify_secs = t3.elapsed().as_secs_f64();
     stats.peak_bytes = budget.peak();

@@ -64,6 +64,7 @@ fn partitioned_join_matches_in_memory_exactly() {
             mem_budget: u64::MAX,
             min_partitions,
             spill_dir: Some(spill_dir("parity")),
+            ..Default::default()
         };
         let (pairs, stats) =
             external_self_join(&mut seg, &scheme, pred, None, &cfg).expect("external join");
@@ -103,6 +104,7 @@ fn tight_budget_forces_partitions_and_bounds_peak() {
         mem_budget: budget,
         min_partitions: 1,
         spill_dir: Some(spill_dir("budget")),
+        ..Default::default()
     };
     let (pairs, stats) =
         external_self_join(&mut seg, &scheme, pred, None, &cfg).expect("external join");
@@ -134,6 +136,7 @@ fn impossible_budget_fails_loudly_instead_of_overrunning() {
         mem_budget: 1 << 10, // 1 KiB: below even one decoded block
         min_partitions: 1,
         spill_dir: Some(spill_dir("impossible")),
+        ..Default::default()
     };
     let err = external_self_join(
         &mut seg,
@@ -147,6 +150,44 @@ fn impossible_budget_fails_loudly_instead_of_overrunning() {
         err.to_string().contains("memory budget exceeded"),
         "unexpected error: {err}"
     );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bitmap_filter_is_transparent_and_counted() {
+    let gamma = 0.8;
+    let collection = workload(0xB17);
+    let scheme =
+        PartEnumJaccard::new(gamma, collection.max_set_len().max(16), 5).expect("valid gamma");
+    let pred = Predicate::Jaccard { gamma };
+    let path = tmp_path("bitmap");
+    write_collection_segment(&path, &collection, 0).expect("write segment");
+
+    let run = |on: bool| {
+        let mut seg = Segment::open_path(&path).expect("open segment");
+        let cfg = ExternConfig {
+            min_partitions: 3,
+            spill_dir: Some(spill_dir("bitmap")),
+            bitmap_filter: on,
+            ..Default::default()
+        };
+        external_self_join(&mut seg, &scheme, pred, None, &cfg).expect("external join")
+    };
+    let (on_pairs, on_stats) = run(true);
+    let (off_pairs, off_stats) = run(false);
+    assert_eq!(on_pairs, off_pairs, "bitmap filter must not change output");
+    assert_eq!(on_stats.candidates, off_stats.candidates);
+    assert_eq!(
+        on_stats.bitmap_pruned + on_stats.bitmap_survivors,
+        on_stats.candidates,
+        "every candidate is either pruned or exactly verified"
+    );
+    assert!(
+        on_stats.bitmap_pruned > 0,
+        "workload should exercise the pruning branch"
+    );
+    assert_eq!(off_stats.bitmap_pruned, 0);
+    assert_eq!(off_stats.bitmap_survivors, 0);
     std::fs::remove_file(&path).ok();
 }
 

@@ -115,6 +115,9 @@ pub struct ShardCounters {
     pub queries: AtomicU64,
     /// Candidates this shard's index probed before verification.
     pub candidates_probed: AtomicU64,
+    /// Probed candidates the bitmap filter rejected before the exact
+    /// merge (DESIGN.md §5i).
+    pub bitmap_pruned: AtomicU64,
     /// Candidates that passed verification (reported matches).
     pub verified_hits: AtomicU64,
 }
@@ -127,6 +130,7 @@ impl ShardCounters {
             removes: self.removes.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             candidates_probed: self.candidates_probed.load(Ordering::Relaxed),
+            bitmap_pruned: self.bitmap_pruned.load(Ordering::Relaxed),
             verified_hits: self.verified_hits.load(Ordering::Relaxed),
         }
     }
@@ -143,6 +147,8 @@ pub struct ShardCountersSnapshot {
     pub queries: u64,
     /// See [`ShardCounters::candidates_probed`].
     pub candidates_probed: u64,
+    /// See [`ShardCounters::bitmap_pruned`].
+    pub bitmap_pruned: u64,
     /// See [`ShardCounters::verified_hits`].
     pub verified_hits: u64,
 }

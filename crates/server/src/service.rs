@@ -601,6 +601,10 @@ impl ShardedIndex {
             .fetch_add(shard_probed as u64, Ordering::Relaxed);
         shard
             .counters
+            .bitmap_pruned
+            .fetch_add(scratch.query.last_bitmap_pruned() as u64, Ordering::Relaxed);
+        shard
+            .counters
             .verified_hits
             .fetch_add(matches.len() as u64, Ordering::Relaxed);
         out.extend(matches.iter().map(|&local| self.encode_id(local, i)));
@@ -626,8 +630,13 @@ impl ShardedIndex {
         };
         let mut ids = Vec::new();
         let mut probed = 0u64;
+        let mut qscratch = QueryScratch::default();
+        let mut matches: Vec<SetId> = Vec::new();
         for (i, (shard, guard)) in self.shards.iter().zip(&guards).enumerate() {
-            let (matches, shard_probed) = guard.index().query_counted(&set);
+            let shard_probed =
+                guard
+                    .index()
+                    .query_counted_scratch(&set, &mut qscratch, &mut matches);
             probed += shard_probed as u64;
             shard.counters.queries.fetch_add(1, Ordering::Relaxed);
             shard
@@ -636,9 +645,13 @@ impl ShardedIndex {
                 .fetch_add(shard_probed as u64, Ordering::Relaxed);
             shard
                 .counters
+                .bitmap_pruned
+                .fetch_add(qscratch.last_bitmap_pruned() as u64, Ordering::Relaxed);
+            shard
+                .counters
                 .verified_hits
                 .fetch_add(matches.len() as u64, Ordering::Relaxed);
-            ids.extend(matches.into_iter().map(|local| self.encode_id(local, i)));
+            ids.extend(matches.iter().map(|&local| self.encode_id(local, i)));
         }
         let id = match guards[owner].index_mut() {
             Some(g) => {

@@ -150,8 +150,8 @@ fn write_stats(out: &mut String, s: &StatsSnapshot) {
         }
         let _ = write!(
             out,
-            "{{\"inserts\":{},\"removes\":{},\"queries\":{},\"candidates_probed\":{},\"verified_hits\":{}}}",
-            c.inserts, c.removes, c.queries, c.candidates_probed, c.verified_hits
+            "{{\"inserts\":{},\"removes\":{},\"queries\":{},\"candidates_probed\":{},\"bitmap_pruned\":{},\"verified_hits\":{}}}",
+            c.inserts, c.removes, c.queries, c.candidates_probed, c.bitmap_pruned, c.verified_hits
         );
     }
     out.push_str("],\"queue_wait\":");

@@ -119,6 +119,7 @@ pub fn edit_distance_self_join(strings: &[String], cfg: EditJoinConfig) -> Resul
     let opts = JoinOptions {
         threads: cfg.threads.max(1),
         verify: false,
+        ..JoinOptions::default()
     };
 
     // Candidate generation through the generic driver, post-filter disabled

@@ -239,16 +239,20 @@ fn diff_join(
                 (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("join [{key}]: {e}")),
             }
         }
-        // Spill-executor counters, carried only by EXT cells. Compared
-        // exactly when the baseline has them (they are deterministic
-        // given sets/seed/budget); older records without them still
-        // pass. `peak_rss_kb` is machine-dependent and never compared.
+        // Optional counters, compared exactly when the baseline carries
+        // them; older records without them still pass. The spill set is
+        // EXT-only (deterministic given sets/seed/budget); the bitmap
+        // pair is emitted by every cell (deterministic given the
+        // deduplicated candidate set and per-set bitmaps).
+        // `peak_rss_kb` is machine-dependent and never compared.
         for name in [
             "mem_budget",
             "partitions",
             "peak_bytes",
             "spilled_records",
             "spill_bytes",
+            "bitmap_pruned",
+            "bitmap_survivors",
         ] {
             if base.get(name).is_none() {
                 continue;
@@ -256,8 +260,8 @@ fn diff_join(
             match (count(base, name), count(cur, name)) {
                 (Ok(b), Ok(c)) if b == c => {}
                 (Ok(b), Ok(c)) => report.regressions.push(format!(
-                    "join [{key}]: spill counter `{name}` drifted: baseline {b}, current {c} \
-                     (spill counters are deterministic given sets/seed/budget)"
+                    "join [{key}]: counter `{name}` drifted: baseline {b}, current {c} \
+                     (optional counters are seeded-deterministic)"
                 )),
                 (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("join [{key}]: {e}")),
             }
@@ -304,6 +308,22 @@ fn diff_serve(
                 (Ok(b), Ok(c)) => report.regressions.push(format!(
                     "serve [{key}]: `{counter}` drifted: baseline {b}, current {c}"
                 )),
+                (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("serve [{key}]: {e}")),
+            }
+        }
+        // Bitmap-filter engagement. The absolute count races client
+        // interleaving (like `total_matches`, which is never compared),
+        // but whether the filter pruned *anything* is stable for a
+        // workload this collision-heavy: a baseline that pruned must
+        // keep pruning, else the filter silently fell out of the query
+        // path. Only checked when the baseline carries the field.
+        if base.get("bitmap_pruned").is_some() {
+            match (count(base, "bitmap_pruned"), count(cur, "bitmap_pruned")) {
+                (Ok(b), Ok(c)) if b > 0 && c == 0 => report.regressions.push(format!(
+                    "serve [{key}]: bitmap filter disengaged: baseline pruned {b} \
+                     candidate(s), current pruned none"
+                )),
+                (Ok(_), Ok(_)) => {}
                 (Err(e), _) | (_, Err(e)) => report.regressions.push(format!("serve [{key}]: {e}")),
             }
         }
@@ -470,6 +490,119 @@ mod tests {
         let plain = write_lines(&dir, "plain.json", &[&join_record(500, 1.0)]);
         let config = BenchdiffConfig {
             current_join: Some(plain),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn bitmap_record(pruned: u64, survivors: u64) -> String {
+        format!(
+            "{{\"schema\":1,\"bench\":\"join\",\"dataset\":\"address\",\"algo\":\"PEN\",\
+             \"gamma\":0.8,\"input_size\":2000,\"threads\":1,\"seed\":42,\
+             \"signatures\":100,\"candidates\":500,\"f2\":7,\"output_pairs\":7,\
+             \"bitmap_pruned\":{pruned},\"bitmap_survivors\":{survivors},\
+             \"sig_gen_secs\":0.1,\"cand_gen_secs\":0.1,\"verify_secs\":0.1,\
+             \"total_secs\":1.0,\"unix_secs\":0}}"
+        )
+    }
+
+    #[test]
+    fn bitmap_counters_exact_diffed_when_baseline_has_them() {
+        let dir = tmpdir("bitmap");
+        write_lines(&dir, JOIN_BASELINE, &[&bitmap_record(300, 200)]);
+
+        // Identical bitmap counters pass.
+        let same = write_lines(&dir, "same.json", &[&bitmap_record(300, 200)]);
+        let config = BenchdiffConfig {
+            current_join: Some(same),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+
+        // A drifted prune count is a regression: the filter's behavior
+        // changed even though the verified output did not.
+        let drifted = write_lines(&dir, "drift.json", &[&bitmap_record(299, 201)]);
+        let config = BenchdiffConfig {
+            current_join: Some(drifted),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 2, "{report}");
+        assert!(report.regressions[0].contains("bitmap_pruned"), "{report}");
+        assert!(
+            report.regressions[1].contains("bitmap_survivors"),
+            "{report}"
+        );
+
+        // A baseline without the counters never requires them (older
+        // records predate the bitmap filter).
+        write_lines(&dir, JOIN_BASELINE, &[&join_record(500, 1.0)]);
+        let plain = write_lines(&dir, "plain.json", &[&join_record(500, 1.0)]);
+        let config = BenchdiffConfig {
+            current_join: Some(plain),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn serve_record(bitmap_pruned: Option<u64>) -> String {
+        let bitmap = match bitmap_pruned {
+            Some(n) => format!(",\"bitmap_pruned\":{n}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"schema\":1,\"unix_secs\":0,\"config\":{{\"sets\":2000,\"set_size\":12,\
+             \"domain\":500,\"clients\":4,\"ops_per_client\":500,\"query_fraction\":0.5,\
+             \"gamma\":0.8,\"shards\":4,\"workers\":4,\"queue_capacity\":1024,\"seed\":42}},\
+             \"preload_sets\":2000,\"preload_secs\":0.5,\"preload_throughput\":4000.0,\
+             \"measured_ops\":2000,\"wall_secs\":1.0,\"throughput\":2000.0,\
+             \"latency\":{{\"count\":2000,\"mean_us\":50.0,\"p50_us\":40,\"p95_us\":90,\
+             \"p99_us\":120,\"max_us\":400}},\
+             \"query_latency\":{{\"count\":1000,\"mean_us\":50.0,\"p50_us\":40,\"p95_us\":90,\
+             \"p99_us\":120,\"max_us\":400}},\
+             \"write_latency\":{{\"count\":1000,\"mean_us\":50.0,\"p50_us\":40,\"p95_us\":90,\
+             \"p99_us\":120,\"max_us\":400}},\
+             \"total_matches\":5000,\"candidates_probed\":90000{bitmap}\
+             ,\"overloaded\":0,\"timeouts\":0,\"live_sets\":[500,500,500,500]}}"
+        )
+    }
+
+    #[test]
+    fn serve_bitmap_engagement_checked_when_baseline_pruned() {
+        let dir = tmpdir("serve-bitmap");
+        write_lines(&dir, SERVE_BASELINE, &[&serve_record(Some(40_000))]);
+
+        // Any non-zero prune count passes — the absolute value races
+        // client interleaving, only engagement is stable.
+        let engaged = write_lines(&dir, "engaged.json", &[&serve_record(Some(1))]);
+        let config = BenchdiffConfig {
+            current_serve: Some(engaged),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert!(report.regressions.is_empty(), "{report}");
+
+        // Zero prunes against a pruning baseline means the filter fell
+        // out of the query path.
+        let disengaged = write_lines(&dir, "disengaged.json", &[&serve_record(Some(0))]);
+        let config = BenchdiffConfig {
+            current_serve: Some(disengaged),
+            ..BenchdiffConfig::default()
+        };
+        let report = run_benchdiff(&dir, &config).expect("runs");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert!(report.regressions[0].contains("disengaged"), "{report}");
+
+        // A baseline without the field never requires it.
+        write_lines(&dir, SERVE_BASELINE, &[&serve_record(None)]);
+        let plain = write_lines(&dir, "plain.json", &[&serve_record(None)]);
+        let config = BenchdiffConfig {
+            current_serve: Some(plain),
             ..BenchdiffConfig::default()
         };
         let report = run_benchdiff(&dir, &config).expect("runs");

@@ -77,6 +77,44 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Runs an exact driver scheme twice — bitmap-filtered verification on
+/// (the default) and off — and demands byte-identical pair sets before
+/// returning either. The filter is a pure rejection fast path, so any
+/// divergence is a soundness bug in the bitmap bound, reported like any
+/// other oracle mismatch. Weighted predicates skip the filter inside the
+/// driver; the double run is skipped there to avoid paying twice for a
+/// comparison of two identical exact paths.
+fn driver_pairs<S: SignatureScheme>(
+    scheme: &S,
+    collection: &SetCollection,
+    pred: Predicate,
+    weights: Option<&ssj_core::set::WeightMap>,
+    opts: JoinOptions,
+) -> RunResult {
+    let on = self_join(scheme, collection, pred, weights, opts);
+    if pred.is_weighted() {
+        return Ok(on.pairs);
+    }
+    let off = self_join(
+        scheme,
+        collection,
+        pred,
+        weights,
+        opts.with_bitmap_filter(false),
+    );
+    if on.pairs != off.pairs {
+        return Err(format!(
+            "bitmap filter changed the output: {} pair(s) with the filter \
+             ({} pruned, {} survivors) vs {} without",
+            on.pairs.len(),
+            on.stats.bitmap_pruned,
+            on.stats.bitmap_survivors,
+            off.pairs.len()
+        ));
+    }
+    Ok(on.pairs)
+}
+
 fn run_scheme(kind: SchemeKind, w: &AdversarialWorkload, threads: usize) -> RunResult {
     let collection = w.collection();
     let pred = predicate_of(kind, w);
@@ -91,17 +129,17 @@ fn run_scheme(kind: SchemeKind, w: &AdversarialWorkload, threads: usize) -> RunR
                 .ok_or_else(|| format!("no valid params for k = {}", w.hamming_k))?;
             let scheme = PartEnumHamming::new(w.hamming_k, params, seed)
                 .map_err(|e| format!("construction failed: {e}"))?;
-            Ok(self_join(&scheme, &collection, pred, None, opts).pairs)
+            driver_pairs(&scheme, &collection, pred, None, opts)
         }
         SchemeKind::PeJaccard => {
             let scheme = PartEnumJaccard::new(w.gamma, max_len, seed)
                 .map_err(|e| format!("construction failed: {e}"))?;
-            Ok(self_join(&scheme, &collection, pred, None, opts).pairs)
+            driver_pairs(&scheme, &collection, pred, None, opts)
         }
         SchemeKind::GeneralJaccard | SchemeKind::GeneralMaxFraction => {
             let scheme = GeneralPartEnum::new(pred, max_len, seed)
                 .map_err(|e| format!("construction failed: {e}"))?;
-            Ok(self_join(&scheme, &collection, pred, None, opts).pairs)
+            driver_pairs(&scheme, &collection, pred, None, opts)
         }
         SchemeKind::WtEnum => {
             let weights = Arc::new(w.weight_map());
@@ -122,9 +160,9 @@ fn run_scheme(kind: SchemeKind, w: &AdversarialWorkload, threads: usize) -> RunR
             let scheme =
                 PrefixFilter::build(pred, &[&collection], None, PrefixFilterConfig::default())
                     .map_err(|e| format!("construction failed: {e}"))?;
-            Ok(self_join(&scheme, &collection, pred, None, opts).pairs)
+            driver_pairs(&scheme, &collection, pred, None, opts)
         }
-        SchemeKind::Identity => Ok(self_join(&IdentityScheme, &collection, pred, None, opts).pairs),
+        SchemeKind::Identity => driver_pairs(&IdentityScheme, &collection, pred, None, opts),
         SchemeKind::Lsh => Ok(lsh_pairs(w, &collection, pred, seed)),
         SchemeKind::Serve => serve_pairs(w, threads),
         SchemeKind::Extern => extern_pairs(w, &collection, pred, seed),
@@ -166,6 +204,7 @@ fn extern_pairs(
                 mem_budget: 1 << 30,
                 min_partitions: min_parts,
                 spill_dir: None,
+                ..Default::default()
             };
             let (pairs, stats) =
                 ssj_extern::external_self_join(&mut seg, &scheme, pred, None, &cfg)

@@ -89,9 +89,15 @@ pub const SUPPRESSIBLE_RULES: [&str; 6] = [
 /// * WAL record encoding — `encode_record_into` / `encode_set` run per
 ///   write inside the store's critical section;
 /// * `probe_partition` — the external executor's per-partition candidate
-///   enumeration, run once per spill partition over every posting list.
-pub const HOT_ROOTS: [&str; 15] = [
+///   enumeration, run once per spill partition over every posting list;
+/// * `verify_pair` / `overlap_bound` / `write_bitmap` — the pluggable
+///   verification trait method, the bitmap popcount bound it checks per
+///   candidate, and the per-query bitmap build on the serve read path.
+pub const HOT_ROOTS: [&str; 18] = [
     "verify_pairs_into",
+    "verify_pair",
+    "overlap_bound",
+    "write_bitmap",
     "intersection_size",
     "intersection_at_least",
     "hamming_distance",

@@ -24,6 +24,7 @@
 //! | `crate-hygiene`   | every crate root                        | missing `#![forbid(unsafe_code)]` / `#![deny(rust_2018_idioms)]` |
 //! | `narrowing-cast`  | ssj-core                                | bare `as` narrowing casts on id-sized ints |
 //! | `std-sync-lock`   | every workspace crate                   | `std::sync::Mutex`/`RwLock` (use `parking_lot` so the lock witness can wrap them) |
+//! | `float-round-cast`| ssj-core                                | raw `.ceil()/.floor()/.round() as <int>` (use `ceil_tol`/`floor_tol` — float noise at integer boundaries shifts candidate-generation bounds by one) |
 //! | `allowlist-scope` | the allowlist itself                    | entries exempting ssj-core, ssj-serve, or ssj-store |
 //!
 //! Suppressions live in `crates/xtask/lint_allow.toml`.
@@ -228,13 +229,14 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, LintError> {
         violations.extend(rules::check_crate_hygiene(&relpath, &masked));
     }
 
-    // L4: narrowing casts in ssj-core.
+    // L4 + L6: narrowing casts and raw float-rounding casts in ssj-core.
     let core = root.join(CORE_SRC);
     if core.is_dir() {
         for file in rs_files(&core)? {
             let relpath = rel(root, &file);
             let lines = scan::rule_lines(&read(&file)?);
             violations.extend(rules::check_narrowing_cast(&relpath, &lines));
+            violations.extend(rules::check_float_round_cast(&relpath, &lines));
         }
     }
 

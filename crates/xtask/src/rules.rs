@@ -16,6 +16,8 @@ pub const CRATE_HYGIENE: &str = "crate-hygiene";
 pub const NARROWING_CAST: &str = "narrowing-cast";
 /// L5: no `std::sync` locks anywhere in workspace crates.
 pub const STD_SYNC: &str = "std-sync-lock";
+/// L6: no raw `.ceil()/.floor()/.round() as <int>` in ssj-core.
+pub const FLOAT_ROUND_CAST: &str = "float-round-cast";
 /// Guard: the allowlist must never exempt ssj-core.
 pub const ALLOWLIST_SCOPE: &str = "allowlist-scope";
 
@@ -210,6 +212,62 @@ pub fn check_std_sync(path: &str, lines: &[String]) -> Vec<Violation> {
     out
 }
 
+/// Integer cast targets the L6 scan treats as a rounding boundary.
+const INT_TARGETS: [&str; 12] = [
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "isize",
+    "SetId",
+    "ElementId",
+];
+
+/// L6 scan: flags `.ceil() as <int>`, `.floor() as <int>`, and
+/// `.round() as <int>` in ssj-core.
+///
+/// The narrowing-cast rule (L4) catches integer truncation but not float
+/// rounding: `(gamma * size as f64).ceil() as usize` silently shifts by
+/// one whenever binary noise lands the product a ulp across an integer
+/// boundary (0.07·100 = 7.000000000000001), which in candidate generation
+/// drops valid join partners. Exactness-relevant rounding must go through
+/// `ceil_tol` / `floor_tol` in `ssj_core::predicate`, which absorb the
+/// noise before truncating.
+pub fn check_float_round_cast(path: &str, lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for method in ["ceil", "floor", "round"] {
+            let needle = format!(".{method}() as ");
+            for (at, _) in line.match_indices(&needle) {
+                let rest = &line[at + needle.len()..];
+                let target: String = rest
+                    .bytes()
+                    .take_while(|&b| is_ident(b))
+                    .map(char::from)
+                    .collect();
+                if INT_TARGETS.contains(&target.as_str()) {
+                    out.push(Violation {
+                        rule: FLOAT_ROUND_CAST,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "raw `.{method}() as {target}` on a float; use `ceil_tol` / \
+                             `floor_tol` from `ssj_core::predicate` so float noise at \
+                             integer boundaries cannot shift the result by one"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +362,30 @@ mod tests {
             v.iter().map(|v| v.line).collect::<Vec<_>>(),
             vec![1, 2, 3, 4]
         );
+    }
+
+    #[test]
+    fn float_round_cast_flags_int_targets_only() {
+        let src = "fn f(x: f64, g: f64, n: usize) {\n\
+                   \x20 let a = (g * n as f64).ceil() as usize;\n\
+                   \x20 let b = (n as f64 / g).floor() as u64;\n\
+                   \x20 let c = x.round() as i32;\n\
+                   \x20 let d = x.ceil() as f32;\n\
+                   \x20 let e = x.ceil();\n\
+                   \x20 let f = ceil_tol(g * n as f64);\n\
+                   }\n";
+        let v = check_float_round_cast("x.rs", &lines(src));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(v.iter().all(|v| v.rule == FLOAT_ROUND_CAST));
+        assert!(v[0].message.contains("ceil_tol"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn float_round_cast_skips_tests_comments_and_strings() {
+        let src = "fn f() { /* x.ceil() as usize */ let s = \".floor() as u64\"; }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t(x: f64) { let a = x.ceil() as usize; }\n}\n";
+        assert!(check_float_round_cast("x.rs", &lines(src)).is_empty());
     }
 
     #[test]
