@@ -31,12 +31,14 @@ echo "==> allocation witnesses (release: strict zero-alloc assertions)"
 cargo test -q --release -p ssj-core --test alloc_witness
 cargo test -q --release -p ssj-serve --test alloc_witness
 cargo test -q --release -p ssj-extern --test alloc_witness
+cargo test -q --release -p ssj-cluster --test alloc_witness
 
 echo "==> perf baselines (quick benches + benchdiff)"
 cargo build --release -q -p ssj-bench --bin join_bench --bin serve_bench
 rm -f target/bench-current-join.json target/bench-current-serve.json
 ./target/release/join_bench --quick --bench-out target/bench-current-join.json
 ./target/release/serve_bench --quick --bench-out target/bench-current-serve.json
+./target/release/serve_bench --quick --cluster 3 --bench-out target/bench-current-serve.json
 cargo xtask benchdiff --join target/bench-current-join.json --serve target/bench-current-serve.json
 
 echo "==> cargo xtask difftest --seeds 25"
@@ -47,6 +49,9 @@ cargo xtask crashtest --seeds 10
 
 echo "==> server smoke test"
 scripts/serve_smoke.sh
+
+echo "==> cluster smoke test (2-node scatter-gather router)"
+scripts/cluster_smoke.sh
 
 echo "==> out-of-core spill smoke test"
 scripts/spill_smoke.sh

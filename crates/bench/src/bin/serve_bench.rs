@@ -23,6 +23,9 @@ OPTIONS:
   --ops N             measured requests per client (default 2000)
   --shards N          server shards (default 4)
   --workers N         server workers (default 0 = auto-detect cores)
+  --cluster N         run through the scatter-gather router over a
+                      simulated N-node cluster (N >= 2) instead of a
+                      single server (default 0 = single node)
   --threshold G       jaccard threshold served (default 0.8)
   --seed N            rng/signature seed
   --bench-out PATH    where to append the JSON record
@@ -77,6 +80,11 @@ fn parse_args(args: &[String]) -> Result<(ServingBenchConfig, Option<String>), S
                     .parse()
                     .map_err(|_| "bad --seed".to_string())?
             }
+            "--cluster" => {
+                cfg.cluster_nodes = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --cluster".to_string())?
+            }
             "--bench-out" => {
                 let path = next(&mut i)?;
                 bench_out = if path == "-" {
@@ -92,6 +100,9 @@ fn parse_args(args: &[String]) -> Result<(ServingBenchConfig, Option<String>), S
     }
     if cfg.clients == 0 || cfg.ops_per_client == 0 || cfg.sets == 0 {
         return Err("--sets, --clients, and --ops must be positive".into());
+    }
+    if cfg.cluster_nodes == 1 {
+        return Err("--cluster needs at least 2 nodes (0 = single-node mode)".into());
     }
     Ok((cfg, bench_out))
 }

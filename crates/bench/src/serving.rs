@@ -39,6 +39,13 @@ pub struct ServingBenchConfig {
     pub queue_capacity: usize,
     /// RNG / signature seed.
     pub seed: u64,
+    /// `0`: single-node benchmark (the historical mode). `>= 2`: run the
+    /// workload through the scatter-gather router over a simulated
+    /// cluster of this many nodes instead. The router is a single
+    /// coordinator, so cluster mode drives one closed loop issuing
+    /// `clients * ops_per_client` requests — total measured ops stay
+    /// comparable across modes.
+    pub cluster_nodes: usize,
 }
 
 impl Default for ServingBenchConfig {
@@ -55,6 +62,7 @@ impl Default for ServingBenchConfig {
             workers: 0,
             queue_capacity: 1024,
             seed: 0xBE7C,
+            cluster_nodes: 0,
         }
     }
 }
@@ -167,8 +175,16 @@ impl ServingReport {
             ],
             &rows,
         );
+        let mode = if cfg.cluster_nodes >= 2 {
+            format!(
+                " ({}-node cluster, scatter-gather router)",
+                cfg.cluster_nodes
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "serving benchmark: {} preloaded sets, {} clients x {} ops\n\
+            "serving benchmark{mode}: {} preloaded sets, {} clients x {} ops\n\
              preload: {:.2}s ({:.0} inserts/s)\n\
              measured: {} ops in {:.2}s -> {:.0} req/s \
              (overloaded={}, timeouts={}, matches={})\n\
@@ -214,8 +230,9 @@ impl ServingReport {
         out.push_str(",\"gamma\":");
         write_f64(&mut out, cfg.gamma);
         out.push_str(&format!(
-            ",\"shards\":{},\"workers\":{},\"queue_capacity\":{},\"seed\":{}}}",
-            cfg.shards, cfg.workers, cfg.queue_capacity, cfg.seed
+            ",\"shards\":{},\"workers\":{},\"queue_capacity\":{},\"seed\":{},\
+             \"cluster_nodes\":{}}}",
+            cfg.shards, cfg.workers, cfg.queue_capacity, cfg.seed, cfg.cluster_nodes
         ));
         out.push_str(&format!(
             ",\"preload_sets\":{},\"preload_secs\":",
@@ -347,7 +364,11 @@ fn client_loop(
 }
 
 /// Runs the full benchmark: generate, preload, measure, summarise.
+/// Dispatches to the cluster path when `cfg.cluster_nodes >= 2`.
 pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingReport {
+    if cfg.cluster_nodes >= 2 {
+        return run_cluster_bench(cfg);
+    }
     let collection = Arc::new(generate_uniform(UniformConfig {
         base_sets: cfg.sets,
         set_size: cfg.set_size,
@@ -427,6 +448,132 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingReport {
     }
 }
 
+/// The cluster benchmark: the same synthetic workload, driven through the
+/// scatter-gather [`ssj_cluster::Router`] over an in-process simulated
+/// cluster. One closed loop issues `clients * ops_per_client` requests —
+/// the router is a single coordinator, so the interesting axis is fan-out
+/// cost per request, not client concurrency. The write half of the mix is
+/// all inserts (there is no cluster-level query-insert; a query and an
+/// insert of the same set hit different node sets by design).
+fn run_cluster_bench(cfg: &ServingBenchConfig) -> ServingReport {
+    use ssj_cluster::{ClusterSeq, HashRing, Router, RouterError, RouterScratch, SimCluster};
+
+    let nodes = cfg.cluster_nodes;
+    let collection = generate_uniform(UniformConfig {
+        base_sets: cfg.sets,
+        set_size: cfg.set_size,
+        domain: cfg.domain,
+        similar_fraction: 0.0,
+        planted_similarity: 0.9,
+        seed: cfg.seed,
+    });
+    let node_cfg = ServerConfig {
+        gamma: cfg.gamma,
+        shards: cfg.shards,
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        seed: cfg.seed,
+        initial_max_size: cfg.set_size.max(1),
+        ..ServerConfig::default()
+    };
+    let sim =
+        SimCluster::start_memory(nodes, &node_cfg).expect("benchmark cluster config must be valid");
+    let ring = HashRing::new(nodes as u32, HashRing::DEFAULT_VNODES, cfg.seed);
+    let mut router = Router::new(sim, ring, 0);
+    let mut scratch = RouterScratch::default();
+
+    let preload_start = Instant::now();
+    for i in 0..collection.len() {
+        router
+            .route_insert(collection.set(i as u32), &mut scratch)
+            .expect("preload insert must ack");
+    }
+    let preload_secs = preload_start.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC11E27);
+    let total_ops = cfg.clients * cfg.ops_per_client;
+    let mut all = Vec::with_capacity(total_ops);
+    let mut query = Vec::new();
+    let mut write = Vec::new();
+    let mut matches = 0u64;
+    let mut overloaded = 0u64;
+    let mut timeouts = 0u64;
+    let mut out = Vec::new();
+    let mut seen = ClusterSeq::new(nodes);
+    let n = collection.len();
+    let start = Instant::now();
+    for _ in 0..total_ops {
+        let mut elems = collection.set(rng.gen_range(0..n) as u32).to_vec();
+        if !elems.is_empty() {
+            let slot = rng.gen_range(0..elems.len());
+            elems[slot] = rng.gen_range(0..cfg.domain);
+        }
+        let is_query = rng.gen_range(0.0..1.0) < cfg.query_fraction;
+        let op_start = Instant::now();
+        let result = if is_query {
+            router
+                .route_query(&elems, &mut scratch, &mut out, &mut seen)
+                .map(|_| out.len() as u64)
+        } else {
+            router.route_insert(&elems, &mut scratch).map(|_| 0)
+        };
+        let us = u64::try_from(op_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        all.push(us);
+        if is_query {
+            query.push(us);
+        } else {
+            write.push(us);
+        }
+        match result {
+            Ok(n_matches) => matches += n_matches,
+            Err(RouterError::Rejected { kind, .. }) => match kind {
+                ssj_cluster::Rejection::Overloaded => overloaded += 1,
+                ssj_cluster::Rejection::Timeout => timeouts += 1,
+                other => panic!("benchmark request rejected: {other:?}"),
+            },
+            Err(e) => panic!("benchmark request failed: {e}"),
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut candidates_probed = 0u64;
+    let mut bitmap_pruned = 0u64;
+    let mut live_sets = Vec::new();
+    for node in 0..nodes {
+        let stats = router
+            .transport()
+            .server(node)
+            .expect("benchmark nodes stay up")
+            .stats();
+        candidates_probed += stats
+            .shards
+            .iter()
+            .map(|s| s.candidates_probed)
+            .sum::<u64>();
+        bitmap_pruned += stats.shards.iter().map(|s| s.bitmap_pruned).sum::<u64>();
+        live_sets.extend(stats.live_sets);
+    }
+
+    let measured_ops = all.len() as u64;
+    ServingReport {
+        preload_sets: collection.len(),
+        preload_secs,
+        preload_throughput: collection.len() as f64 / preload_secs.max(1e-9),
+        measured_ops,
+        wall_secs,
+        throughput: measured_ops as f64 / wall_secs.max(1e-9),
+        latency: LatencySummary::from_samples(&mut all),
+        query_latency: LatencySummary::from_samples(&mut query),
+        write_latency: LatencySummary::from_samples(&mut write),
+        total_matches: matches,
+        candidates_probed,
+        bitmap_pruned,
+        overloaded,
+        timeouts,
+        live_sets,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,5 +649,41 @@ mod tests {
         assert_eq!(lat["p99_us"].as_u64().unwrap(), report.latency.p99_us);
         let live = obj["live_sets"].as_array().expect("live_sets array");
         assert_eq!(live.len(), report.live_sets.len());
+        let config = obj["config"].as_object().expect("config object");
+        assert_eq!(config["cluster_nodes"].as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn tiny_cluster_benchmark_run_is_consistent() {
+        let cfg = ServingBenchConfig {
+            sets: 200,
+            clients: 2,
+            ops_per_client: 30,
+            shards: 2,
+            workers: 1,
+            cluster_nodes: 3,
+            ..ServingBenchConfig::default()
+        };
+        let report = run_serving_bench(&cfg);
+        assert_eq!(report.preload_sets, 200);
+        // One closed loop issues clients * ops_per_client requests.
+        assert_eq!(report.measured_ops, 60);
+        assert_eq!(
+            report.latency.count,
+            report.query_latency.count + report.write_latency.count
+        );
+        assert!(report.throughput > 0.0);
+        assert_eq!(report.overloaded + report.timeouts, 0);
+        // live_sets concatenates per-node shard counts: 3 nodes x 2 shards.
+        assert_eq!(report.live_sets.len(), 6);
+        let live: u64 = report.live_sets.iter().sum();
+        assert_eq!(live, 200 + report.write_latency.count);
+        let rendered = report.render(&cfg);
+        assert!(rendered.contains("3-node cluster"), "{rendered}");
+        let record = report.to_json_record(&cfg, 1_754_000_000);
+        let value = ssj_io::json::parse(&record).expect("record parses");
+        let obj = value.as_object().expect("record is an object");
+        let config = obj["config"].as_object().expect("config object");
+        assert_eq!(config["cluster_nodes"].as_u64().unwrap(), 3);
     }
 }

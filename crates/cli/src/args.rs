@@ -70,6 +70,8 @@ pub enum Command {
     Serve(ServeOpts),
     /// One-shot client request against a running service.
     Query(QueryOpts),
+    /// Run the scatter-gather router over a multi-node cluster.
+    Cluster(ClusterOpts),
 }
 
 /// Options for `ssjoin serve`.
@@ -96,6 +98,26 @@ pub struct ServeOpts {
     /// Snapshot-and-truncate cadence in writes (0 disables automatic
     /// snapshots).
     pub snapshot_every: u64,
+}
+
+/// Options for `ssjoin cluster`: a router session over N serve nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOpts {
+    /// In-process TCP nodes to spawn (ignored when `addrs` is non-empty).
+    pub nodes: usize,
+    /// Externally running node addresses, index = node id. Empty means
+    /// spawn `nodes` in-process servers on ephemeral ports.
+    pub addrs: Vec<String>,
+    /// Jaccard threshold every node serves.
+    pub gamma: f64,
+    /// Index shards per spawned node.
+    pub shards: usize,
+    /// Worker threads per spawned node (0 = auto-detect cores).
+    pub workers: usize,
+    /// Request queue bound per spawned node.
+    pub queue_capacity: usize,
+    /// Signature/placement seed (must match the nodes' seed).
+    pub seed: u64,
 }
 
 /// Options for `ssjoin query`: a pre-encoded request line plus the address
@@ -152,6 +174,7 @@ USAGE:
   ssjoin <jaccard|hamming|edit|weighted|dice|cosine> --input FILE [OPTIONS]
   ssjoin serve [SERVE OPTIONS]
   ssjoin query --addr HOST:PORT <QUERY OPTIONS>
+  ssjoin cluster [CLUSTER OPTIONS]
 
 MODES:
   jaccard   --threshold G     pairs with jaccard similarity >= G
@@ -190,6 +213,22 @@ SERVE OPTIONS (long-running similarity-search service, NDJSON protocol):
                       every | interval[:MS] | never
   --snapshot-every N  snapshot+truncate the WAL every N writes
                       (default 8192; 0 = only on explicit request)
+
+CLUSTER OPTIONS (scatter-gather router session on stdin/stdout):
+  --nodes N           spawn N in-process serve nodes on ephemeral ports
+                      (default 2; N >= 2)
+  --addrs A1,A2,...   route over externally running nodes instead of
+                      spawning (overrides --nodes; >= 2 addresses)
+  --threshold G       jaccard threshold served (default 0.8)
+  --shards N          index shards per spawned node (default 4)
+  --workers N         worker threads per spawned node (default 0 = auto)
+  --queue-cap N       request queue bound per spawned node (default 128)
+  --seed N            signature/placement seed (default 42); with --addrs
+                      it must equal the nodes' --seed
+  Session: one NDJSON request per stdin line (insert | query | remove,
+  same shapes as QUERY OPTIONS), one routed response per stdout line;
+  ids are cluster ids. EOF or {\"op\":\"shutdown\"} ends the session and
+  stops spawned nodes.
 
 QUERY OPTIONS (one-shot client; prints the JSON response line):
   --set E1,E2,...     query for similar sets (with --op to change verb)
@@ -256,8 +295,96 @@ pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
     match args.first().map(String::as_str) {
         Some("serve") => parse_serve(&args[1..]).map(Command::Serve),
         Some("query") => parse_query(&args[1..]).map(Command::Query),
+        Some("cluster") => parse_cluster(&args[1..]).map(Command::Cluster),
         _ => parse(args).map(Command::Join),
     }
+}
+
+fn parse_cluster(args: &[String]) -> Result<ClusterOpts, ParseError> {
+    let mut opts = ClusterOpts {
+        nodes: 2,
+        addrs: Vec::new(),
+        gamma: 0.8,
+        shards: 4,
+        workers: 0,
+        queue_capacity: 128,
+        seed: 42,
+    };
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, ParseError> {
+        *i += 1;
+        args.get(*i)
+            .ok_or_else(|| ParseError(format!("{} needs a value", args[*i - 1])))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                opts.nodes = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --nodes".into()))?
+            }
+            "--addrs" => {
+                opts.addrs = next(&mut i)?
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(|a| a.trim().to_string())
+                    .collect()
+            }
+            "--threshold" => {
+                opts.gamma = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --threshold".into()))?
+            }
+            "--shards" => {
+                opts.shards = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --shards".into()))?
+            }
+            "--workers" => {
+                opts.workers = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --workers".into()))?
+            }
+            "--queue-cap" => {
+                opts.queue_capacity = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --queue-cap".into()))?
+            }
+            "--seed" => {
+                opts.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --seed".into()))?
+            }
+            "--help" | "-h" => return Err(ParseError(USAGE.into())),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown cluster option {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if !(0.0 < opts.gamma && opts.gamma <= 1.0) {
+        return Err(ParseError("--threshold must be in (0, 1]".into()));
+    }
+    if opts.shards == 0 {
+        return Err(ParseError("--shards must be positive".into()));
+    }
+    if opts.queue_capacity == 0 {
+        return Err(ParseError("--queue-cap must be positive".into()));
+    }
+    if opts.addrs.is_empty() {
+        if opts.nodes < 2 {
+            return Err(ParseError(
+                "--nodes must be at least 2 (use `serve` for one node)".into(),
+            ));
+        }
+    } else if opts.addrs.len() < 2 {
+        return Err(ParseError(
+            "--addrs needs at least 2 addresses (use `query` for one node)".into(),
+        ));
+    }
+    Ok(opts)
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOpts, ParseError> {
@@ -716,6 +843,39 @@ mod tests {
         assert!(parse_command(&args("serve --sync sometimes")).is_err());
         assert!(parse_command(&args("serve --snapshot-every many")).is_err());
         assert!(parse_command(&args("serve --data-dir")).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_subcommand() {
+        let cmd = parse_command(&args(
+            "cluster --nodes 3 --threshold 0.6 --shards 2 --seed 9",
+        ));
+        match cmd {
+            Ok(Command::Cluster(o)) => {
+                assert_eq!(o.nodes, 3);
+                assert!(o.addrs.is_empty());
+                assert_eq!(o.gamma, 0.6);
+                assert_eq!(o.shards, 2);
+                assert_eq!(o.seed, 9);
+            }
+            other => panic!("expected cluster, got {other:?}"),
+        }
+        match parse_command(&args("cluster --addrs h:1,h:2,h:3")) {
+            Ok(Command::Cluster(o)) => {
+                assert_eq!(o.addrs, vec!["h:1", "h:2", "h:3"]);
+                assert_eq!(o.nodes, 2); // default, ignored with addrs
+            }
+            other => panic!("expected cluster, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&args("cluster")),
+            Ok(Command::Cluster(ClusterOpts { nodes: 2, .. }))
+        ));
+        assert!(parse_command(&args("cluster --nodes 1")).is_err());
+        assert!(parse_command(&args("cluster --addrs h:1")).is_err());
+        assert!(parse_command(&args("cluster --threshold 1.5")).is_err());
+        assert!(parse_command(&args("cluster --shards 0")).is_err());
+        assert!(parse_command(&args("cluster --frobnicate")).is_err());
     }
 
     #[test]

@@ -293,6 +293,151 @@ pub fn run_serve(opts: &args::ServeOpts) -> Result<(), String> {
     ssj_serve::net::serve_tcp(server, listener).map_err(|e| e.to_string())
 }
 
+/// Runs `ssjoin cluster`: a scatter-gather router session on
+/// stdin/stdout over N serve nodes (spawned in-process on ephemeral
+/// ports, or externally running via `--addrs`).
+pub fn run_cluster(opts: &args::ClusterOpts) -> Result<(), String> {
+    let mut spawned: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let addrs = if opts.addrs.is_empty() {
+        let cfg = ssj_serve::ServerConfig {
+            gamma: opts.gamma,
+            shards: opts.shards,
+            workers: opts.workers,
+            queue_capacity: opts.queue_capacity,
+            seed: opts.seed,
+            ..ssj_serve::ServerConfig::default()
+        };
+        let mut addrs = Vec::with_capacity(opts.nodes);
+        for node in 0..opts.nodes {
+            let server = ssj_serve::Server::start(cfg.clone()).map_err(|e| e.to_string())?;
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| format!("cannot bind node {node}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            addrs.push(local.to_string());
+            spawned.push(std::thread::spawn(move || {
+                let _ = ssj_serve::net::serve_tcp(server, listener);
+            }));
+        }
+        eprintln!(
+            "ssjoin cluster: {} in-process nodes at {}",
+            opts.nodes,
+            addrs.join(", ")
+        );
+        addrs
+    } else {
+        opts.addrs.clone()
+    };
+    let nodes = addrs.len();
+    let ring = ssj_cluster::HashRing::new(
+        u32::try_from(nodes).map_err(|_| "too many nodes".to_string())?,
+        ssj_cluster::HashRing::DEFAULT_VNODES,
+        opts.seed,
+    );
+    let transport = ssj_cluster::TcpTransport::new(addrs.clone());
+    let mut router = ssj_cluster::Router::new(transport, ring, 1);
+    let mut scratch = ssj_cluster::RouterScratch::default();
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out_handle = stdout.lock();
+    let mut ids: Vec<u64> = Vec::new();
+    let mut seen = ssj_cluster::ClusterSeq::new(nodes);
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = cluster_reply(&mut router, &mut scratch, &mut ids, &mut seen, &line);
+        let Some(reply) = reply else {
+            break; // shutdown requested
+        };
+        writeln!(out_handle, "{reply}").map_err(|e| e.to_string())?;
+        out_handle.flush().map_err(|e| e.to_string())?;
+    }
+    drop(router);
+    if !spawned.is_empty() {
+        for addr in &addrs {
+            let _ = ssj_serve::net::client_call(addr, "{\"op\":\"shutdown\"}");
+        }
+        for handle in spawned {
+            let _ = handle.join();
+        }
+    }
+    Ok(())
+}
+
+/// Routes one session line and renders the response; `None` means the
+/// client asked the session to shut down.
+fn cluster_reply<T: ssj_cluster::Transport>(
+    router: &mut ssj_cluster::Router<T>,
+    scratch: &mut ssj_cluster::RouterScratch,
+    ids: &mut Vec<u64>,
+    seen: &mut ssj_cluster::ClusterSeq,
+    line: &str,
+) -> Option<String> {
+    use ssj_serve::service::Request;
+    let bad = |msg: &str| {
+        let mut out = String::from("{\"ok\":false,\"error\":\"bad_request\",\"message\":");
+        ssj_io::json::write_escaped(&mut out, msg);
+        out.push('}');
+        out
+    };
+    let req = match ssj_serve::wire::parse_request(line) {
+        Ok(ssj_serve::wire::WireRequest::Call { req, .. }) => req,
+        Ok(ssj_serve::wire::WireRequest::Shutdown) => return None,
+        Err(msg) => return Some(bad(&msg)),
+    };
+    let rendered = match req {
+        Request::Insert { elems } => router.route_insert(&elems, scratch).map(|ack| {
+            let durable = ack
+                .durable_seq
+                .map(|d| format!(",\"durable_seq\":{d}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"op\":\"insert\",\"id\":{},\"node\":{},\"seq\":{}{durable}}}",
+                ack.id, ack.node, ack.node_seq
+            )
+        }),
+        Request::Query { elems } => router.route_query(&elems, scratch, ids, seen).map(|ack| {
+            let join_u64 = |xs: &[u64]| {
+                xs.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!(
+                "{{\"ok\":true,\"op\":\"query\",\"ids\":[{}],\"seen\":[{}],\
+                         \"probed\":{},\"replica_answers\":{}}}",
+                join_u64(ids),
+                join_u64(seen.components()),
+                ack.probed,
+                ack.replica_answers
+            )
+        }),
+        Request::Remove { id } => router.route_remove(id, scratch).map(|ack| {
+            let durable = ack
+                .durable_seq
+                .map(|d| format!(",\"durable_seq\":{d}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"op\":\"remove\",\"found\":{},\"node\":{},\"seq\":{}{durable}}}",
+                ack.found, ack.node, ack.node_seq
+            )
+        }),
+        _ => {
+            return Some(bad(
+                "only insert, query, and remove route at the cluster level",
+            ))
+        }
+    };
+    Some(rendered.unwrap_or_else(|e| {
+        let mut out = String::from("{\"ok\":false,\"error\":");
+        ssj_io::json::write_escaped(&mut out, &e.to_string());
+        out.push('}');
+        out
+    }))
+}
+
 /// Runs `ssjoin query`: delivers one request line and returns the server's
 /// response line, plus whether the server reported success.
 pub fn run_query(opts: &args::QueryOpts) -> Result<(String, bool), String> {

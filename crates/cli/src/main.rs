@@ -20,6 +20,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Command::Cluster(opts) => match ssj_cli::run_cluster(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Command::Query(opts) => match ssj_cli::run_query(&opts) {
             Ok((reply, ok)) => {
                 println!("{reply}");

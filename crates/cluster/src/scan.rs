@@ -1,0 +1,170 @@
+//! Allocation-free field extraction from NDJSON response lines.
+//!
+//! The router's steady-state scatter-gather path reads a handful of
+//! numeric fields (`"seen_seq"`, `"seq"`, `"id"`, `"durable_seq"`) and one
+//! id array out of each node's response line. The general
+//! `ssj_io::json::parse` would heap-allocate a value tree per response, so
+//! the hot path uses these scanners instead: byte-level searches over the
+//! line the server itself rendered. They are **not** a general JSON
+//! parser — they rely on the wire encoder's canonical output (no
+//! whitespace, fixed key order within an object is *not* assumed, but keys
+//! are never nested inside strings except the error message, which carries
+//! no scanned keys).
+
+/// True when the line is a success response (`"ok":true`).
+pub fn is_ok(line: &str) -> bool {
+    line.contains("\"ok\":true")
+}
+
+/// The failure discriminator of a non-ok line (`overloaded`, `timeout`,
+/// `shutting_down`, `bad_request`), if present.
+pub fn error_kind(line: &str) -> Option<&str> {
+    let rest = &line[line.find("\"error\":\"")? + "\"error\":\"".len()..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Reads the unsigned integer immediately following `"key":` in `line`.
+/// `key` is the bare field name (no quotes or colon).
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    loop {
+        let at = from + line[from..].find(key)?;
+        // Demand the full `"key":` shape around the match so a value that
+        // happens to contain the name (inside an error string) is skipped.
+        let prefixed = at >= 1 && bytes[at - 1] == b'"';
+        let end = at + key.len();
+        let suffixed = bytes.get(end) == Some(&b'"') && bytes.get(end + 1) == Some(&b':');
+        if !(prefixed && suffixed) {
+            from = at + 1;
+            continue;
+        }
+        return parse_digits(&bytes[end + 2..]);
+    }
+}
+
+/// Invokes `f` with every unsigned integer inside the array following
+/// `"key":[`. Returns `false` when the field is absent.
+pub fn for_each_array_u64(line: &str, key: &str, mut f: impl FnMut(u64)) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    let start = loop {
+        let Some(rel) = line[from..].find(key) else {
+            return false;
+        };
+        let at = from + rel;
+        let prefixed = at >= 1 && bytes[at - 1] == b'"';
+        let end = at + key.len();
+        let suffixed = bytes.get(end) == Some(&b'"')
+            && bytes.get(end + 1) == Some(&b':')
+            && bytes.get(end + 2) == Some(&b'[');
+        if prefixed && suffixed {
+            break end + 3;
+        }
+        from = at + 1;
+    };
+    let mut i = start;
+    let mut value = 0u64;
+    let mut in_number = false;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'0'..=b'9' => {
+                value = value.wrapping_mul(10).wrapping_add(u64::from(b - b'0'));
+                in_number = true;
+            }
+            b',' => {
+                if in_number {
+                    f(value);
+                }
+                value = 0;
+                in_number = false;
+            }
+            b']' => {
+                if in_number {
+                    f(value);
+                }
+                return true;
+            }
+            _ => return false,
+        }
+        i += 1;
+    }
+    false
+}
+
+fn parse_digits(bytes: &[u8]) -> Option<u64> {
+    let mut value = 0u64;
+    let mut any = false;
+    for &b in bytes {
+        match b {
+            b'0'..=b'9' => {
+                value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+                any = true;
+            }
+            _ => break,
+        }
+    }
+    any.then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_write_ack_fields() {
+        let line = r#"{"ok":true,"op":"insert","id":12,"seq":3,"durable_seq":4}"#;
+        assert!(is_ok(line));
+        assert_eq!(field_u64(line, "id"), Some(12));
+        assert_eq!(field_u64(line, "seq"), Some(3));
+        assert_eq!(field_u64(line, "durable_seq"), Some(4));
+        assert_eq!(field_u64(line, "missing"), None);
+    }
+
+    #[test]
+    fn seq_key_does_not_match_inside_longer_keys() {
+        // "seq" appears inside both "seen_seq" and "durable_seq"; the
+        // scanner must bind to the exact key only.
+        let line = r#"{"ok":true,"op":"query","ids":[7],"seen_seq":9,"probed":1}"#;
+        assert_eq!(field_u64(line, "seen_seq"), Some(9));
+        assert_eq!(field_u64(line, "seq"), None);
+        let line = r#"{"ok":true,"op":"insert","id":1,"seq":5,"durable_seq":6}"#;
+        assert_eq!(field_u64(line, "seq"), Some(5));
+    }
+
+    #[test]
+    fn walks_id_arrays() {
+        let mut got = Vec::new();
+        assert!(for_each_array_u64(
+            r#"{"ok":true,"op":"query","ids":[3,11,42],"seen_seq":9,"probed":2}"#,
+            "ids",
+            |x| got.push(x)
+        ));
+        assert_eq!(got, vec![3, 11, 42]);
+        got.clear();
+        assert!(for_each_array_u64(
+            r#"{"ok":true,"op":"query","ids":[],"seen_seq":0,"probed":0}"#,
+            "ids",
+            |x| got.push(x)
+        ));
+        assert!(got.is_empty());
+        assert!(!for_each_array_u64(r#"{"ok":false}"#, "ids", |_| {}));
+    }
+
+    #[test]
+    fn error_lines_classify() {
+        assert!(!is_ok(r#"{"ok":false,"error":"overloaded"}"#));
+        assert_eq!(
+            error_kind(r#"{"ok":false,"error":"overloaded"}"#),
+            Some("overloaded")
+        );
+        assert_eq!(error_kind(r#"{"ok":true,"op":"stats"}"#), None);
+    }
+
+    #[test]
+    fn keys_inside_error_messages_are_skipped() {
+        let line = r#"{"ok":false,"error":"bad_request","message":"field seq: bad"}"#;
+        assert_eq!(field_u64(line, "seq"), None);
+    }
+}

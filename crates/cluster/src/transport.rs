@@ -1,0 +1,94 @@
+//! How the router reaches nodes: one trait, a TCP implementation, and (in
+//! [`crate::sim`]) the deterministic in-process simulation.
+//!
+//! The unit of exchange is the NDJSON wire protocol's — one request line
+//! in, one response line out — so every transport speaks exactly the
+//! protocol a single `ssjoin serve` process speaks, and the router cannot
+//! observe which one it is on. The response buffer is caller-provided and
+//! reused, keeping the scatter-gather steady state allocation-free.
+
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+
+/// Why a node call failed at the transport layer (before any response
+/// line was produced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The node is down, partitioned away, or refused the connection.
+    /// The router treats this as "owner unavailable" and fails reads over
+    /// to a replica.
+    Unreachable,
+    /// The connection produced an I/O error mid-exchange.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable => write!(f, "node unreachable"),
+            TransportError::Io(msg) => write!(f, "transport i/o: {msg}"),
+        }
+    }
+}
+
+/// One-line-in, one-line-out access to a fixed set of nodes.
+pub trait Transport {
+    /// Number of nodes this transport can address (node ids are
+    /// `0..nodes()`).
+    fn nodes(&self) -> usize;
+
+    /// Sends `line` (without trailing newline) to `node` and fills `resp`
+    /// with the response line (cleared first, no trailing newline).
+    fn call(&mut self, node: usize, line: &str, resp: &mut String) -> Result<(), TransportError>;
+}
+
+/// Real-TCP transport: each call opens a connection to the node's
+/// address, sends the line, and reads one response line. Connection
+/// setup per call keeps the implementation trivially robust to node
+/// restarts; the cluster CLI path is for manual use, not benchmarks.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addrs: Vec<String>,
+}
+
+impl TcpTransport {
+    /// Builds the transport over one address per node.
+    pub fn new(addrs: Vec<String>) -> Self {
+        Self { addrs }
+    }
+
+    /// The node addresses, index = node id.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+}
+
+impl Transport for TcpTransport {
+    fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn call(&mut self, node: usize, line: &str, resp: &mut String) -> Result<(), TransportError> {
+        resp.clear();
+        let Some(addr) = self.addrs.get(node) else {
+            return Err(TransportError::Unreachable);
+        };
+        let stream = TcpStream::connect(addr).map_err(|_| TransportError::Unreachable)?;
+        let mut writer = &stream;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut reader = std::io::BufReader::new(&stream);
+        reader
+            .read_line(resp)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        while resp.ends_with('\n') || resp.ends_with('\r') {
+            resp.pop();
+        }
+        if resp.is_empty() {
+            return Err(TransportError::Unreachable);
+        }
+        Ok(())
+    }
+}

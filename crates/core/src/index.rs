@@ -668,11 +668,66 @@ pub fn shard_of(set: &[ElementId], shards: usize, seed: u64) -> usize {
         set.windows(2).all(|w| w[0] < w[1]),
         "shard_of input must be sorted and deduplicated"
     );
+    (content_hash_of(set, seed) % (shards as u64)) as usize
+}
+
+/// The raw content hash underlying [`shard_of`], before bucket reduction.
+///
+/// Both the modulus placement ([`ContentHashPlacement`]) and ring-style
+/// placements (ssj-cluster) reduce this same hash, so a set's routing key is
+/// identical at every layer of the system.
+pub fn content_hash_of(set: &[ElementId], seed: u64) -> u64 {
     let mut b = crate::hash::SigBuilder::new(seed ^ 0x5ead_0f5e_7b10_c4e1);
     for &e in set {
         b.push_u32(e);
     }
-    (b.finish() % (shards as u64)) as usize
+    b.finish()
+}
+
+/// Routing policy: which bucket owns a canonical (sorted, deduplicated) set.
+///
+/// Extracted from the serving layer's hard-coded content-hash modulus so the
+/// same policy object serves every call site that must agree on ownership —
+/// index build, write routing, and cluster-level node assignment. Two call
+/// sites holding the *same* `Placement` value cannot desync; two call sites
+/// recomputing a modulus from loose `(shards, seed)` pairs can.
+pub trait Placement {
+    /// Number of buckets sets are routed across. Always non-zero.
+    fn buckets(&self) -> usize;
+    /// The owning bucket for `set`, in `0..self.buckets()`.
+    fn bucket_of(&self, set: &[ElementId]) -> usize;
+}
+
+/// The classic policy: content hash reduced by modulus over `shards` buckets.
+///
+/// Behaviourally identical to [`shard_of`] with the same `(shards, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentHashPlacement {
+    shards: usize,
+    seed: u64,
+}
+
+impl ContentHashPlacement {
+    /// Builds the policy. `shards` must be non-zero.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "shard count must be non-zero");
+        Self { shards, seed }
+    }
+
+    /// The hash seed the policy mixes into every routing decision.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Placement for ContentHashPlacement {
+    fn buckets(&self) -> usize {
+        self.shards
+    }
+
+    fn bucket_of(&self, set: &[ElementId]) -> usize {
+        shard_of(set, self.shards, self.seed)
+    }
 }
 
 /// A reusable signature → posting-list map built over *borrowed* set data.
@@ -972,6 +1027,25 @@ mod tests {
             counts[shard_of(&[e], 8, 7)] += 1;
         }
         assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn content_hash_placement_matches_shard_of() {
+        // The trait object and the free function are the same policy; any
+        // divergence would desync build-time and serve-time routing.
+        let p = ContentHashPlacement::new(8, 42);
+        let boxed: Box<dyn Placement> = Box::new(p);
+        for seed_set in 0..200u32 {
+            let set: Vec<u32> = (0..seed_set % 7).map(|i| seed_set * 31 + i).collect();
+            assert_eq!(boxed.bucket_of(&set), shard_of(&set, 8, 42));
+            assert_eq!(
+                shard_of(&set, 8, 42) as u64,
+                content_hash_of(&set, 42) % 8,
+                "shard_of must reduce content_hash_of"
+            );
+        }
+        assert_eq!(boxed.buckets(), 8);
+        assert_eq!(p.seed(), 42);
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub mod verify;
 pub mod wtenum;
 
 pub use error::{Result, SsjError};
-pub use index::{JaccardIndex, SigPostings, SimilarityIndex};
+pub use index::{
+    content_hash_of, shard_of, ContentHashPlacement, JaccardIndex, Placement, SigPostings,
+    SimilarityIndex,
+};
 pub use join::{join, self_join, JoinOptions, JoinResult};
 pub use partenum::{GeneralPartEnum, PartEnumHamming, PartEnumJaccard, PartEnumParams};
 pub use predicate::Predicate;

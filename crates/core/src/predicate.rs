@@ -445,6 +445,9 @@ mod tests {
         assert!((lo - 5.0).abs() < 1e-12 && (hi - 20.0).abs() < 1e-12);
     }
 
+    // The missing-WeightMap guard is a debug_assert!, which compiles out
+    // of release builds — so the panic expectation only holds in debug.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "WeightMap")]
     fn weighted_without_map_panics() {

@@ -42,5 +42,5 @@ pub mod wire;
 
 pub use config::{resolve_workers, ServerConfig};
 pub use metrics::StatsSnapshot;
-pub use service::{Handle, Request, Response, Server, ShardedIndex, WriteResult};
+pub use service::{Handle, Request, Response, ServeScratch, Server, ShardedIndex, WriteResult};
 pub use ssj_store::SyncMode;

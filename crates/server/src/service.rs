@@ -5,8 +5,9 @@
 //!
 //! The state is `shards` independent [`JaccardIndex`]es, each behind its
 //! own witnessed `RwLock` ([`ssj_core::lockwitness`], class `shard-index`,
-//! keyed by shard number). A set is owned by the shard
-//! [`ssj_core::index::shard_of`] routes it to, so writes (insert, remove)
+//! keyed by shard number). A set is owned by the shard the index's single
+//! [`ssj_core::index::Placement`] value routes it to, so writes (insert,
+//! remove)
 //! take exactly one write lock; queries take **all** shard read locks and
 //! merge the per-shard answers. Every multi-lock acquisition goes through
 //! [`ShardedIndex::lock_all_read`] / [`ShardedIndex::lock_owner_write`] —
@@ -47,10 +48,10 @@ use crate::config::ServerConfig;
 use crate::metrics::{ServerMetrics, ShardCounters, ShardCountersSnapshot, StatsSnapshot};
 use crossbeam::channel::{self, TrySendError};
 use ssj_core::error::{Result as CoreResult, SsjError};
-use ssj_core::index::{shard_of, JaccardIndex, QueryScratch};
+use ssj_core::index::{ContentHashPlacement, JaccardIndex, Placement, QueryScratch};
 use ssj_core::lockwitness::{WitnessReadGuard, WitnessRwLock, WitnessWriteGuard, SHARD_INDEX};
 use ssj_core::set::{ElementId, SetId};
-use ssj_store::{Recovered, ShardState, Store, StoreConfig, TailStatus, WalOp};
+use ssj_store::{Recovered, ShardState, Store, StoreConfig, TailStatus, WalOp, WalRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -94,6 +95,17 @@ pub enum Request {
         /// A global id previously returned by an insert.
         id: u64,
     },
+    /// Replica catch-up: ship the WAL suffix from `from_seq` on; answers
+    /// [`Response::WalTail`]. Errors on a memory-only server (no WAL).
+    Tail {
+        /// Resume point: the first sequence number the replica lacks.
+        from_seq: u64,
+    },
+    /// Replica bootstrap: ship a consistent full-state snapshot batch
+    /// (one image per shard, all at one watermark); answers
+    /// [`Response::Snapshots`]. Works on memory-only servers too — the
+    /// images are encoded from the live in-memory state.
+    SnapFetch,
 }
 
 /// The service's answer to a [`Request`].
@@ -165,6 +177,25 @@ pub enum Response {
         elems: Option<Vec<ElementId>>,
         /// Sequence number of the segment answering the read.
         segment_seq: u64,
+    },
+    /// Answer to [`Request::Tail`]: the WAL suffix from the resume point.
+    WalTail {
+        /// The resume point echoed back.
+        from_seq: u64,
+        /// CRC-framed WAL records with sequence numbers `>= from_seq`,
+        /// byte-identical to the owner's WAL framing; `None` when the
+        /// resume point was compacted away (the replica must re-bootstrap
+        /// via [`Request::SnapFetch`]).
+        frames: Option<Vec<u8>>,
+    },
+    /// Answer to [`Request::SnapFetch`]: one snapshot image per shard, all
+    /// taken at the same watermark `seq`, each byte-identical to the
+    /// `shard-<i>.snap` file the owner would write at that watermark.
+    Snapshots {
+        /// The batch's consistent watermark: images hold writes `< seq`.
+        seq: u64,
+        /// Per-shard encoded snapshot images, index = shard number.
+        shards: Vec<Vec<u8>>,
     },
     /// The request queue was full; nothing was executed. Retry later.
     Overloaded,
@@ -257,7 +288,10 @@ fn shard_scheme_seed(master: u64, shard: usize) -> u64 {
 /// snapshots compact the log every `snapshot_every` writes.
 pub struct ShardedIndex {
     shards: Vec<Shard>,
-    seed: u64,
+    /// The single routing policy shared by every path that must agree on
+    /// set ownership — `insert_d` and `query_insert_d` both consult this
+    /// one value, so build-time and serve-time routing cannot desync.
+    placement: ContentHashPlacement,
     seq: AtomicU64,
     store: Option<Store>,
     snapshot_every: u64,
@@ -287,7 +321,7 @@ impl ShardedIndex {
         }
         Ok(Self {
             shards,
-            seed: cfg.seed,
+            placement: ContentHashPlacement::new(n, cfg.seed),
             seq: AtomicU64::new(0),
             store: None,
             snapshot_every: 0,
@@ -348,7 +382,7 @@ impl ShardedIndex {
                 }
             }
         }
-        let shards = indexes
+        let shards: Vec<Shard> = indexes
             .into_iter()
             .enumerate()
             .map(|(i, index)| Shard {
@@ -356,9 +390,10 @@ impl ShardedIndex {
                 counters: ShardCounters::default(),
             })
             .collect();
+        let placement = ContentHashPlacement::new(shards.len(), cfg.seed);
         Ok(Self {
             shards,
-            seed: cfg.seed,
+            placement,
             seq: AtomicU64::new(recovered.seq),
             store: Some(store),
             snapshot_every: cfg.snapshot_every,
@@ -380,6 +415,101 @@ impl ShardedIndex {
     /// Total writes admitted so far.
     pub fn seq(&self) -> u64 {
         self.seq.load(Ordering::SeqCst)
+    }
+
+    /// The routing policy both write paths share. Exposed so external
+    /// coordinators (and the placement regression test) can predict which
+    /// shard a set will land on without re-deriving the policy.
+    pub fn placement(&self) -> &ContentHashPlacement {
+        &self.placement
+    }
+
+    /// Builds a **memory-only** index pre-seeded from shipped snapshot
+    /// states at sequence number `seq` — the replica-bootstrap entry point.
+    /// `states` must hold exactly `cfg.shards.max(1)` entries (one per
+    /// shard, as produced by [`ShardedIndex::dump`] or snapshot shipping).
+    pub fn restore_from_states(
+        cfg: &ServerConfig,
+        states: &[ShardState],
+        seq: u64,
+    ) -> CoreResult<Self> {
+        let n = cfg.shards.max(1);
+        if states.len() != n {
+            return Err(SsjError::InvalidParams(format!(
+                "replica bootstrap needs {n} shard states, got {}",
+                states.len()
+            )));
+        }
+        let shards: Vec<Shard> = states
+            .iter()
+            .enumerate()
+            .map(|(i, state)| {
+                Ok(Shard {
+                    index: WitnessRwLock::new(
+                        &SHARD_INDEX,
+                        i as u32,
+                        JaccardIndex::restore(
+                            cfg.gamma,
+                            cfg.initial_max_size,
+                            shard_scheme_seed(cfg.seed, i),
+                            state.next_id,
+                            &state.live,
+                        )?,
+                    ),
+                    counters: ShardCounters::default(),
+                })
+            })
+            .collect::<CoreResult<_>>()?;
+        let placement = ContentHashPlacement::new(shards.len(), cfg.seed);
+        Ok(Self {
+            shards,
+            placement,
+            seq: AtomicU64::new(seq),
+            store: None,
+            snapshot_every: 0,
+            writes_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+        })
+    }
+
+    /// Applies one replicated write in log order — the replica-tail entry
+    /// point. The record's sequence number must be exactly the next write
+    /// (`self.seq()`); a gap means the tail stream skipped a record and the
+    /// replica must re-bootstrap rather than silently diverge.
+    pub fn apply_replicated(&self, record: &WalRecord) -> CoreResult<()> {
+        let expect = self.seq.load(Ordering::SeqCst);
+        if record.seq != expect {
+            return Err(SsjError::InvalidParams(format!(
+                "replicated record seq {} but replica expects {expect}",
+                record.seq
+            )));
+        }
+        let shard_no = match &record.op {
+            WalOp::Insert { shard, .. } | WalOp::Remove { shard, .. } => *shard as usize,
+        };
+        let Some(shard) = self.shards.get(shard_no) else {
+            return Err(SsjError::InvalidParams(format!(
+                "replicated record names shard {shard_no} of {}",
+                self.shards.len()
+            )));
+        };
+        let mut index = shard.index.write();
+        match &record.op {
+            WalOp::Insert { set, .. } => {
+                let _ = index.insert(set.clone());
+                shard.counters.inserts.fetch_add(1, Ordering::Relaxed);
+            }
+            WalOp::Remove { local, .. } => {
+                let _ = index.try_remove(*local);
+                shard.counters.removes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Advance seq inside the shard write critical section, mirroring
+        // the owner's ordering: a replica query that sees seq = S has seen
+        // exactly the replicated writes numbered < S.
+        self.seq.store(record.seq + 1, Ordering::SeqCst);
+        drop(index);
+        Ok(())
     }
 
     fn canonical(elems: Vec<ElementId>) -> Vec<ElementId> {
@@ -465,7 +595,7 @@ impl ShardedIndex {
     pub fn insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(u64, u64)> {
         // locklint: allow(blocking-under-lock, fn): the WAL append (log_write) deliberately runs inside the shard write critical section so WAL file order equals global seq order; the fsync (settle_write) runs only after the guard is dropped.
         let set = Self::canonical(elems);
-        let owner = shard_of(&set, self.shards.len(), self.seed);
+        let owner = self.placement.bucket_of(&set);
         let shard = &self.shards[owner];
         let mut index = shard.index.write();
         let seq = match self.log_write(|| WalOp::Insert {
@@ -619,7 +749,7 @@ impl ShardedIndex {
     pub fn query_insert_d(&self, elems: Vec<ElementId>) -> WriteResult<(Vec<u64>, u64, u64, u64)> {
         // locklint: allow(blocking-under-lock, fn): the WAL append (log_write) deliberately runs inside the owner shard's write critical section so WAL file order equals global seq order; the fsync (settle_write) runs only after the guards are dropped.
         let set = Self::canonical(elems);
-        let owner = shard_of(&set, self.shards.len(), self.seed);
+        let owner = self.placement.bucket_of(&set);
         let mut guards = self.lock_owner_write(owner);
         let seq = match self.log_write(|| WalOp::Insert {
             shard: owner as u32,
@@ -807,9 +937,12 @@ impl Inner {
             Request::Insert { elems }
             | Request::Query { elems }
             | Request::QueryInsert { elems } => elems.len() > self.cfg.max_set_len,
-            Request::Remove { .. } | Request::Stats | Request::Compact | Request::SegGet { .. } => {
-                false
-            }
+            Request::Remove { .. }
+            | Request::Stats
+            | Request::Compact
+            | Request::SegGet { .. }
+            | Request::Tail { .. }
+            | Request::SnapFetch => false,
         };
         if oversized {
             return Response::Error(format!(
@@ -855,7 +988,43 @@ impl Inner {
             Request::Stats => Response::Stats(self.stats()),
             Request::Compact => self.compact(),
             Request::SegGet { id } => self.seg_get(id),
+            Request::Tail { from_seq } => self.tail(from_seq),
+            Request::SnapFetch => self.snap_fetch(),
         }
+    }
+
+    /// Ships the WAL suffix from `from_seq` (replica catch-up).
+    fn tail(&self, from_seq: u64) -> Response {
+        let Some(store) = self.index.store() else {
+            return Response::Error("tail requires a durable server (--data-dir)".into());
+        };
+        match store.tail_wal(from_seq) {
+            Ok(ssj_store::WalTail::Frames(frames)) => Response::WalTail {
+                from_seq,
+                frames: Some(frames),
+            },
+            Ok(ssj_store::WalTail::Truncated) => Response::WalTail {
+                from_seq,
+                frames: None,
+            },
+            Err(e) => Response::Error(format!("tail failed: {e}")),
+        }
+    }
+
+    /// Ships a consistent full-state snapshot batch (replica bootstrap).
+    /// The states come from [`ShardedIndex::dump`], so every image shares
+    /// one watermark regardless of concurrent writes.
+    fn snap_fetch(&self) -> Response {
+        let (states, seq) = self.index.dump();
+        let n = states.len();
+        let mut shards = Vec::with_capacity(n);
+        for (i, state) in states.iter().enumerate() {
+            match ssj_store::encode_shard_snapshot(i, n, seq, state) {
+                Ok(bytes) => shards.push(bytes),
+                Err(e) => return Response::Error(format!("snap_fetch failed: {e}")),
+            }
+        }
+        Response::Snapshots { seq, shards }
     }
 
     /// Compacts the full logical state into one segment in the data
@@ -1167,6 +1336,66 @@ mod tests {
         assert_eq!(ids, vec![first]);
         assert_ne!(second, first);
         assert_eq!(seq1, 1);
+    }
+
+    #[test]
+    fn insert_and_query_insert_share_one_placement() {
+        // Regression: the owner shard used to be recomputed from loose
+        // (shards, seed) pairs at both write call sites; they now consult
+        // the one stored Placement. Pin that: the shard recovered from the
+        // returned global id must equal the policy's own answer, for both
+        // write paths.
+        let idx = ShardedIndex::new(&cfg(4)).expect("valid config");
+        use ssj_core::index::Placement as _;
+        for i in 0..64u32 {
+            let set: Vec<u32> = (i * 10..i * 10 + 1 + i % 5).collect();
+            let expect = idx.placement().bucket_of(&set);
+            let (id_a, _) = idx.insert(set.clone());
+            assert_eq!(id_a as usize % 4, expect, "insert_d owner for {set:?}");
+            let shifted: Vec<u32> = set.iter().map(|e| e + 1_000_000).collect();
+            let expect_b = idx.placement().bucket_of(&shifted);
+            let (_, id_b, _, _) = idx.query_insert(shifted.clone());
+            assert_eq!(
+                id_b as usize % 4,
+                expect_b,
+                "query_insert_d owner for {shifted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_restore_and_apply_mirror_the_owner() {
+        let owner = ShardedIndex::new(&cfg(3)).expect("valid config");
+        let (id_a, _) = owner.insert(vec![1, 2, 3]);
+        let (_, _) = owner.insert(vec![50, 60]);
+        // Bootstrap a replica from the owner's dumped states…
+        let (states, seq) = owner.dump();
+        let replica =
+            ShardedIndex::restore_from_states(&cfg(3), &states, seq).expect("states are valid");
+        assert_eq!(replica.seq(), 2);
+        let (ids, seen, _) = replica.query(vec![1, 2, 3]);
+        assert_eq!(ids, vec![id_a]);
+        assert_eq!(seen, 2);
+        // …then tail two more writes in log order.
+        use ssj_core::index::Placement as _;
+        let set = vec![7u32, 8, 9];
+        let shard = owner.placement().bucket_of(&set) as u32;
+        let (id_c, seq_c) = owner.insert(set.clone());
+        replica
+            .apply_replicated(&WalRecord {
+                seq: seq_c,
+                op: WalOp::Insert { shard, set },
+            })
+            .expect("in-order apply");
+        let (ids, seen, _) = replica.query(vec![7, 8, 9]);
+        assert_eq!(ids, vec![id_c]);
+        assert_eq!(seen, 3);
+        // A gap is rejected: the replica must re-bootstrap, not diverge.
+        let err = replica.apply_replicated(&WalRecord {
+            seq: 9,
+            op: WalOp::Remove { shard: 0, local: 0 },
+        });
+        assert!(err.is_err());
     }
 
     #[test]

@@ -96,10 +96,49 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
                 .ok_or_else(|| "op \"seg_get\" requires an \"id\" field".to_string())?
                 .as_u64()?,
         },
+        "tail" => Request::Tail {
+            from_seq: obj
+                .get("from_seq")
+                .ok_or_else(|| "op \"tail\" requires a \"from_seq\" field".to_string())?
+                .as_u64()?,
+        },
+        "snap_fetch" => Request::SnapFetch,
         "shutdown" => return Ok(WireRequest::Shutdown),
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok(WireRequest::Call { req, deadline })
+}
+
+/// Appends `bytes` as a lowercase-hex JSON string (with quotes). Binary
+/// payloads — shipped snapshot images, WAL frames — cross the NDJSON wire
+/// in this form: the framing and checksums inside stay byte-identical to
+/// the on-disk formats, hex is only the JSON-safe envelope.
+pub fn write_hex(out: &mut String, bytes: &[u8]) {
+    out.push('"');
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out.push('"');
+}
+
+/// Decodes a lowercase-hex string written by [`write_hex`] (quotes already
+/// stripped by the JSON parser).
+pub fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    let digits = s.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".into());
+    }
+    let nibble = |d: u8| -> Result<u8, String> {
+        match d {
+            b'0'..=b'9' => Ok(d - b'0'),
+            b'a'..=b'f' => Ok(d - b'a' + 10),
+            other => Err(format!("bad hex digit {:?}", other as char)),
+        }
+    };
+    digits
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
 }
 
 /// Appends `,"durable_seq":N` when the server is durable; memory-only
@@ -240,6 +279,30 @@ pub fn encode_response(resp: &Response) -> String {
             }
             let _ = write!(out, ",\"segment_seq\":{segment_seq}}}");
         }
+        Response::WalTail { from_seq, frames } => {
+            let _ = write!(out, "{{\"ok\":true,\"op\":\"tail\",\"from_seq\":{from_seq}");
+            match frames {
+                Some(frames) => {
+                    out.push_str(",\"frames\":");
+                    write_hex(&mut out, frames);
+                }
+                None => out.push_str(",\"truncated\":true"),
+            }
+            out.push('}');
+        }
+        Response::Snapshots { seq, shards } => {
+            let _ = write!(
+                out,
+                "{{\"ok\":true,\"op\":\"snap_fetch\",\"seq\":{seq},\"shards\":["
+            );
+            for (i, image) in shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_hex(&mut out, image);
+            }
+            out.push_str("]}");
+        }
         Response::Overloaded => out.push_str("{\"ok\":false,\"error\":\"overloaded\"}"),
         Response::Timeout => out.push_str("{\"ok\":false,\"error\":\"timeout\"}"),
         Response::ShuttingDown => out.push_str("{\"ok\":false,\"error\":\"shutting_down\"}"),
@@ -311,9 +374,81 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request(r#"{"op":"tail","from_seq":17}"#).unwrap(),
+            WireRequest::Call {
+                req: Request::Tail { from_seq: 17 },
+                deadline: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"snap_fetch"}"#).unwrap(),
+            WireRequest::Call {
+                req: Request::SnapFetch,
+                deadline: None
+            }
+        );
+        assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             WireRequest::Shutdown
         );
+    }
+
+    #[test]
+    fn hex_envelope_round_trips() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0x0f, 0x5e],
+            (0..=255).collect(),
+        ] {
+            let mut s = String::new();
+            write_hex(&mut s, &bytes);
+            assert!(s.starts_with('"') && s.ends_with('"'));
+            assert_eq!(parse_hex(&s[1..s.len() - 1]).unwrap(), bytes);
+        }
+        assert!(parse_hex("abc").is_err());
+        assert!(parse_hex("zz").is_err());
+    }
+
+    #[test]
+    fn tail_and_snapshot_responses_encode() {
+        let line = encode_response(&Response::WalTail {
+            from_seq: 3,
+            frames: Some(vec![0xab, 0x01]),
+        });
+        assert_eq!(
+            line,
+            r#"{"ok":true,"op":"tail","from_seq":3,"frames":"ab01"}"#
+        );
+        let line = encode_response(&Response::WalTail {
+            from_seq: 3,
+            frames: None,
+        });
+        assert_eq!(
+            line,
+            r#"{"ok":true,"op":"tail","from_seq":3,"truncated":true}"#
+        );
+        let line = encode_response(&Response::Snapshots {
+            seq: 9,
+            shards: vec![vec![0x01], vec![0x02, 0x03]],
+        });
+        assert_eq!(
+            line,
+            r#"{"ok":true,"op":"snap_fetch","seq":9,"shards":["01","0203"]}"#
+        );
+        for resp in [
+            Response::WalTail {
+                from_seq: 0,
+                frames: Some(Vec::new()),
+            },
+            Response::Snapshots {
+                seq: 0,
+                shards: Vec::new(),
+            },
+        ] {
+            let line = encode_response(&resp);
+            assert!(ssj_io::json::parse(&line).is_ok(), "{line}");
+        }
     }
 
     #[test]

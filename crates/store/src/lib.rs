@@ -43,8 +43,10 @@
 pub mod snapshot;
 pub mod wal;
 
-pub use snapshot::ShardState;
-pub use wal::{WalOp, WalRecord};
+pub use snapshot::{
+    decode_shard_snapshot, encode_shard_snapshot, persist_shipped_snapshot, ShardState,
+};
+pub use wal::{decode_record, WalOp, WalRecord};
 
 use ssj_core::lockwitness::{WitnessMutex, STORE_WAL};
 use ssj_io::frame::{write_frame, Frame, FrameReader};
@@ -102,6 +104,19 @@ pub struct StoreConfig {
     pub initial_max_size: usize,
     /// WAL sync policy (runtime-only; not pinned in `meta`).
     pub sync: SyncMode,
+}
+
+/// Answer to a [`Store::tail_wal`] resume request (replica catch-up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// CRC-framed records from the resume point on, **byte-identical** to
+    /// the WAL file's own framing — a replica feeds these through the same
+    /// `FrameReader` + [`decode_record`] pipeline recovery uses.
+    Frames(Vec<u8>),
+    /// The resume point predates the oldest WAL record (those writes were
+    /// compacted into snapshots); the replica must re-bootstrap from
+    /// shipped snapshot images instead of tailing.
+    Truncated,
 }
 
 /// How the WAL tail looked at recovery.
@@ -399,6 +414,57 @@ impl Store {
         self.wal.lock().durable_bytes
     }
 
+    /// Reads the WAL suffix holding every record with sequence number
+    /// `>= from_seq`, as raw CRC-framed bytes cut at a frame boundary —
+    /// the `Tail` wire op's data source. Returns [`WalTail::Truncated`]
+    /// when `from_seq` predates the log (a snapshot compacted those
+    /// records away), which tells the replica to re-bootstrap.
+    pub fn tail_wal(&self, from_seq: u64) -> io::Result<WalTail> {
+        if self.is_poisoned() {
+            return Err(poisoned_err());
+        }
+        // locklint: allow(blocking-under-lock, fn): the tail read holds the WAL mutex so the byte range it returns is a consistent prefix of appends — an append interleaved mid-read could hand the replica a torn final frame. Replica catch-up is rare and off the ack path.
+        let wal = self.wal.lock();
+        let appended_seq = wal.appended_seq;
+        let appended_bytes = wal.appended_bytes as usize;
+        let bytes = fs::read(wal_path(&self.dir))?;
+        let bytes = &bytes[..appended_bytes.min(bytes.len())];
+        let mut reader = FrameReader::new(bytes);
+        let mut start = None;
+        loop {
+            let offset = reader.valid_prefix() as usize;
+            match reader.next_frame()? {
+                Frame::Payload(payload) => {
+                    let record = wal::decode_record(&payload)?;
+                    if record.seq < from_seq {
+                        continue;
+                    }
+                    if start.is_none() {
+                        if record.seq != from_seq {
+                            // Appends are contiguous, so a first match above
+                            // the resume point means [from_seq, record.seq)
+                            // is gone from the log.
+                            return Ok(WalTail::Truncated);
+                        }
+                        start = Some(offset);
+                    }
+                }
+                // The in-bounds prefix was appended under this same lock,
+                // so torn/corrupt frames cannot appear before
+                // appended_bytes; stop defensively at the valid boundary.
+                Frame::CleanEof | Frame::Torn { .. } | Frame::Corrupt { .. } => break,
+            }
+        }
+        let end = reader.valid_prefix() as usize;
+        match start {
+            Some(s) => Ok(WalTail::Frames(bytes[s..end].to_vec())),
+            // No record at or past from_seq: either the replica is fully
+            // caught up (nothing to ship) or the records were compacted.
+            None if from_seq >= appended_seq => Ok(WalTail::Frames(Vec::new())),
+            None => Ok(WalTail::Truncated),
+        }
+    }
+
     /// Writes a full snapshot batch at watermark `seq` and truncates the
     /// WAL. The caller must quiesce writers across the whole call (the
     /// serving layer holds every shard's read lock, which excludes
@@ -666,6 +732,84 @@ mod tests {
         let (store, _) = Store::open(&dir, c).unwrap();
         store.append(insert(0, vec![1]), || 0).unwrap();
         assert_eq!(store.ensure_durable(0).unwrap(), 1, "every: synced at ack");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_wal_resumes_at_any_frame_boundary() {
+        let dir = tmpdir("tailwal");
+        let c = cfg(2, SyncMode::Every);
+        let (store, _) = Store::open(&dir, c.clone()).unwrap();
+        for i in 0..5u64 {
+            store
+                .append(insert((i % 2) as u32, vec![i as u32 * 10]), || i)
+                .unwrap();
+        }
+        store.flush().unwrap();
+        // The tail from 0 is byte-identical to the whole log.
+        let full = match store.tail_wal(0).unwrap() {
+            WalTail::Frames(b) => b,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(full, fs::read(wal_path(&dir)).unwrap());
+        // Any resume point decodes to exactly the records >= it.
+        for from in 0..=5u64 {
+            let WalTail::Frames(frames) = store.tail_wal(from).unwrap() else {
+                panic!("resume {from} should be servable");
+            };
+            let mut reader = FrameReader::new(frames.as_slice());
+            let mut seqs = Vec::new();
+            while let Frame::Payload(p) = reader.next_frame().unwrap() {
+                seqs.push(wal::decode_record(&p).unwrap().seq);
+            }
+            let expect: Vec<u64> = (from..5).collect();
+            assert_eq!(seqs, expect, "resume from {from}");
+        }
+        // Snapshot + truncate: pre-watermark resume points now need a
+        // bootstrap; the watermark itself is servable (empty).
+        let states = vec![ShardState::default(), ShardState::default()];
+        store.snapshot(5, &states).unwrap();
+        assert_eq!(store.tail_wal(3).unwrap(), WalTail::Truncated);
+        assert_eq!(store.tail_wal(5).unwrap(), WalTail::Frames(Vec::new()));
+        store.append(insert(0, vec![99]), || 5).unwrap();
+        let WalTail::Frames(frames) = store.tail_wal(5).unwrap() else {
+            panic!("post-truncation tail should be servable");
+        };
+        let mut reader = FrameReader::new(frames.as_slice());
+        let Frame::Payload(p) = reader.next_frame().unwrap() else {
+            panic!("one frame expected");
+        };
+        assert_eq!(wal::decode_record(&p).unwrap().seq, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shipped_snapshot_round_trips_and_is_verified() {
+        let state = ShardState {
+            next_id: 3,
+            live: vec![(0, vec![1, 2]), (2, vec![9])],
+        };
+        let bytes = encode_shard_snapshot(1, 4, 17, &state).unwrap();
+        let (seq, back) = decode_shard_snapshot(&bytes, 1, 4).unwrap();
+        assert_eq!((seq, back), (17, state.clone()));
+        // Wrong shard or topology: refused.
+        assert!(decode_shard_snapshot(&bytes, 0, 4).is_err());
+        assert!(decode_shard_snapshot(&bytes, 1, 2).is_err());
+        // Persisting lands the exact bytes under the live snap name, and a
+        // store opened on that directory recovers the shipped state.
+        let dir = tmpdir("shipsnap");
+        fs::create_dir_all(&dir).unwrap();
+        for shard in 0..4 {
+            let b = encode_shard_snapshot(shard, 4, 17, &state).unwrap();
+            persist_shipped_snapshot(&dir, shard, 4, &b).unwrap();
+        }
+        assert_eq!(fs::read(dir.join("shard-1.snap")).unwrap(), bytes);
+        let mut corrupt = bytes.clone();
+        corrupt[7] ^= 0x01;
+        assert!(persist_shipped_snapshot(&dir, 1, 4, &corrupt).is_err());
+        let (_store, rec) = Store::open(&dir, cfg(4, SyncMode::Every)).unwrap();
+        assert_eq!(rec.seq, 17);
+        assert_eq!(rec.shards[1], state);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -120,16 +120,22 @@ pub(crate) fn read_or_init_meta(dir: &Path, cfg: &StoreConfig) -> io::Result<()>
     }
 }
 
-fn snapshot_bytes(
-    cfg: &StoreConfig,
+/// Encodes one shard's state into the exact `shard-<i>.snap` byte format
+/// (magic, varint header, delta-coded entries, trailing CRC32).
+///
+/// Public because snapshot *shipping* reuses it: the image a replica
+/// receives over the wire is byte-identical to the file the owner would
+/// write, so one format (and one verifier) covers both paths.
+pub fn encode_shard_snapshot(
     shard: usize,
+    shard_count: usize,
     seq: u64,
     state: &ShardState,
 ) -> io::Result<Vec<u8>> {
     let mut out = Vec::with_capacity(64 + state.live.len() * 8);
     out.extend_from_slice(&SNAP_MAGIC);
     write_varint(&mut out, shard as u64)?;
-    write_varint(&mut out, cfg.shards as u64)?;
+    write_varint(&mut out, shard_count as u64)?;
     write_varint(&mut out, seq)?;
     write_varint(&mut out, u64::from(state.next_id))?;
     write_varint(&mut out, state.live.len() as u64)?;
@@ -163,49 +169,35 @@ pub(crate) fn write_snapshot(
 ) -> io::Result<()> {
     write_atomic(
         &snap_path(dir, shard),
-        &snapshot_bytes(cfg, shard, seq, state)?,
+        &encode_shard_snapshot(shard, cfg.shards, seq, state)?,
     )
 }
 
-/// Loads shard `shard`'s snapshot: `None` if the file does not exist,
-/// `Err(InvalidData)` if it exists but fails verification (truncated, bad
-/// checksum, or written for a different shard/topology). Corruption is
-/// always *detected*, never decoded into wrong state.
-pub(crate) fn load_snapshot(
-    dir: &Path,
-    cfg: &StoreConfig,
+/// Verifies and decodes a snapshot image produced by
+/// [`encode_shard_snapshot`] (equivalently: the raw bytes of a
+/// `shard-<i>.snap` file). Returns the watermark and state. Corruption,
+/// truncation, and shard/topology mismatches are always detected.
+pub fn decode_shard_snapshot(
+    bytes: &[u8],
     shard: usize,
-) -> io::Result<Option<(u64, ShardState)>> {
-    let path = snap_path(dir, shard);
-    let bytes = match fs::read(&path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e),
-    };
+    shard_count: usize,
+) -> io::Result<(u64, ShardState)> {
     if bytes.len() < SNAP_MAGIC.len() + 4 {
-        return Err(invalid(format!("{}: truncated snapshot", path.display())));
+        return Err(invalid("truncated snapshot"));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 4);
     if crc32(body).to_le_bytes() != *tail {
-        return Err(invalid(format!(
-            "{}: snapshot checksum mismatch",
-            path.display()
-        )));
+        return Err(invalid("snapshot checksum mismatch"));
     }
     if body[..SNAP_MAGIC.len()] != SNAP_MAGIC {
-        return Err(invalid(format!(
-            "{}: bad snapshot magic/version",
-            path.display()
-        )));
+        return Err(invalid("bad snapshot magic/version"));
     }
     let mut input = &body[SNAP_MAGIC.len()..];
     let got_shard = read_varint(&mut input)?;
     let got_count = read_varint(&mut input)?;
-    if got_shard != shard as u64 || got_count != cfg.shards as u64 {
+    if got_shard != shard as u64 || got_count != shard_count as u64 {
         return Err(invalid(format!(
-            "{}: snapshot is for shard {got_shard}/{got_count}, expected {shard}/{}",
-            path.display(),
-            cfg.shards
+            "snapshot is for shard {got_shard}/{got_count}, expected {shard}/{shard_count}"
         )));
     }
     let seq = read_varint(&mut input)?;
@@ -227,18 +219,54 @@ pub(crate) fn load_snapshot(
     }
     if !input.is_empty() {
         return Err(invalid(format!(
-            "{}: {} trailing bytes in snapshot",
-            path.display(),
+            "{} trailing bytes in snapshot",
             input.len()
         )));
     }
-    Ok(Some((
+    Ok((
         seq,
         ShardState {
             next_id: next_id as u32,
             live,
         },
-    )))
+    ))
+}
+
+/// Persists a shipped snapshot image into `dir` under its live
+/// `shard-<i>.snap` name, with the same atomic tmp-write + rename + dir
+/// fsync discipline the owner's own snapshots use. The image is verified
+/// (checksum, shard, topology) before any byte lands on disk; a crash
+/// mid-ship leaves at most a stray `*.tmp`, which recovery sweeps.
+pub fn persist_shipped_snapshot(
+    dir: &Path,
+    shard: usize,
+    shard_count: usize,
+    bytes: &[u8],
+) -> io::Result<()> {
+    decode_shard_snapshot(bytes, shard, shard_count)?;
+    fs::create_dir_all(dir)?;
+    write_atomic(&snap_path(dir, shard), bytes)?;
+    sync_dir(dir)
+}
+
+/// Loads shard `shard`'s snapshot: `None` if the file does not exist,
+/// `Err(InvalidData)` if it exists but fails verification (truncated, bad
+/// checksum, or written for a different shard/topology). Corruption is
+/// always *detected*, never decoded into wrong state.
+pub(crate) fn load_snapshot(
+    dir: &Path,
+    cfg: &StoreConfig,
+    shard: usize,
+) -> io::Result<Option<(u64, ShardState)>> {
+    let path = snap_path(dir, shard);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    decode_shard_snapshot(&bytes, shard, cfg.shards)
+        .map(Some)
+        .map_err(|e| invalid(format!("{}: {e}", path.display())))
 }
 
 /// Removes stray `*.tmp` files left by a crash mid-snapshot. Best-effort:

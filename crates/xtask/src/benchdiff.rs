@@ -195,8 +195,14 @@ fn serve_key(record: &Record) -> Result<String, String> {
             .ok_or_else(|| format!("missing config.{name}"))?
             .as_f64()
     };
+    // Records from before cluster mode existed carry no `cluster_nodes`;
+    // they are single-node runs (0).
+    let cluster_nodes = match cfg.get("cluster_nodes") {
+        Some(v) => v.as_f64()?,
+        None => 0.0,
+    };
     Ok(format!(
-        "sets={} clients={} ops={} shards={} gamma={} qf={} seed={}",
+        "sets={} clients={} ops={} shards={} gamma={} qf={} seed={} nodes={}",
         get("sets")?,
         get("clients")?,
         get("ops_per_client")?,
@@ -204,6 +210,7 @@ fn serve_key(record: &Record) -> Result<String, String> {
         get("gamma")?,
         get("query_fraction")?,
         get("seed")?,
+        cluster_nodes,
     ))
 }
 

@@ -36,6 +36,13 @@
 //!    crash time.
 //!
 //! Divergences print a `--replay <seed>` command, difftest-style.
+//!
+//! The [`cluster`] module runs the multi-node counterpart per seed:
+//! node-kill, restart-all, replica-promotion, and snapshot-ship-litter
+//! scenarios against a 2-node durable simulated cluster, compared against
+//! an oracle at the acked [`ssj_cluster::ClusterSeq`].
+
+pub mod cluster;
 
 use ssj_serve::{ServerConfig, ShardedIndex, SyncMode, WriteResult};
 use std::fs;
@@ -73,16 +80,16 @@ pub struct Divergence {
 
 /// SplitMix64 — tiny, seedable, dependency-free; every choice the harness
 /// makes flows from this so `--replay <seed>` reproduces a run exactly.
-struct Rng(u64);
+pub(crate) struct Rng(u64);
 
 impl Rng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Rng(seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(0x1234_5678))
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -91,7 +98,7 @@ impl Rng {
     }
 
     /// Uniform in `[0, n)`; 0 when `n == 0`.
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         if n == 0 {
             0
         } else {
@@ -467,6 +474,7 @@ pub fn run(config: &CrashtestConfig) -> Vec<Divergence> {
         let scratch = scratch_root.join(format!("seed-{seed}"));
         let _ = fs::remove_dir_all(&scratch);
         run_seed(seed, &scratch, verbose, &mut divergences);
+        cluster::run_seed(seed, &scratch.join("cluster"), verbose, &mut divergences);
         let _ = fs::remove_dir_all(&scratch);
         if !verbose && (done + 1) % 50 == 0 {
             println!(

@@ -46,6 +46,12 @@ pub enum SchemeKind {
     /// written to a segment and joined at several forced partition
     /// counts, which must all agree with each other and the oracle.
     Extern,
+    /// The multi-node cluster path: every set inserted and queried
+    /// through the scatter-gather router over simulated clusters of
+    /// 2, 3, and 5 nodes, which must all agree with each other and the
+    /// oracle (node count is semantically invisible, like partition
+    /// count for `Extern`).
+    Cluster,
 }
 
 impl SchemeKind {
@@ -62,6 +68,7 @@ impl SchemeKind {
         SchemeKind::Lsh,
         SchemeKind::Serve,
         SchemeKind::Extern,
+        SchemeKind::Cluster,
     ];
 
     /// CLI name (`--schemes` takes a comma-separated list of these).
@@ -78,6 +85,7 @@ impl SchemeKind {
             Self::Lsh => "lsh",
             Self::Serve => "serve",
             Self::Extern => "extern",
+            Self::Cluster => "cluster",
         }
     }
 
@@ -95,6 +103,7 @@ impl SchemeKind {
             Self::Lsh => "Lsh",
             Self::Serve => "Serve",
             Self::Extern => "Extern",
+            Self::Cluster => "Cluster",
         }
     }
 
@@ -104,12 +113,13 @@ impl SchemeKind {
     }
 
     /// Thread counts this scheme runs at. LSH uses its own sequential
-    /// candidate pass, the server owns its worker pool, and the extern
-    /// executor streams partitions sequentially (its internal partition
-    /// sweep is the interesting axis), so each runs once per seed.
+    /// candidate pass, the server owns its worker pool, the extern
+    /// executor streams partitions sequentially, and the cluster runs its
+    /// own node-count sweep (their internal partition/node axes are the
+    /// interesting ones), so each runs once per seed.
     pub fn thread_counts(self) -> &'static [usize] {
         match self {
-            Self::Lsh | Self::Extern => &[1],
+            Self::Lsh | Self::Extern | Self::Cluster => &[1],
             Self::Serve => &[2],
             _ => THREAD_MATRIX,
         }

@@ -35,7 +35,8 @@ pub fn predicate_of(kind: SchemeKind, w: &AdversarialWorkload) -> Predicate {
         | SchemeKind::Identity
         | SchemeKind::Lsh
         | SchemeKind::Serve
-        | SchemeKind::Extern => Predicate::Jaccard { gamma: w.gamma },
+        | SchemeKind::Extern
+        | SchemeKind::Cluster => Predicate::Jaccard { gamma: w.gamma },
         SchemeKind::GeneralMaxFraction => Predicate::MaxFraction { gamma: w.gamma },
         SchemeKind::WtEnum => Predicate::WeightedOverlap { t: w.weighted_t },
         SchemeKind::WtEnumJaccard => Predicate::WeightedJaccard { gamma: w.gamma_w },
@@ -166,7 +167,96 @@ fn run_scheme(kind: SchemeKind, w: &AdversarialWorkload, threads: usize) -> RunR
         SchemeKind::Lsh => Ok(lsh_pairs(w, &collection, pred, seed)),
         SchemeKind::Serve => serve_pairs(w, threads),
         SchemeKind::Extern => extern_pairs(w, &collection, pred, seed),
+        SchemeKind::Cluster => cluster_pairs(w, &collection),
     }
+}
+
+/// Node counts the cluster run is forced through: the minimal cluster, an
+/// odd count, and one that leaves the consistent-hash ring visibly uneven.
+const CLUSTER_NODE_SWEEP: [usize; 3] = [2, 3, 5];
+
+/// The multi-node path: inserts and queries every set through the
+/// scatter-gather router over a simulated cluster at every node count in
+/// [`CLUSTER_NODE_SWEEP`]. Node count is semantically invisible (placement
+/// moves sets around, the join result is content-determined), so all runs
+/// must return the identical pair set; each run additionally checks that
+/// the folded [`ssj_cluster::ClusterSeq`] accounts for every acked write.
+fn cluster_pairs(w: &AdversarialWorkload, collection: &SetCollection) -> RunResult {
+    let mut agreed: Option<(usize, Vec<(u32, u32)>)> = None;
+    for nodes in CLUSTER_NODE_SWEEP {
+        let pairs = cluster_pairs_at(w, collection, nodes)
+            .map_err(|e| format!("{nodes}-node cluster: {e}"))?;
+        match &agreed {
+            None => agreed = Some((nodes, pairs)),
+            Some((first_nodes, first)) if *first != pairs => {
+                return Err(format!(
+                    "node counts disagree: {} pair(s) at {first_nodes} node(s) vs {} at {nodes}",
+                    first.len(),
+                    pairs.len()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    agreed
+        .map(|(_, pairs)| pairs)
+        .ok_or_else(|| "empty node sweep".to_string())
+}
+
+fn cluster_pairs_at(
+    w: &AdversarialWorkload,
+    collection: &SetCollection,
+    nodes: usize,
+) -> Result<Vec<(u32, u32)>, String> {
+    use ssj_cluster::{ClusterSeq, HashRing, Router, RouterScratch, SimCluster};
+
+    let cfg = ServerConfig {
+        gamma: w.gamma,
+        shards: 2,
+        workers: 1,
+        seed: w.seed ^ 0xc105,
+        default_deadline: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let sim = SimCluster::start_memory(nodes, &cfg).map_err(|e| format!("start failed: {e}"))?;
+    let ring = HashRing::new(nodes as u32, HashRing::DEFAULT_VNODES, cfg.seed);
+    let mut router = Router::new(sim, ring, 0);
+    let mut scratch = RouterScratch::default();
+
+    let mut id_of = std::collections::HashMap::new();
+    for i in 0..collection.len() {
+        let ack = router
+            .route_insert(collection.set(i as u32), &mut scratch)
+            .map_err(|e| format!("insert {i} failed: {e}"))?;
+        id_of.insert(ack.id, i as u32);
+    }
+    let mut pairs = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    let mut seen = ClusterSeq::new(nodes);
+    for i in 0..collection.len() {
+        router
+            .route_query(collection.set(i as u32), &mut scratch, &mut out, &mut seen)
+            .map_err(|e| format!("query {i} failed: {e}"))?;
+        if seen.total() != collection.len() as u64 {
+            return Err(format!(
+                "query {i} saw {} write(s) across the cluster, {} were acked \
+                 (components {:?})",
+                seen.total(),
+                collection.len(),
+                seen.components()
+            ));
+        }
+        for id in &out {
+            let Some(&j) = id_of.get(id) else {
+                return Err(format!("query {i} matched unknown cluster id {id}"));
+            };
+            let i = i as u32;
+            if i != j {
+                pairs.insert((i.min(j), i.max(j)));
+            }
+        }
+    }
+    Ok(pairs.into_iter().collect())
 }
 
 /// Partition counts the extern run is forced through: single-partition

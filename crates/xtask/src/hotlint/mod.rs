@@ -92,8 +92,11 @@ pub const SUPPRESSIBLE_RULES: [&str; 6] = [
 ///   enumeration, run once per spill partition over every posting list;
 /// * `verify_pair` / `overlap_bound` / `write_bitmap` — the pluggable
 ///   verification trait method, the bitmap popcount bound it checks per
-///   candidate, and the per-query bitmap build on the serve read path.
-pub const HOT_ROOTS: [&str; 18] = [
+///   candidate, and the per-query bitmap build on the serve read path;
+/// * `route_query` — the cluster router's scatter-gather fan-out, run
+///   once per distributed query (node internals behind `Transport::call`
+///   are already covered by the serve roots; `call` sits in [`CALL_CUT`]).
+pub const HOT_ROOTS: [&str; 19] = [
     "verify_pairs_into",
     "verify_pair",
     "overlap_bound",
@@ -112,6 +115,7 @@ pub const HOT_ROOTS: [&str; 18] = [
     "encode_record_into",
     "encode_set",
     "probe_partition",
+    "route_query",
 ];
 
 /// Std container/iterator/primitive method names excluded from name-union

@@ -190,12 +190,13 @@ pub const DATA_METHODS: [&str; 9] = [
 /// everything it calls into. (`xtask` itself and the offline `compat/`
 /// shims are out of scope; the `std-sync-lock` lint rule separately
 /// guarantees no other crate grows unregistered `std::sync` locks.)
-pub const SCAN_DIRS: [&str; 5] = [
+pub const SCAN_DIRS: [&str; 6] = [
     "crates/core/src",
     "crates/io/src",
     "crates/store/src",
     "crates/server/src",
     "crates/extern/src",
+    "crates/cluster/src",
 ];
 
 /// A finding that an in-source annotation suppressed, kept for reporting

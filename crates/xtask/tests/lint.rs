@@ -159,8 +159,11 @@ fn workspace_allowlist_has_no_core_server_or_store_entries() {
     assert!(
         allow.entries.iter().all(|e| !e.path.contains("crates/core")
             && !e.path.contains("crates/server")
-            && !e.path.contains("crates/store")),
-        "none of ssj-core, ssj-serve, ssj-store may appear in lint_allow.toml"
+            && !e.path.contains("crates/store")
+            && !e.path.contains("crates/extern")
+            && !e.path.contains("crates/cluster")),
+        "none of ssj-core, ssj-serve, ssj-store, ssj-extern, ssj-cluster \
+         may appear in lint_allow.toml"
     );
     // And every entry carries a reason (the parser enforces it; assert the
     // invariant holds for the checked-in file too).
