@@ -20,12 +20,22 @@ cargo xtask hotlint
 cargo xtask hotlint --json > target/hotlint-trend.json
 echo "    trend record: target/hotlint-trend.json"
 
+echo "==> cargo xtask durlint"
+cargo xtask durlint
+cargo xtask durlint --json > target/durlint-trend.json
+echo "    trend record: target/durlint-trend.json"
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 
 echo "==> witness-enabled concurrency/persistence tests (release)"
 cargo test -q --release -p ssj-serve --features lock-witness
 cargo test -q --release -p ssj-store --features lock-witness
+
+echo "==> fs-order witness persistence tests (release)"
+cargo test -q --release -p ssj-store --features fs-witness
+cargo test -q --release -p ssj-extern --features fs-witness
+cargo test -q --release -p ssj-cluster --features fs-witness
 
 echo "==> allocation witnesses (release: strict zero-alloc assertions)"
 cargo test -q --release -p ssj-core --test alloc_witness

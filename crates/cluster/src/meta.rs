@@ -17,7 +17,7 @@ use crate::ring::{HashRing, RingPoint};
 use ssj_io::frame::{write_frame, Frame, FrameReader};
 use ssj_io::varint::{read_varint, write_varint};
 use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::Path;
 
 /// Topology file magic + format version.
@@ -147,24 +147,20 @@ impl ClusterMeta {
         })
     }
 
-    /// Persists the topology atomically (tmp write + rename, like the
-    /// store's snapshots) as `cluster-meta` inside `dir`.
+    /// Persists the topology atomically and durably (tmp write + fsync +
+    /// rename + dir fsync, the same `ssj_io::fs::atomic_write_durable`
+    /// protocol the store's snapshots use) as `cluster-meta` inside `dir`.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         let bytes = self.encode()?;
-        let path = dir.join(META_FILE);
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)?;
-        fs::File::open(dir)?.sync_all()
+        ssj_io::fs::atomic_write_durable(&dir.join(META_FILE), &bytes)
     }
 
-    /// Loads the topology persisted by [`ClusterMeta::save`].
+    /// Loads the topology persisted by [`ClusterMeta::save`]. Sweeps
+    /// stale `cluster-meta.tmp` litter from a crash mid-save first, the
+    /// same recovery discipline the store applies to snapshot litter.
     pub fn load(dir: &Path) -> io::Result<Self> {
+        ssj_io::fs::sweep_tmp_files(dir)?;
         Self::decode(&fs::read(dir.join(META_FILE))?)
     }
 }
@@ -197,6 +193,20 @@ mod tests {
         let mut trailing = clean.clone();
         trailing.push(0);
         assert!(ClusterMeta::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn load_sweeps_stale_tmp_litter() {
+        let dir = std::env::temp_dir().join(format!("ssj-cluster-meta-sw-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let meta = ClusterMeta::bootstrap(3, 8, 99);
+        meta.save(&dir).unwrap();
+        // A crash mid-save leaves a torn staging file; recovery must not
+        // trip over it and must remove it.
+        fs::write(dir.join("cluster-meta.tmp"), b"torn half-save").unwrap();
+        assert_eq!(ClusterMeta::load(&dir).unwrap(), meta);
+        assert!(!dir.join("cluster-meta.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

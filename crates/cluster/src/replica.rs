@@ -205,11 +205,15 @@ impl Replica {
 
     /// Promotion: persists the replica's current state into `dir` as a
     /// real data directory — one verified snapshot image per shard at the
-    /// replica's watermark, written with the store's own atomic tmp +
-    /// rename discipline. A `Store::open` on `dir` with the node's config
-    /// then recovers exactly this state and can take writes as the new
-    /// owner.
+    /// replica's watermark, each written durably with the store's own
+    /// atomic tmp + fsync + rename + dir-fsync discipline. Stale `*.tmp`
+    /// litter from an earlier promotion attempt that crashed mid-ship is
+    /// swept first, the same way store recovery sweeps snapshot litter —
+    /// a retried promotion always starts from a clean staging area. A
+    /// `Store::open` on `dir` with the node's config then recovers
+    /// exactly this state and can take writes as the new owner.
     pub fn persist_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        ssj_io::fs::sweep_tmp_files(dir)?;
         let (states, seq) = self.index.dump();
         let n = states.len();
         for (i, state) in states.iter().enumerate() {

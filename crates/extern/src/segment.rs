@@ -100,12 +100,14 @@ impl SegmentWriter {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             return Err(invalid(format!("bad segment path {}", path.display())));
         };
+        // durlint: allow(tmp-no-sweep): segments stage inside the store's data directory; store recovery (`clean_tmp_files` in `Store::open`) sweeps stray stages from a crashed seal.
         let tmp = path.with_file_name(format!("{name}.tmp"));
         let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(&tmp)?;
+        ssj_io::fswitness::note_create(&tmp);
         let mut out = io::BufWriter::new(file);
         out.write_all(&SEGMENT_MAGIC)?;
         Ok(Self {
@@ -209,17 +211,18 @@ impl SegmentWriter {
         self.out
             .write_all(&ssj_io::crc::crc32(&offset_bytes).to_le_bytes())?;
         let file = self.out.into_inner().map_err(|e| e.into_error())?;
+        ssj_io::fswitness::note_write(&self.tmp);
         file.sync_all()?;
+        ssj_io::fswitness::note_sync_file(&self.tmp);
         drop(file);
         std::fs::rename(&self.tmp, &self.path)?;
-        if let Some(dir) = self.path.parent() {
-            // Directory fsync makes the rename itself durable; read-only
-            // directories (best-effort platforms) degrade to the rename's
-            // own atomicity.
-            if let Ok(d) = File::open(dir) {
-                d.sync_all()?;
-            }
-        }
+        ssj_io::fswitness::note_rename(&self.tmp, &self.path);
+        // Directory fsync makes the rename itself durable. This is the
+        // one durable writer that cannot use `atomic_write_durable` (it
+        // streams blocks through a BufWriter instead of staging the whole
+        // image in memory), so it inlines the same protocol and reports
+        // each step to the fs-order witness.
+        ssj_io::fs::sync_dir(&ssj_io::fs::parent_dir(&self.path))?;
         Ok(SegmentInfo {
             blocks: self.blocks.len(),
             total_sets: self.total_sets,

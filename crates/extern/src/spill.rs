@@ -28,6 +28,7 @@ use ssj_io::varint::{read_varint, write_varint};
 
 /// File name of spill partition `part` (inside the spill directory).
 pub fn partition_file_name(part: usize) -> String {
+    // durlint: allow(tmp-no-sweep): spill partitions are transient scratch, deliberately named `*.tmp` so the store-side sweep (`clean_tmp_files`) reclaims them after a crashed join; the executor removes each partition after processing.
     format!("part-{part}.spill.tmp")
 }
 

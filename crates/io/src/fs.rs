@@ -1,0 +1,140 @@
+//! Canonical durable-write helpers: the one implementation of the
+//! tmp-write → fsync → rename → dir-fsync protocol.
+//!
+//! PRs 4/7/9 each hand-rolled this sequence (store snapshots, extern
+//! segment sealing, cluster topology) with subtle variation — one
+//! skipped the directory fsync and relied on callers remembering it.
+//! Consolidating on [`atomic_write_durable`] keeps the protocol in one
+//! audited place, keeps `cargo xtask durlint`'s composite-site registry
+//! small, and routes every step through the [`crate::fswitness`] runtime
+//! witness so debug suites assert the ordering actually executed.
+//!
+//! The protocol, and why each step exists:
+//!
+//! 1. stage the bytes to a `*.tmp` sibling — a crash mid-write tears the
+//!    staging file, never the published name;
+//! 2. `sync_all` the staged file — the bytes are durable *before* any
+//!    name points at them;
+//! 3. `rename` over the final name — atomic on POSIX, so readers see
+//!    either the old file or the complete new one;
+//! 4. `sync_all` the parent directory — the rename itself is an entry
+//!    table update, durable only once the directory is synced.
+//!
+//! A crash between 1–3 leaves `*.tmp` litter that recovery removes with
+//! [`sweep_tmp_files`]; a crash after 3 but before 4 may lose the rename
+//! but never corrupts either version.
+
+use crate::fswitness;
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The directory whose entry table publishes `path`'s name (`.` when the
+/// path is a bare file name) — the directory step 4 must fsync.
+pub fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Atomically and durably replaces `path` with `bytes`: stages to the
+/// `.tmp` sibling, fsyncs the staged file, renames over `path`, then
+/// fsyncs the parent directory. On return the new contents are durable
+/// under the final name — no caller-remembered `sync_dir` required.
+pub fn atomic_write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fswitness::note_create(&tmp);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    fswitness::note_write(&tmp);
+    f.sync_all()?;
+    fswitness::note_sync_file(&tmp);
+    drop(f);
+    fs::rename(&tmp, path)?;
+    fswitness::note_rename(&tmp, path);
+    sync_dir(&parent_dir(path))
+}
+
+/// Fsyncs a directory, making previously renamed entries durable (step 4
+/// of the protocol, exposed for callers that batch several renames under
+/// one directory sync).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()?;
+    fswitness::note_sync_dir(dir);
+    Ok(())
+}
+
+/// Removes stale `*.tmp` staging litter from `dir` — the recovery sweep
+/// matching step 1's crash window. Removal is best-effort per entry (a
+/// concurrently vanishing file is not an error); a missing directory
+/// sweeps zero files. Returns how many entries were removed.
+pub fn sweep_tmp_files(dir: &Path) -> io::Result<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tmp")
+            && fs::remove_file(&path).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssj-io-fs-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_litter() {
+        let dir = scratch("replace");
+        let path = dir.join("state.meta");
+        atomic_write_durable(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write_durable(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        assert!(!path.with_extension("tmp").exists());
+        // The witness saw the full protocol: no dirsync debt remains.
+        fswitness::assert_dir_settled(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_tmp_litter() {
+        let dir = scratch("sweep");
+        fs::write(dir.join("keep.snap"), b"k").unwrap();
+        fs::write(dir.join("stale.tmp"), b"s").unwrap();
+        fs::write(dir.join("other.tmp"), b"s").unwrap();
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 2);
+        assert!(dir.join("keep.snap").exists());
+        assert!(!dir.join("stale.tmp").exists());
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_of_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join(format!("ssj-io-fs-missing-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 0);
+    }
+
+    #[test]
+    fn parent_dir_falls_back_to_dot() {
+        assert_eq!(parent_dir(Path::new("meta")), PathBuf::from("."));
+        assert_eq!(parent_dir(Path::new("a/b/meta")), PathBuf::from("a/b"));
+    }
+}

@@ -22,6 +22,8 @@
 
 pub mod crc;
 pub mod frame;
+pub mod fs;
+pub mod fswitness;
 pub mod json;
 pub mod varint;
 

@@ -16,17 +16,19 @@
 //! ```
 //!
 //! The trailing CRC covers every preceding byte including the magic.
-//! Writers compose the file in memory, write `*.tmp`, fsync, rename over
-//! the live name, and fsync the directory — a crash leaves either the old
-//! complete file or the new complete file, never a torn one. Stray `.tmp`
-//! files are ignored (and cleaned up) on recovery.
+//! Writers compose the file in memory and hand the bytes to
+//! `ssj_io::fs::atomic_write_durable` (tmp write, fsync, rename over the
+//! live name, directory fsync) — a crash leaves either the old complete
+//! file or the new complete file, never a torn one. Stray `.tmp` files
+//! are ignored (and cleaned up) on recovery.
 
 use crate::wal::{decode_set, encode_set};
 use crate::StoreConfig;
 use ssj_io::crc::crc32;
+use ssj_io::fs::atomic_write_durable;
 use ssj_io::varint::{read_varint, write_varint};
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Snapshot file magic + format version.
@@ -62,19 +64,7 @@ pub(crate) fn meta_path(dir: &Path) -> PathBuf {
 
 /// Fsyncs a directory so a just-renamed file's directory entry is durable.
 pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
-}
-
-/// Writes `bytes` to `path` atomically: tmp file, fsync, rename.
-/// The caller fsyncs the directory (once per batch).
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)
+    ssj_io::fs::sync_dir(dir)
 }
 
 fn meta_bytes(cfg: &StoreConfig) -> io::Result<Vec<u8>> {
@@ -112,10 +102,7 @@ pub(crate) fn read_or_init_meta(dir: &Path, cfg: &StoreConfig) -> io::Result<()>
                  (shards/seed/gamma/initial_max_size differ)",
             ))
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            write_atomic(&path, &expected)?;
-            sync_dir(dir)
-        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => atomic_write_durable(&path, &expected),
         Err(e) => Err(e),
     }
 }
@@ -158,8 +145,9 @@ pub fn encode_shard_snapshot(
     Ok(out)
 }
 
-/// Writes shard `shard`'s snapshot at watermark `seq` atomically. The
-/// caller is responsible for the directory fsync (one per snapshot batch).
+/// Writes shard `shard`'s snapshot at watermark `seq` atomically and
+/// durably (the helper fsyncs the file *and* the directory — the caller
+/// owes nothing; durlint's `rename-no-dirsync` rule pins this invariant).
 pub(crate) fn write_snapshot(
     dir: &Path,
     cfg: &StoreConfig,
@@ -167,7 +155,7 @@ pub(crate) fn write_snapshot(
     seq: u64,
     state: &ShardState,
 ) -> io::Result<()> {
-    write_atomic(
+    atomic_write_durable(
         &snap_path(dir, shard),
         &encode_shard_snapshot(shard, cfg.shards, seq, state)?,
     )
@@ -245,8 +233,7 @@ pub fn persist_shipped_snapshot(
 ) -> io::Result<()> {
     decode_shard_snapshot(bytes, shard, shard_count)?;
     fs::create_dir_all(dir)?;
-    write_atomic(&snap_path(dir, shard), bytes)?;
-    sync_dir(dir)
+    atomic_write_durable(&snap_path(dir, shard), bytes)
 }
 
 /// Loads shard `shard`'s snapshot: `None` if the file does not exist,
@@ -272,14 +259,7 @@ pub(crate) fn load_snapshot(
 /// Removes stray `*.tmp` files left by a crash mid-snapshot. Best-effort:
 /// a tmp file that cannot be removed is not a recovery failure.
 pub(crate) fn clean_tmp_files(dir: &Path) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        if path.extension().is_some_and(|e| e == "tmp") {
-            let _ = fs::remove_file(&path);
-        }
-    }
-    Ok(())
+    ssj_io::fs::sweep_tmp_files(dir).map(|_| ())
 }
 
 #[cfg(test)]

@@ -1,0 +1,9 @@
+//! durbad fixture: acks durable_seq with no path to the WAL sync point.
+
+fn insert_d(elems: Vec<u32>) -> u64 {
+    apply(elems)
+}
+
+fn apply(elems: Vec<u32>) -> u64 {
+    elems.len() as u64
+}

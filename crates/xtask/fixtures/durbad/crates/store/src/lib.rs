@@ -1,0 +1,19 @@
+//! durbad fixture: every crash-consistency protocol rule broken.
+
+fn write_meta(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn load_meta(path: &Path) -> io::Result<Vec<u8>> {
+    fs::read(path)
+}
+
+fn annotated_wrong(path: &Path) -> io::Result<()> {
+    // durlint: allow(no-such-rule): nonsense rule name must be rejected.
+    // durlint: allow(raw-durable-write):
+    fs::write(path, b"x")
+}

@@ -1,0 +1,32 @@
+//! durclean fixture: the full staged-publish protocol, including an
+//! interprocedural file fsync and a crate-local tmp sweep.
+
+fn publish(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = stage_name(path);
+    let f = File::create(&tmp)?;
+    settle_file(&f, bytes)?;
+    fs::rename(&tmp, path)?;
+    sync_dir(parent(path))
+}
+
+fn settle_file(f: &File, bytes: &[u8]) -> io::Result<()> {
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+fn stage_name(path: &Path) -> PathBuf {
+    path.with_extension("tmp")
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn sweep_tmp_files(dir: &Path) -> io::Result<usize> {
+    let _ = dir;
+    Ok(0)
+}
+
+fn parent(path: &Path) -> &Path {
+    path
+}

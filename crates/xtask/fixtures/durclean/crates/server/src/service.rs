@@ -1,0 +1,18 @@
+//! durclean fixture: every durable ack reaches the WAL sync point.
+
+fn insert_d(elems: Vec<u32>) -> u64 {
+    settle(elems.len() as u64)
+}
+
+fn remove_d(seq: u64) -> u64 {
+    settle(seq)
+}
+
+fn settle(seq: u64) -> u64 {
+    ensure_durable(seq);
+    seq
+}
+
+fn ensure_durable(seq: u64) {
+    let _ = seq;
+}

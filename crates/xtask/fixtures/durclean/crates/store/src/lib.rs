@@ -1,0 +1,26 @@
+//! durclean fixture: durable-state crate — verified recovery reads plus
+//! audited, justified suppressions for the deliberate exceptions.
+
+fn load_snapshot(path: &Path) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    let _ = check(&bytes);
+    Ok(bytes)
+}
+
+fn check(bytes: &[u8]) -> u32 {
+    crc32(bytes)
+}
+
+fn crc32(bytes: &[u8]) -> u32 {
+    bytes.len() as u32
+}
+
+fn write_pid(path: &Path) -> io::Result<()> {
+    // durlint: allow(raw-durable-write): advisory pid marker, rewritten on every boot; a torn one is ignored.
+    fs::write(path, b"pid")
+}
+
+fn read_hint(path: &Path) -> io::Result<Vec<u8>> {
+    // durlint: allow(unchecked-durable-read): advisory warm-cache hint, structurally validated by the caller; garbage just misses.
+    fs::read(path)
+}

@@ -21,7 +21,17 @@
 //!   replica's seq is lost) and take writes as the new owner;
 //! * **ship-litter** — promotion into a directory polluted with stray
 //!   `*.snap.tmp` debris (the footprint of a crash mid-snapshot-ship)
-//!   must sweep the litter and recover cleanly.
+//!   must sweep the litter and recover cleanly;
+//! * **crash-mid-promotion** — a first promotion attempt dies partway:
+//!   only a prefix of the shard images was published and one image is a
+//!   torn `*.tmp` stage; the retried `persist_to` must sweep the stage,
+//!   re-ship every shard, and recover to exactly the oracle.
+//!
+//! The promotion scenarios end with
+//! [`ssj_io::fswitness::assert_dir_settled`]: xtask runs under
+//! `debug_assertions`, so the runtime fs-order witness tracks every
+//! create/fsync/rename the promotion performed and the assertion pins
+//! that no rename was left without its directory fsync.
 //!
 //! Divergences report a `--replay <seed>` command like the single-node
 //! scenarios.
@@ -340,9 +350,67 @@ fn scenario_promote_replica(seed: u64, scratch: &Path, litter: bool) -> Scenario
     replica
         .persist_to(&promote_dir)
         .map_err(|e| format!("persist_to: {e}"))?;
+    ssj_io::fswitness::assert_dir_settled(&promote_dir);
+    check_promoted(&d, node, acked, &node_cfg, &promote_dir)
+}
+
+/// A first promotion attempt crashes mid-ship: only a prefix of the shard
+/// images was published, and one image sits as a torn `*.tmp` stage (the
+/// exact on-disk footprint of `atomic_write_durable` dying between create
+/// and rename). The retried promotion must sweep the stage, re-ship every
+/// shard at the replica's watermark, and recover to exactly the oracle.
+fn scenario_crash_mid_promotion(seed: u64, scratch: &Path) -> Scenario {
+    let mut d = drive(seed, scratch, None)?;
+    let node = 0;
+    let node_cfg = d.router.transport_mut().node_config(node).clone();
+    let mut replica = Replica::bootstrap(d.router.transport_mut(), node, &node_cfg)
+        .map_err(|e| format!("bootstrap: {e}"))?;
+    replica
+        .catch_up(d.router.transport_mut())
+        .map_err(|e| format!("catch-up: {e}"))?;
+    let acked = d.logs[node].len() as u64;
+    d.router.transport_mut().kill(node);
+
+    let promote_dir = scratch.join("promoted");
+    fs::create_dir_all(&promote_dir).map_err(|e| format!("mkdir: {e}"))?;
+
+    // Replay the crashed first attempt by hand: publish a strict prefix
+    // of the shard images the same way `persist_to` does…
+    let (states, seq) = replica.index().dump();
+    let n = states.len();
+    for (i, state) in states.iter().take(n / 2).enumerate() {
+        let bytes = ssj_store::encode_shard_snapshot(i, n, seq, state)
+            .map_err(|e| format!("encode shard {i}: {e}"))?;
+        ssj_store::persist_shipped_snapshot(&promote_dir, i, n, &bytes)
+            .map_err(|e| format!("ship shard {i}: {e}"))?;
+    }
+    // …then die mid-stage on the next one: `atomic_write_durable` crashed
+    // between create and rename leaves `shard-<k>.tmp`.
+    fs::write(promote_dir.join(format!("shard-{}.tmp", n / 2)), b"torn")
+        .map_err(|e| format!("write torn stage: {e}"))?;
+
+    // The retried promotion must start from a clean staging area and
+    // publish the full consistent batch.
+    replica
+        .persist_to(&promote_dir)
+        .map_err(|e| format!("retried persist_to: {e}"))?;
+    ssj_io::fswitness::assert_dir_settled(&promote_dir);
+    check_promoted(&d, node, acked, &node_cfg, &promote_dir)
+}
+
+/// Shared tail of the promotion scenarios: the promoted directory must
+/// recover to exactly the oracle replay of the dead node's acked history,
+/// hold no `*.tmp` debris, and take writes as the new owner.
+fn check_promoted(
+    d: &Drive,
+    node: usize,
+    acked: u64,
+    node_cfg: &ServerConfig,
+    promote_dir: &Path,
+) -> Scenario {
     let promoted_cfg = ServerConfig {
-        data_dir: Some(promote_dir.clone()),
-        ..node_cfg
+        data_dir: Some(promote_dir.to_path_buf()),
+        ..node_cfg.clone()
     };
     let promoted = ShardedIndex::open(&promoted_cfg).map_err(|e| format!("open promoted: {e}"))?;
     let (got_states, got_seq) = promoted.dump();
@@ -358,7 +426,7 @@ fn scenario_promote_replica(seed: u64, scratch: &Path, litter: bool) -> Scenario
         ));
     }
     // The swept directory must hold no tmp debris.
-    let entries = fs::read_dir(&promote_dir).map_err(|e| format!("read_dir: {e}"))?;
+    let entries = fs::read_dir(promote_dir).map_err(|e| format!("read_dir: {e}"))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("read_dir: {e}"))?;
         let name = entry.file_name().to_string_lossy().into_owned();
@@ -385,7 +453,7 @@ fn scenario_promote_replica(seed: u64, scratch: &Path, litter: bool) -> Scenario
 pub fn run_seed(seed: u64, scratch: &Path, verbose: bool, divergences: &mut Vec<Divergence>) {
     let mut rng = Rng::new(seed ^ 0x6e0d_e517);
     type ScenarioFn = Box<dyn FnMut(u64, &Path, &mut Rng) -> Scenario>;
-    let scenarios: [(&'static str, ScenarioFn); 4] = [
+    let scenarios: [(&'static str, ScenarioFn); 5] = [
         ("kill-mid-write", Box::new(scenario_kill_mid_write)),
         (
             "restart-all",
@@ -398,6 +466,10 @@ pub fn run_seed(seed: u64, scratch: &Path, verbose: bool, divergences: &mut Vec<
         (
             "ship-litter",
             Box::new(|s, p, _| scenario_promote_replica(s, p, true)),
+        ),
+        (
+            "crash-mid-promotion",
+            Box::new(|s, p, _| scenario_crash_mid_promotion(s, p)),
         ),
     ];
     for (name, mut scenario) in scenarios {

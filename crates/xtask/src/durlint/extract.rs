@@ -1,0 +1,352 @@
+//! Source → per-function filesystem-event lists for the durlint pass.
+//!
+//! Mirrors `hotlint::extract`, on the same masked source and the shared
+//! structural machinery in [`crate::callgraph`], but scans for the
+//! durability vocabulary: file creation (`File::create(`, `fs::write(`),
+//! raw writes (`.write_all(`), file fsyncs (`.sync_all(`, `.sync_data(`),
+//! renames (`fs::rename(`), directory fsyncs (calls to `sync_dir`-shaped
+//! helpers), durable reads (`fs::read(`, `fs::read_to_string(`),
+//! integrity verification (`crc32(`, `FrameReader`, `.next_frame(`,
+//! `read_single(`), and calls for interprocedural propagation.
+//!
+//! Calls to the canonical composite helpers ([`super::ATOMIC_HELPER_FNS`])
+//! are extracted as opaque [`DurEvent::AtomicHelper`] events, *not* as
+//! calls: the helper performs the whole tmp → fsync → rename → dir-fsync
+//! protocol internally, so the call site neither creates nor satisfies any
+//! ordering obligation. (If they were ordinary calls, name-union
+//! resolution of the helper's internal `sync_all` would spuriously settle
+//! unrelated dirty files in the caller.)
+//!
+//! `*.tmp` staging markers are scanned on the **raw** source, because
+//! [`mask_non_code`] blanks string contents — a masked line cannot contain
+//! `.tmp"` at all. Each raw hit is gated on the masked, test-stripped line
+//! at the same index being non-blank, so comments, doc text, and `#[cfg
+//! (test)]` code never produce staging sites.
+
+use super::{ATOMIC_HELPER_FNS, SWEEP_FNS, SYNC_DIR_FNS, TMP_MARKERS, VERIFY_CALLS, VERIFY_TYPES};
+use crate::callgraph::{
+    fn_spans, is_ident, line_of, line_start_offsets, nested_ranges, parse_annotations, FnSpan,
+    KEYWORDS,
+};
+use crate::hotlint::{is_ctor_name, CALL_CUT};
+use crate::scan::{mask_non_code, strip_test_regions};
+
+pub use crate::callgraph::Annotation;
+
+/// One filesystem-protocol occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub enum DurEvent {
+    /// A file-creating write site (`File::create(`, `fs::write(`).
+    Create {
+        /// What created (e.g. `File::create`).
+        what: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A raw byte write (`.write_all(`) — marks the file dirty.
+    WriteBytes {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A file fsync (`.sync_all(` / `.sync_data(`).
+    SyncFile {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A rename (`fs::rename(`) — publishes a name.
+    Rename {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A directory fsync (a call to a [`SYNC_DIR_FNS`] helper).
+    SyncDir {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A durable-state read (`fs::read(` / `fs::read_to_string(`).
+    ReadBytes {
+        /// What read (e.g. `fs::read`).
+        what: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An integrity-verification token (`crc32(`, `FrameReader`, …).
+    Verify {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A call to a canonical composite helper ([`ATOMIC_HELPER_FNS`]) —
+    /// opaque: performs the whole protocol, creates/satisfies nothing in
+    /// the caller.
+    AtomicHelper {
+        /// The helper called.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A call to a (possible) workspace function, for propagation.
+    Call {
+        /// Callee name as written.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// A function found in a file, with its extracted event list.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Function name as written after `fn`.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based first and last line of the body (inclusive).
+    pub body_lines: (usize, usize),
+    /// Events extracted from the body (nested fns excluded), in source
+    /// order — the per-function replay in `analyze` depends on the order.
+    pub events: Vec<DurEvent>,
+}
+
+impl FnInfo {
+    /// Whether `line` falls inside this function (signature or body).
+    pub fn contains_line(&self, line: usize) -> bool {
+        line >= self.start_line && line <= self.body_lines.1
+    }
+}
+
+/// Extraction result for one file.
+#[derive(Debug)]
+pub struct FileExtract {
+    /// Repo-relative path.
+    pub path: String,
+    /// Functions with their event lists.
+    pub fns: Vec<FnInfo>,
+    /// 1-based lines with a `*.tmp` staging marker (raw-source scan,
+    /// gated on non-test, non-comment code at the same line).
+    pub tmp_lines: Vec<usize>,
+    /// Suppression annotations (from raw comment lines).
+    pub annotations: Vec<Annotation>,
+}
+
+/// Masks `raw`, finds functions, and extracts events + annotations.
+pub fn extract_file(relpath: &str, raw: &str) -> FileExtract {
+    let masked = strip_test_regions(&mask_non_code(raw));
+    let line_starts = line_start_offsets(&masked);
+    let spans = fn_spans(&masked);
+
+    let fns = spans
+        .iter()
+        .enumerate()
+        .map(|(i, span)| {
+            let nested = nested_ranges(&spans, i);
+            FnInfo {
+                name: span.name.clone(),
+                start_line: line_of(&line_starts, span.kw_pos),
+                body_lines: (
+                    line_of(&line_starts, span.body_start),
+                    line_of(&line_starts, span.body_end.saturating_sub(1)),
+                ),
+                events: scan_events(&masked, span, &nested, &line_starts),
+            }
+        })
+        .collect();
+
+    // `*.tmp` staging markers live inside string literals, which masking
+    // blanks — scan raw lines, gated on real (masked, test-stripped) code
+    // existing at the same line.
+    let tmp_lines = raw
+        .lines()
+        .zip(masked.lines())
+        .enumerate()
+        .filter(|(_, (raw_line, masked_line))| {
+            !masked_line.trim().is_empty() && TMP_MARKERS.iter().any(|m| raw_line.contains(m))
+        })
+        .map(|(idx, _)| idx + 1)
+        .collect();
+
+    FileExtract {
+        path: relpath.to_string(),
+        fns,
+        tmp_lines,
+        annotations: parse_annotations(raw, "durlint"),
+    }
+}
+
+/// Method-chain tokens that fsync a file.
+const SYNC_FILE_CHAINS: [&str; 2] = [".sync_all(", ".sync_data("];
+
+/// Method-chain tokens that write raw bytes (dirty the file).
+const WRITE_CHAINS: [&str; 2] = [".write_all(", ".write_vectored("];
+
+/// Method-chain tokens that verify framed/checksummed input.
+const VERIFY_CHAINS: [&str; 1] = [".next_frame("];
+
+/// Dotted method names cut from call resolution *in addition to*
+/// hotlint's [`CALL_CUT`]: `OpenOptions::new()…​.open(` and
+/// `BufWriter::flush()` would otherwise resolve onto `Store::open` /
+/// `Store::flush` by name union and import their sync summaries into
+/// unrelated callers.
+const DUR_CALL_CUT: [&str; 2] = ["open", "flush"];
+
+fn scan_events(
+    masked: &str,
+    span: &FnSpan,
+    skip: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<DurEvent> {
+    let bytes = masked.as_bytes();
+    let mut events = Vec::new();
+    let mut i = span.body_start + 1;
+    let end = span.body_end.saturating_sub(1);
+
+    while i < end {
+        if let Some(&(_, skip_end)) = skip.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = skip_end;
+            continue;
+        }
+        let b = bytes[i];
+        match b {
+            b'.' => {
+                let rest = &masked[i..end];
+                let line = line_of(line_starts, i);
+                if let Some(pat) = SYNC_FILE_CHAINS.iter().find(|p| rest.starts_with(**p)) {
+                    events.push(DurEvent::SyncFile { line });
+                    i += pat.len();
+                } else if let Some(pat) = WRITE_CHAINS.iter().find(|p| rest.starts_with(**p)) {
+                    events.push(DurEvent::WriteBytes { line });
+                    i += pat.len();
+                } else if let Some(pat) = VERIFY_CHAINS.iter().find(|p| rest.starts_with(**p)) {
+                    events.push(DurEvent::Verify { line });
+                    i += pat.len();
+                } else {
+                    i += 1;
+                }
+            }
+            _ if is_ident(b) && !b.is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) => {
+                let word_start = i;
+                let mut j = i;
+                while j < end && is_ident(bytes[j]) {
+                    j += 1;
+                }
+                let word = &masked[word_start..j];
+                if KEYWORDS.contains(&word) {
+                    i = j;
+                    continue;
+                }
+                let line = line_of(line_starts, word_start);
+                let after = &masked[j..end];
+                // `fs::rename(` / `fs::write(` / `fs::read(` / `File::create(`
+                // — matched at the path segment, so `std::fs::rename(` works
+                // too (the scanner also lands on the inner `fs` word). The
+                // whole `::name` suffix is consumed either way, so neither
+                // `fs::create_dir_all(` nor `File::open(` leaves a stray
+                // bare-call event behind; `ssj_io::fs::sync_dir(` and
+                // `ssj_io::fs::sweep_tmp_files(` keep their meaning.
+                if word == "fs" || word == "File" {
+                    if let Some(name) = path_call(after) {
+                        match name {
+                            "create" if word == "File" => events.push(DurEvent::Create {
+                                what: "File::create".to_string(),
+                                line,
+                            }),
+                            "rename" if word == "fs" => events.push(DurEvent::Rename { line }),
+                            "write" if word == "fs" => events.push(DurEvent::Create {
+                                what: "fs::write".to_string(),
+                                line,
+                            }),
+                            "read" | "read_to_string" if word == "fs" => {
+                                events.push(DurEvent::ReadBytes {
+                                    what: format!("fs::{name}"),
+                                    line,
+                                })
+                            }
+                            _ if ATOMIC_HELPER_FNS.contains(&name) => {
+                                events.push(DurEvent::AtomicHelper {
+                                    name: name.to_string(),
+                                    line,
+                                })
+                            }
+                            _ if SYNC_DIR_FNS.contains(&name) => {
+                                events.push(DurEvent::SyncDir { line })
+                            }
+                            _ if SWEEP_FNS.contains(&name) => events.push(DurEvent::Call {
+                                name: name.to_string(),
+                                line,
+                            }),
+                            _ => {}
+                        }
+                        i = j + 2 + name.len();
+                        continue;
+                    }
+                }
+                // Framed-reader construction anywhere in the body counts
+                // as verification (`FrameReader::new(bytes)`).
+                if VERIFY_TYPES.contains(&word) {
+                    events.push(DurEvent::Verify { line });
+                    i = j;
+                    continue;
+                }
+                // Next non-whitespace byte decides what this ident is.
+                let mut k = j;
+                while k < end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                let next = if k < end { bytes[k] } else { 0 };
+                if next != b'(' {
+                    i = j;
+                    continue;
+                }
+                if ATOMIC_HELPER_FNS.contains(&word) {
+                    events.push(DurEvent::AtomicHelper {
+                        name: word.to_string(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if SYNC_DIR_FNS.contains(&word) {
+                    events.push(DurEvent::SyncDir { line });
+                    i = j;
+                    continue;
+                }
+                if VERIFY_CALLS.contains(&word) {
+                    events.push(DurEvent::Verify { line });
+                    i = j;
+                    continue;
+                }
+                let dotted = word_start > 0 && bytes[word_start - 1] == b'.';
+                if dotted && (CALL_CUT.contains(&word) || DUR_CALL_CUT.contains(&word)) {
+                    i = j;
+                    continue;
+                }
+                if is_ctor_name(word) || word.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Constructor convention / type path — the name-union
+                    // resolver would spread durability summaries across
+                    // every workspace constructor (same cut as hotlint).
+                    i = j;
+                    continue;
+                }
+                events.push(DurEvent::Call {
+                    name: word.to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    events
+}
+
+/// If `after` (text following a path segment) is `::name(`, the name.
+fn path_call(after: &str) -> Option<&str> {
+    let rest = after.strip_prefix("::")?;
+    let end = rest
+        .bytes()
+        .position(|b| !is_ident(b))
+        .unwrap_or(rest.len());
+    if end == 0 || !rest[end..].starts_with('(') {
+        return None;
+    }
+    Some(&rest[..end])
+}

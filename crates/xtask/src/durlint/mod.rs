@@ -1,0 +1,758 @@
+//! `cargo xtask durlint` — crash-consistency protocol static analysis
+//! (DESIGN.md §5k).
+//!
+//! Every durable artifact in the workspace (snapshots, the meta file, the
+//! cluster manifest, sealed segments) is published by the same protocol:
+//! write to a `*.tmp` staging name, fsync the file, rename over the final
+//! name, fsync the directory. Skipping any step is invisible to every
+//! test that doesn't cut power — and is exactly the class of bug the
+//! paper's recovery guarantees cannot survive. This pass extracts
+//! filesystem protocol events per function ([`extract`]) and evaluates
+//! ordering rules over the shared name-union call graph
+//! ([`crate::callgraph`]):
+//!
+//! | id                      | finding |
+//! |-------------------------|---------|
+//! | `rename-no-fsync`       | a rename publishes a file that was written but never fsynced on some path — a crash can expose the name without the bytes |
+//! | `rename-no-dirsync`     | a function renames but returns without a directory fsync (or a call that may perform one) — the new entry is not durable |
+//! | `ack-before-sync`       | a `durable_seq`-acking entry point (`insert_d`, …) has no path to the WAL sync point (`ensure_durable`) |
+//! | `raw-durable-write`     | `File::create(` / `fs::write(` in a durable-state crate (`DURABLE_DIRS`); durable artifacts must go through `ssj_io::fs::atomic_write_durable` or staged tmp + rename |
+//! | `unchecked-durable-read`| `fs::read(` / `fs::read_to_string(` of durable state in a function with no integrity verification (`crc32`, `FrameReader`, …) on any path |
+//! | `tmp-no-sweep`          | a crate stages `*.tmp` files but no code in it defines or calls a sweep helper (`sweep_tmp_files` / `clean_tmp_files`) — a crash mid-publish leaves litter forever |
+//! | `durlint-annotation`    | malformed suppression annotation (unknown rule or empty justification) |
+//! | `durlint-scope`         | annotation inside `crates/core` (zero-allowlist policy: core has no business doing file I/O at all) |
+//!
+//! Deliberate violations are suppressed in-source, next to the code they
+//! justify — same grammar as locklint/hotlint:
+//!
+//! ```text
+//! // durlint: allow(tmp-no-sweep): reason…          (this + next line)
+//! // durlint: allow(rename-no-dirsync, fn): reason… (whole enclosing fn)
+//! ```
+//!
+//! The static pass is paired with a runtime witness
+//! (`ssj_io::fswitness`): the canonical file helpers report every
+//! create/write/fsync/rename to a global order tracker that panics (under
+//! `debug_assertions` or the `fs-witness` feature) the moment a rename
+//! publishes a dirty file or a directory entry is left unsynced — the
+//! same two-layer static + runtime design as locklint's lock witness and
+//! hotlint's allocation witness.
+
+pub mod extract;
+
+use crate::callgraph::{FnKey, Graph};
+use crate::locklint::SCAN_DIRS;
+use crate::{rel, rs_files, LintError, Violation};
+use extract::{DurEvent, FileExtract};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Rule id: rename of a file with no fsync since its last write.
+pub const RENAME_NO_FSYNC: &str = "rename-no-fsync";
+/// Rule id: function renames but never fsyncs the directory.
+pub const RENAME_NO_DIRSYNC: &str = "rename-no-dirsync";
+/// Rule id: durable-ack entry point with no path to the WAL sync point.
+pub const ACK_BEFORE_SYNC: &str = "ack-before-sync";
+/// Rule id: raw in-place write in a durable-state crate.
+pub const RAW_DURABLE_WRITE: &str = "raw-durable-write";
+/// Rule id: durable-state read with no integrity verification.
+pub const UNCHECKED_DURABLE_READ: &str = "unchecked-durable-read";
+/// Rule id: crate stages `*.tmp` files but never sweeps stale ones.
+pub const TMP_NO_SWEEP: &str = "tmp-no-sweep";
+/// Rule id: malformed `// durlint: allow(…)` annotation.
+pub const ANNOTATION_RULE: &str = "durlint-annotation";
+/// Rule id: annotation inside `crates/core` (zero-allowlist policy).
+pub const SCOPE_RULE: &str = "durlint-scope";
+
+/// The analysis rules an annotation may suppress.
+pub const SUPPRESSIBLE_RULES: [&str; 6] = [
+    RENAME_NO_FSYNC,
+    RENAME_NO_DIRSYNC,
+    ACK_BEFORE_SYNC,
+    RAW_DURABLE_WRITE,
+    UNCHECKED_DURABLE_READ,
+    TMP_NO_SWEEP,
+];
+
+/// Canonical composite helpers that perform the whole staged-publish
+/// protocol internally. Calls to these are extracted as opaque
+/// [`DurEvent::AtomicHelper`] events: they neither dirty nor settle
+/// anything in the *caller* (the helper syncs its own file and its own
+/// directory, not the caller's).
+pub const ATOMIC_HELPER_FNS: [&str; 2] = ["atomic_write_durable", "persist_shipped_snapshot"];
+
+/// Directory-fsync helper names: a call to one settles every rename the
+/// calling function has pending.
+pub const SYNC_DIR_FNS: [&str; 1] = ["sync_dir"];
+
+/// Stale-staging sweep helper names (defining *or* calling one gives the
+/// crate its sweep path for `tmp-no-sweep`).
+pub const SWEEP_FNS: [&str; 2] = ["sweep_tmp_files", "clean_tmp_files"];
+
+/// Entry points that acknowledge `durable_seq` to clients. Each must
+/// reach the WAL sync point ([`WAL_SYNC_FNS`]) on some call path.
+pub const ACK_FNS: [&str; 3] = ["insert_d", "remove_d", "query_insert_d"];
+
+/// The WAL sync point: functions of these names seed `may_reach_sync`.
+pub const WAL_SYNC_FNS: [&str; 1] = ["ensure_durable"];
+
+/// Bare verification call names (CRC and single-frame readers).
+pub const VERIFY_CALLS: [&str; 2] = ["crc32", "read_single"];
+
+/// Verification type names (any occurrence counts — constructing a
+/// framed reader means the bytes go through CRC checking).
+pub const VERIFY_TYPES: [&str; 1] = ["FrameReader"];
+
+/// Raw-source markers of a `*.tmp` staging site (string literals are
+/// blanked by masking, so these are matched on raw lines — see
+/// [`extract::extract_file`]).
+pub const TMP_MARKERS: [&str; 2] = [".tmp\"", "with_extension(\"tmp\")"];
+
+/// Crates whose on-disk state must survive a crash: raw writes and
+/// unverified reads of durable artifacts are findings here (and only
+/// here — `ssj-io` owns the helpers themselves, `ssj-serve` holds no
+/// files of its own).
+pub const DURABLE_DIRS: [&str; 3] = [
+    "crates/store/src",
+    "crates/extern/src",
+    "crates/cluster/src",
+];
+
+/// A finding that an in-source annotation suppressed, kept for reporting
+/// (`--json`) so suppressions stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressedFinding {
+    /// Rule the annotation suppressed.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the suppressed finding.
+    pub line: usize,
+    /// The annotation's written justification.
+    pub reason: String,
+    /// What the finding said.
+    pub message: String,
+}
+
+/// Everything one `durlint` run produced.
+#[derive(Debug, Default)]
+pub struct DurlintReport {
+    /// Surviving (un-suppressed) findings, sorted by path/line/rule.
+    pub findings: Vec<Violation>,
+    /// Findings a written annotation suppressed.
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions summarized.
+    pub functions: usize,
+    /// Rename (publish) sites seen across the workspace.
+    pub rename_sites: usize,
+}
+
+impl DurlintReport {
+    /// Machine-readable report (for trend tracking next to locklint's and
+    /// hotlint's): findings, suppressions, and scan size.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, v) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message)
+            );
+        }
+        out.push_str("],\"suppressed\":[");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{},\"message\":{}}}",
+                json_str(s.rule),
+                json_str(&s.path),
+                s.line,
+                json_str(&s.reason),
+                json_str(&s.message)
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"files\":{},\"functions\":{},\"rename_sites\":{}}}",
+            self.files, self.functions, self.rename_sites
+        );
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs the whole pass over the workspace at `root`.
+pub fn run_durlint(root: &Path) -> Result<DurlintReport, LintError> {
+    let mut files = Vec::new();
+    for dir in SCAN_DIRS {
+        let abs = root.join(dir);
+        if !abs.is_dir() {
+            continue;
+        }
+        for file in rs_files(&abs)? {
+            let relpath = rel(root, &file);
+            let raw = crate::read(&file)?;
+            files.push(extract::extract_file(&relpath, &raw));
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // Annotation hygiene: well-formed, justified, and never in core.
+    for file in &files {
+        for ann in &file.annotations {
+            if file.path.starts_with("crates/core/") {
+                findings.push(Violation {
+                    rule: SCOPE_RULE,
+                    path: file.path.clone(),
+                    line: ann.line,
+                    message: format!(
+                        "durlint annotation in ssj-core (suppresses `{}`); core holds \
+                         no durable state and must not do file I/O — move the \
+                         persistence out of core",
+                        ann.rule
+                    ),
+                });
+            }
+            if !SUPPRESSIBLE_RULES.contains(&ann.rule.as_str()) {
+                findings.push(Violation {
+                    rule: ANNOTATION_RULE,
+                    path: file.path.clone(),
+                    line: ann.line,
+                    message: format!(
+                        "annotation names unknown rule `{}` (expected one of: {})",
+                        ann.rule,
+                        SUPPRESSIBLE_RULES.join(", ")
+                    ),
+                });
+            }
+            if ann.reason.is_empty() {
+                findings.push(Violation {
+                    rule: ANNOTATION_RULE,
+                    path: file.path.clone(),
+                    line: ann.line,
+                    message: "annotation has no written justification after `):` — \
+                              suppressions are documentation, not magic"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    let analyzed = analyze(&files);
+    let functions = files.iter().map(|f| f.fns.len()).sum();
+
+    // Partition analysis findings into suppressed vs surviving.
+    let mut suppressed = Vec::new();
+    for finding in analyzed.findings {
+        match suppressing_annotation(&files, &finding) {
+            Some(reason) => suppressed.push(SuppressedFinding {
+                rule: finding.rule,
+                path: finding.path,
+                line: finding.line,
+                reason,
+                message: finding.message,
+            }),
+            None => findings.push(finding),
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings.dedup();
+    suppressed.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    suppressed.dedup();
+
+    Ok(DurlintReport {
+        findings,
+        suppressed,
+        files: files.len(),
+        functions,
+        rename_sites: analyzed.rename_sites,
+    })
+}
+
+struct Analyzed {
+    findings: Vec<Violation>,
+    rename_sites: usize,
+}
+
+/// Whether `path` lives in a durable-state crate.
+fn in_durable_dir(path: &str) -> bool {
+    DURABLE_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// The crate grouping key of a scanned path (`crates/<name>`).
+fn crate_of(path: &str) -> &str {
+    let mut end = 0;
+    for (i, c) in path.char_indices() {
+        if c == '/' {
+            end += 1;
+            if end == 2 {
+                return &path[..i];
+            }
+        }
+    }
+    path
+}
+
+/// Summary propagation + per-function protocol replay.
+fn analyze(files: &[FileExtract]) -> Analyzed {
+    let graph = Graph::build(files.iter().enumerate().flat_map(|(fi, file)| {
+        file.fns.iter().enumerate().map(move |(gi, f)| {
+            let callees = f
+                .events
+                .iter()
+                .filter_map(|ev| match ev {
+                    DurEvent::Call { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            ((fi, gi), f.name.clone(), callees)
+        })
+    }));
+
+    // Per-function summaries, propagated callee→caller to a fixpoint:
+    //   may_sync_file  — some path through the call fsyncs a file;
+    //   may_sync_dir   — some path fsyncs a directory;
+    //   may_reach_sync — some path reaches the WAL sync point;
+    //   may_verify     — some path runs integrity verification.
+    let mut may_sync_file: BTreeMap<FnKey, bool> = BTreeMap::new();
+    let mut may_sync_dir: BTreeMap<FnKey, bool> = BTreeMap::new();
+    let mut may_reach_sync: BTreeMap<FnKey, bool> = BTreeMap::new();
+    let mut may_verify: BTreeMap<FnKey, bool> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            let key = (fi, gi);
+            let mut sync_file = false;
+            let mut sync_dir = false;
+            let mut verify = false;
+            for ev in &f.events {
+                match ev {
+                    DurEvent::SyncFile { .. } => sync_file = true,
+                    DurEvent::SyncDir { .. } => sync_dir = true,
+                    DurEvent::Verify { .. } => verify = true,
+                    _ => {}
+                }
+            }
+            may_sync_file.insert(key, sync_file);
+            may_sync_dir.insert(key, sync_dir || SYNC_DIR_FNS.contains(&f.name.as_str()));
+            may_reach_sync.insert(key, WAL_SYNC_FNS.contains(&f.name.as_str()));
+            may_verify.insert(key, verify);
+        }
+    }
+    graph.fixpoint(&mut may_sync_file, |s, t| *s |= *t);
+    graph.fixpoint(&mut may_sync_dir, |s, t| *s |= *t);
+    graph.fixpoint(&mut may_reach_sync, |s, t| *s |= *t);
+    graph.fixpoint(&mut may_verify, |s, t| *s |= *t);
+
+    let mut findings = Vec::new();
+    let mut rename_sites = 0usize;
+
+    for (fi, file) in files.iter().enumerate() {
+        let durable = in_durable_dir(&file.path);
+        for (gi, f) in file.fns.iter().enumerate() {
+            // Linear protocol replay over the body's event order: track
+            // whether the staged file is dirty (written since the last
+            // fsync on any path) and which renames still owe a directory
+            // fsync when the function returns.
+            let mut dirty = false;
+            let mut pending_renames: Vec<usize> = Vec::new();
+            for ev in &f.events {
+                match ev {
+                    DurEvent::Create { what, line } => {
+                        dirty = true;
+                        if durable {
+                            findings.push(Violation {
+                                rule: RAW_DURABLE_WRITE,
+                                path: file.path.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}` writes durable state in place in `{}`; use \
+                                     `ssj_io::fs::atomic_write_durable` (or staged \
+                                     tmp + fsync + rename + dir fsync) so a crash \
+                                     never leaves a torn artifact",
+                                    what, f.name
+                                ),
+                            });
+                        }
+                    }
+                    DurEvent::WriteBytes { .. } => dirty = true,
+                    DurEvent::SyncFile { .. } => dirty = false,
+                    DurEvent::Rename { line } => {
+                        rename_sites += 1;
+                        if dirty {
+                            findings.push(Violation {
+                                rule: RENAME_NO_FSYNC,
+                                path: file.path.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}` renames a file written since its last fsync \
+                                     on some path; a crash can publish the name \
+                                     before the bytes — fsync the file first",
+                                    f.name
+                                ),
+                            });
+                        }
+                        dirty = false;
+                        pending_renames.push(*line);
+                    }
+                    DurEvent::SyncDir { .. } => pending_renames.clear(),
+                    DurEvent::ReadBytes { what, line } => {
+                        if durable && !may_verify.get(&(fi, gi)).copied().unwrap_or(false) {
+                            findings.push(Violation {
+                                rule: UNCHECKED_DURABLE_READ,
+                                path: file.path.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}` reads durable state (`{}`) with no integrity \
+                                     verification on any path; recovery must treat \
+                                     on-disk bytes as untrusted (CRC-framed decode)",
+                                    f.name, what
+                                ),
+                            });
+                        }
+                    }
+                    // Opaque: the helper syncs its own file and its own
+                    // directory; the caller's obligations are untouched.
+                    DurEvent::AtomicHelper { .. } => {}
+                    DurEvent::Verify { .. } => {}
+                    DurEvent::Call { name, .. } => {
+                        let targets = graph.resolve(name);
+                        if targets
+                            .iter()
+                            .any(|t| may_sync_file.get(t).copied().unwrap_or(false))
+                        {
+                            dirty = false;
+                        }
+                        if targets
+                            .iter()
+                            .any(|t| may_sync_dir.get(t).copied().unwrap_or(false))
+                        {
+                            pending_renames.clear();
+                        }
+                    }
+                }
+            }
+            for line in pending_renames {
+                findings.push(Violation {
+                    rule: RENAME_NO_DIRSYNC,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}` renames but returns without a directory fsync on any \
+                         path; the new directory entry is not durable — call \
+                         `ssj_io::fs::sync_dir` after the rename",
+                        f.name
+                    ),
+                });
+            }
+
+            // Ack entry points must reach the WAL sync point somewhere.
+            if ACK_FNS.contains(&f.name.as_str())
+                && !may_reach_sync.get(&(fi, gi)).copied().unwrap_or(false)
+            {
+                findings.push(Violation {
+                    rule: ACK_BEFORE_SYNC,
+                    path: file.path.clone(),
+                    line: f.start_line,
+                    message: format!(
+                        "`{}` acknowledges durable_seq to clients but has no call \
+                         path to the WAL sync point ({}); an ack the WAL hasn't \
+                         fsynced is a lie after a crash",
+                        f.name,
+                        WAL_SYNC_FNS.join("/")
+                    ),
+                });
+            }
+        }
+    }
+
+    // tmp-no-sweep: per crate, staging sites require a sweep path.
+    let mut crate_tmp: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut crate_sweeps: BTreeSet<&str> = BTreeSet::new();
+    for (fi, file) in files.iter().enumerate() {
+        let krate = crate_of(&file.path);
+        for &line in &file.tmp_lines {
+            crate_tmp.entry(krate).or_default().push((fi, line));
+        }
+        let sweeps = file.fns.iter().any(|f| {
+            SWEEP_FNS.contains(&f.name.as_str())
+                || f.events.iter().any(|ev| {
+                    matches!(ev, DurEvent::Call { name, .. } if SWEEP_FNS.contains(&name.as_str()))
+                })
+        });
+        if sweeps {
+            crate_sweeps.insert(krate);
+        }
+    }
+    for (krate, sites) in crate_tmp {
+        if crate_sweeps.contains(krate) {
+            continue;
+        }
+        for (fi, line) in sites {
+            findings.push(Violation {
+                rule: TMP_NO_SWEEP,
+                path: files[fi].path.clone(),
+                line,
+                message: format!(
+                    "`{}` stages `*.tmp` files but nothing in the crate defines or \
+                     calls a sweep helper ({}); a crash between create and rename \
+                     leaves litter that no recovery path ever removes",
+                    krate,
+                    SWEEP_FNS.join("/")
+                ),
+            });
+        }
+    }
+
+    Analyzed {
+        findings,
+        rename_sites,
+    }
+}
+
+/// The justification of the annotation that suppresses `finding`, if any.
+///
+/// A line-level annotation covers its own line and the next; an fn-level
+/// annotation covers every line of the function whose body contains it.
+fn suppressing_annotation(files: &[FileExtract], finding: &Violation) -> Option<String> {
+    let file = files.iter().find(|f| f.path == finding.path)?;
+    for ann in &file.annotations {
+        if ann.rule != finding.rule || ann.reason.is_empty() {
+            continue;
+        }
+        let covered = if ann.fn_level {
+            file.fns
+                .iter()
+                .any(|f| f.contains_line(ann.line) && f.contains_line(finding.line))
+        } else {
+            finding.line == ann.line || finding.line == ann.line + 1
+        };
+        if covered {
+            return Some(ann.reason.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_of(path: &str, src: &str) -> Vec<Violation> {
+        let files = vec![extract::extract_file(path, src)];
+        analyze(&files).findings
+    }
+
+    #[test]
+    fn clean_protocol_has_no_findings() {
+        let src = "\
+fn publish(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = staged(path);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)?;
+    sync_dir(path.parent().unwrap())
+}
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+";
+        // Outside DURABLE_DIRS so the File::create staging write is legal.
+        let f = findings_of("crates/io/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn rename_of_unsynced_file_is_flagged() {
+        let src = "\
+fn publish(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    fs::rename(&tmp, path)?;
+    sync_dir(dir)
+}
+fn sync_dir(dir: &Path) -> io::Result<()> { File::open(dir)?.sync_all() }
+";
+        let f = findings_of("crates/io/src/lib.rs", src);
+        assert!(
+            f.iter().any(|v| v.rule == RENAME_NO_FSYNC && v.line == 4),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn rename_without_dir_sync_is_flagged_and_interprocedural_sync_clears() {
+        let src = "\
+fn leaky(path: &Path) -> io::Result<()> {
+    fs::rename(&tmp, path)
+}
+fn covered(path: &Path) -> io::Result<()> {
+    fs::rename(&tmp, path)?;
+    settle(path)
+}
+fn settle(path: &Path) -> io::Result<()> {
+    sync_dir(path.parent().unwrap())
+}
+fn sync_dir(dir: &Path) -> io::Result<()> { File::open(dir)?.sync_all() }
+";
+        let f = findings_of("crates/io/src/lib.rs", src);
+        assert!(
+            f.iter().any(|v| v.rule == RENAME_NO_DIRSYNC && v.line == 2),
+            "{f:#?}"
+        );
+        assert!(
+            !f.iter().any(|v| v.rule == RENAME_NO_DIRSYNC && v.line == 5),
+            "settle() may sync the directory — must clear the obligation: {f:#?}"
+        );
+    }
+
+    #[test]
+    fn atomic_helper_calls_are_opaque() {
+        // The helper neither settles the caller's dirty file (it syncs its
+        // *own* file) nor creates obligations.
+        let src = "\
+fn publish(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    atomic_write_durable(&other, bytes)?;
+    fs::rename(&tmp, path)?;
+    sync_dir(dir)
+}
+fn sync_dir(dir: &Path) -> io::Result<()> { File::open(dir)?.sync_all() }
+";
+        let f = findings_of("crates/io/src/lib.rs", src);
+        assert!(
+            f.iter().any(|v| v.rule == RENAME_NO_FSYNC && v.line == 5),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn ack_entry_point_must_reach_wal_sync() {
+        let src = "\
+fn insert_d(&self, elems: Vec<u32>) -> u64 {
+    self.apply(elems)
+}
+fn remove_d(&self, id: u64) -> bool {
+    self.settle(id)
+}
+fn settle(&self, id: u64) -> bool {
+    self.store.ensure_durable(id);
+    true
+}
+fn ensure_durable(&self, seq: u64) {}
+";
+        let f = findings_of("crates/server/src/service.rs", src);
+        assert!(
+            f.iter().any(|v| v.rule == ACK_BEFORE_SYNC && v.line == 1),
+            "insert_d never reaches ensure_durable: {f:#?}"
+        );
+        assert!(
+            !f.iter().any(|v| v.rule == ACK_BEFORE_SYNC && v.line == 4),
+            "remove_d reaches it through settle: {f:#?}"
+        );
+    }
+
+    #[test]
+    fn durable_dir_raw_writes_and_unverified_reads_are_flagged() {
+        let src = "\
+fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    fs::write(path, bytes)
+}
+fn load(path: &Path) -> io::Result<Vec<u8>> {
+    fs::read(path)
+}
+fn load_checked(path: &Path) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    let _ = crc32(&bytes);
+    Ok(bytes)
+}
+";
+        let f = findings_of("crates/store/src/lib.rs", src);
+        assert!(
+            f.iter().any(|v| v.rule == RAW_DURABLE_WRITE && v.line == 2),
+            "{f:#?}"
+        );
+        assert!(
+            f.iter()
+                .any(|v| v.rule == UNCHECKED_DURABLE_READ && v.line == 5),
+            "{f:#?}"
+        );
+        assert!(
+            !f.iter()
+                .any(|v| v.rule == UNCHECKED_DURABLE_READ && v.line == 8),
+            "crc32 verifies the read: {f:#?}"
+        );
+    }
+
+    #[test]
+    fn tmp_staging_without_sweep_is_flagged_per_crate() {
+        let leaky = "\
+fn stage(dir: &Path) -> PathBuf {
+    dir.join(\"seg.tmp\")
+}
+";
+        let swept = "\
+fn stage(dir: &Path) -> PathBuf {
+    dir.join(\"seg.tmp\")
+}
+fn recover(dir: &Path) {
+    let _ = sweep_tmp_files(dir);
+}
+";
+        let f = findings_of("crates/extern/src/segment.rs", leaky);
+        assert!(
+            f.iter().any(|v| v.rule == TMP_NO_SWEEP && v.line == 2),
+            "{f:#?}"
+        );
+        let f = findings_of("crates/extern/src/segment.rs", swept);
+        assert!(!f.iter().any(|v| v.rule == TMP_NO_SWEEP), "{f:#?}");
+    }
+
+    #[test]
+    fn comments_and_test_code_never_stage_tmp_files() {
+        let src = "\
+// a doc note mentioning \"meta.tmp\" litter
+fn nothing() {}
+#[cfg(test)]
+mod tests {
+    fn t(dir: &Path) -> PathBuf { dir.join(\"x.tmp\") }
+}
+";
+        let f = findings_of("crates/extern/src/lib.rs", src);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+}

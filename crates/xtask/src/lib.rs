@@ -34,12 +34,20 @@
 //!   with the runtime witness in `ssj_core::lockwitness` (see [`locklint`]
 //!   and DESIGN.md §5f). Suppressions are in-source annotations, not
 //!   allowlist entries.
+//! * `cargo xtask hotlint` — hot-path allocation/copy analysis over the
+//!   same call-graph engine, paired with the counting-allocator witness
+//!   (see [`hotlint`] and DESIGN.md §5g).
+//! * `cargo xtask durlint` — crash-consistency protocol analysis (fsync
+//!   before rename, directory fsync after, ack-implies-WAL-sync, staged
+//!   tmp sweeps), paired with the runtime fs-order witness in
+//!   `ssj_io::fswitness` (see [`durlint`] and DESIGN.md §5k).
 
 pub mod allowlist;
 pub mod benchdiff;
 pub mod callgraph;
 pub mod crashtest;
 pub mod difftest;
+pub mod durlint;
 pub mod hotlint;
 pub mod locklint;
 pub mod rules;

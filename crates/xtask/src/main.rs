@@ -28,6 +28,14 @@ commands:
                         (exit 0 = clean, 1 = findings, 2 = engine error)
     --root <dir>        workspace root (default: walk up from cwd)
     --json              machine-readable report (findings + suppressions)
+  durlint [options]     crash-consistency protocol analysis: per-function
+                        filesystem-event replay over the call graph —
+                        fsync-before-rename, dir-fsync-after-rename,
+                        ack-implies-WAL-sync, staged-write discipline,
+                        verified recovery reads, tmp-litter sweeps
+                        (exit 0 = clean, 1 = findings, 2 = engine error)
+    --root <dir>        workspace root (default: walk up from cwd)
+    --json              machine-readable report (findings + suppressions)
   benchdiff [options]   compare current bench results against the
                         committed BENCH_join.json / BENCH_serve.json
                         baselines: counters must match exactly, timings
@@ -62,6 +70,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("locklint") => locklint(&args[1..]),
         Some("hotlint") => hotlint(&args[1..]),
+        Some("durlint") => durlint(&args[1..]),
         Some("benchdiff") => benchdiff(&args[1..]),
         Some("difftest") => difftest(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
@@ -322,6 +331,62 @@ fn hotlint(args: &[String]) -> ExitCode {
                     report.files,
                     report.functions,
                     report.hot_functions
+                );
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn durlint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("error: unknown durlint option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match xtask::durlint::run_durlint(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for v in &report.findings {
+                    println!("{v}");
+                }
+                println!(
+                    "xtask durlint: {} finding(s), {} suppressed by annotation \
+                     ({} file(s), {} function(s), {} rename site(s))",
+                    report.findings.len(),
+                    report.suppressed.len(),
+                    report.files,
+                    report.functions,
+                    report.rename_sites
                 );
             }
             if report.findings.is_empty() {
